@@ -1,0 +1,97 @@
+// Command hiersolve runs the hierarchical (two-level bus) MVA extension:
+// cluster-shape sweeps and escalation sensitivity for clustered
+// multiprocessors.
+//
+// Examples:
+//
+//	hiersolve -total 64 -gmiss 0.1 -gbc 0.05
+//	hiersolve -clusters 8 -percluster 8 -gmiss 0.2
+//	hiersolve -total 32 -protocol Dragon -scaled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snoopmva"
+	"snoopmva/internal/tables"
+)
+
+func main() {
+	var (
+		protoName  = flag.String("protocol", "Write-Once", "named protocol")
+		sharing    = flag.Int("sharing", 5, "Appendix A sharing level: 1, 5 or 20")
+		clusters   = flag.Int("clusters", 0, "clusters (with -percluster; alternative to -total)")
+		perCluster = flag.Int("percluster", 0, "processors per cluster")
+		total      = flag.Int("total", 0, "total processors: sweep all factorizations")
+		gmiss      = flag.Float64("gmiss", 0.1, "fraction of remote reads escalating to the global bus")
+		gbc        = flag.Float64("gbc", 0.05, "fraction of broadcasts escalating to the global bus")
+		gratio     = flag.Float64("gratio", 1, "global-bus speed ratio (>1 = slower global bus)")
+		scaled     = flag.Bool("scaled", false, "scale escalation by the remote-sharer fraction (N-K)/(N-1)")
+	)
+	flag.Parse()
+
+	if *sharing != 1 && *sharing != 5 && *sharing != 20 {
+		fatal(fmt.Errorf("sharing must be 1, 5 or 20"))
+	}
+	w := snoopmva.AppendixA(snoopmva.Sharing(*sharing))
+	proto, ok := snoopmva.ProtocolByName(*protoName)
+	if !ok {
+		fatal(fmt.Errorf("unknown protocol %q", *protoName))
+	}
+	base := snoopmva.HierarchicalConfig{
+		GlobalMissFraction: *gmiss,
+		GlobalBcFraction:   *gbc,
+		GlobalSpeedRatio:   *gratio,
+	}
+
+	tb := tables.New(
+		fmt.Sprintf("Hierarchical MVA — %s, %d%% sharing, gmiss=%.2f gbc=%.2f",
+			proto.Name(), *sharing, *gmiss, *gbc),
+		"clusters", "per-cluster", "total", "speedup", "U_lbus", "w_lbus", "U_gbus", "w_gbus", "iters")
+
+	addRow := func(r snoopmva.HierarchicalResult) {
+		tb.AddRow(r.Clusters, r.PerCluster, r.TotalProcessors, r.Speedup,
+			r.LocalBusUtil, r.LocalBusWait, r.GlobalBusUtil, r.GlobalBusWait, r.Iterations)
+	}
+
+	switch {
+	case *total > 0:
+		for c := 1; c <= *total; c++ {
+			if *total%c != 0 {
+				continue
+			}
+			cfg := base
+			cfg.Clusters, cfg.PerCluster = c, *total/c
+			if *scaled {
+				remote := float64(*total-cfg.PerCluster) / float64(*total-1)
+				cfg.GlobalMissFraction = *gmiss * remote
+				cfg.GlobalBcFraction = *gbc * remote
+			}
+			r, err := snoopmva.SolveHierarchical(proto, w, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			addRow(r)
+		}
+	case *clusters > 0 && *perCluster > 0:
+		cfg := base
+		cfg.Clusters, cfg.PerCluster = *clusters, *perCluster
+		r, err := snoopmva.SolveHierarchical(proto, w, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		addRow(r)
+	default:
+		fatal(fmt.Errorf("specify -total N or both -clusters and -percluster"))
+	}
+	if err := tb.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hiersolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,195 @@
+// Command mvasolve solves the paper's mean-value-analysis model for one
+// protocol / workload / system-size configuration, or sweeps system sizes.
+//
+// Examples:
+//
+//	mvasolve -protocol Dragon -sharing 5 -n 10
+//	mvasolve -mods 1,4 -sharing 20 -sweep 1,2,4,8,16,32 -format csv
+//	mvasolve -protocol Write-Once -sharing 5 -n 10 -tau 4 -hsw 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"snoopmva"
+	"snoopmva/internal/mva"
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/tables"
+	"snoopmva/internal/workload"
+)
+
+func main() {
+	var (
+		protoName = flag.String("protocol", "Write-Once", "named protocol (Write-Once, Synapse, Berkeley, Illinois, Dragon, RWB, Write-Through)")
+		mods      = flag.String("mods", "", "comma-separated modification numbers 1-4 applied to Write-Once (overrides -protocol)")
+		sharing   = flag.Int("sharing", 5, "Appendix A sharing level: 1, 5 or 20 (percent)")
+		n         = flag.Int("n", 10, "number of processors")
+		sweep     = flag.String("sweep", "", "comma-separated system sizes to sweep (overrides -n)")
+		format    = flag.String("format", "text", "output format: text, csv, markdown")
+		tau       = flag.Float64("tau", 0, "override mean think time τ (cycles)")
+		hsw       = flag.Float64("hsw", 0, "override shared-writable hit rate")
+		amodP     = flag.Float64("amodp", 0, "override amod_private")
+		stress    = flag.Bool("stress", false, "use the Section 4.3 stress-test workload")
+		explain   = flag.Bool("explain", false, "print an equation-by-equation breakdown (single -n only)")
+		paramFile = flag.String("params", "", "load workload parameters from a JSON file (fields named as in the paper; optional \"base\" seeds an Appendix A level)")
+	)
+	flag.Parse()
+
+	proto, err := pickProtocol(*protoName, *mods)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := pickWorkload(*sharing, *stress)
+	if err != nil {
+		fatal(err)
+	}
+	if *paramFile != "" {
+		p, err := workload.LoadParams(*paramFile)
+		if err != nil {
+			fatal(err)
+		}
+		w = fromParams(p)
+	}
+	if *tau > 0 {
+		w.Tau = *tau
+	}
+	if *hsw > 0 {
+		w.HSw = *hsw
+	}
+	if *amodP > 0 {
+		w.AmodPrivate = *amodP
+	}
+
+	ns := []int{*n}
+	if *sweep != "" {
+		ns, err = parseInts(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	results, err := snoopmva.Sweep(proto, w, ns)
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		if len(ns) != 1 {
+			fatal(fmt.Errorf("-explain needs a single -n, not a sweep"))
+		}
+		if err := explainRun(proto, w, ns[0]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	tb := tables.New(fmt.Sprintf("MVA results — %v, %d%% sharing", proto, *sharing),
+		"N", "speedup", "power", "R", "U_bus", "w_bus", "U_mem", "w_mem", "iterations")
+	for _, r := range results {
+		tb.AddRow(r.N, r.Speedup, r.ProcessingPower, r.R,
+			r.BusUtilization, r.BusWait, r.MemUtilization, r.MemWait, r.Iterations)
+	}
+	switch *format {
+	case "text":
+		err = tb.WriteASCII(os.Stdout)
+	case "csv":
+		err = tb.WriteCSV(os.Stdout)
+	case "markdown":
+		err = tb.WriteMarkdown(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func pickProtocol(name, mods string) (snoopmva.Protocol, error) {
+	if mods != "" {
+		nums, err := parseInts(mods)
+		if err != nil {
+			return snoopmva.Protocol{}, err
+		}
+		return snoopmva.WithMods(nums...), nil
+	}
+	p, ok := snoopmva.ProtocolByName(name)
+	if !ok {
+		return snoopmva.Protocol{}, fmt.Errorf("unknown protocol %q", name)
+	}
+	return p, nil
+}
+
+func pickWorkload(sharing int, stress bool) (snoopmva.Workload, error) {
+	if stress {
+		return snoopmva.StressWorkload(), nil
+	}
+	switch sharing {
+	case 1, 5, 20:
+		return snoopmva.AppendixA(snoopmva.Sharing(sharing)), nil
+	default:
+		return snoopmva.Workload{}, fmt.Errorf("sharing must be 1, 5 or 20 (got %d)", sharing)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mvasolve:", err)
+	os.Exit(1)
+}
+
+// explainRun re-solves with the internal model to print the full
+// equation-by-equation breakdown.
+func explainRun(proto snoopmva.Protocol, w snoopmva.Workload, n int) error {
+	var ms protocol.ModSet
+	for _, m := range proto.Mods() {
+		ms = ms.With(protocol.Mod(m))
+	}
+	params := workload.Params{
+		Tau:      w.Tau,
+		PPrivate: w.PPrivate, PSro: w.PSro, PSw: w.PSw,
+		HPrivate: w.HPrivate, HSro: w.HSro, HSw: w.HSw,
+		RPrivate: w.RPrivate, RSw: w.RSw,
+		AmodPrivate: w.AmodPrivate, AmodSw: w.AmodSw,
+		CsupplySro: w.CsupplySro, CsupplySw: w.CsupplySw,
+		WbCsupply: w.WbCsupply,
+		RepP:      w.RepP, RepSw: w.RepSw,
+	}
+	m := mva.Model{
+		Workload:         params,
+		Mods:             ms,
+		RawParams:        w.FixedParams,
+		WriteThroughBase: proto.Name() == "Write-Through",
+	}
+	res, err := m.Solve(n, mva.Options{})
+	if err != nil {
+		return err
+	}
+	return mva.Explain(os.Stdout, res)
+}
+
+// fromParams converts internal workload parameters to the public type.
+func fromParams(p workload.Params) snoopmva.Workload {
+	return snoopmva.Workload{
+		Tau:      p.Tau,
+		PPrivate: p.PPrivate, PSro: p.PSro, PSw: p.PSw,
+		HPrivate: p.HPrivate, HSro: p.HSro, HSw: p.HSw,
+		RPrivate: p.RPrivate, RSw: p.RSw,
+		AmodPrivate: p.AmodPrivate, AmodSw: p.AmodSw,
+		CsupplySro: p.CsupplySro, CsupplySw: p.CsupplySw,
+		WbCsupply: p.WbCsupply,
+		RepP:      p.RepP, RepSw: p.RepSw,
+	}
+}

@@ -1,0 +1,95 @@
+// Command paperrepro regenerates every table and figure from the paper's
+// evaluation section and prints paper-vs-measured comparisons
+// (DESIGN.md §5 is the experiment index; EXPERIMENTS.md captures a run).
+//
+// Examples:
+//
+//	paperrepro                    # run everything
+//	paperrepro -exp tab4.1a       # one experiment
+//	paperrepro -list              # list experiment IDs
+//	paperrepro -gtpn 8 -simcycles 1000000 -markdown > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snoopmva/internal/exp"
+)
+
+func main() {
+	var (
+		id        = flag.String("exp", "", "run only this experiment ID")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		gtpnMaxN  = flag.Int("gtpn", 6, "run the detailed GTPN comparator up to this N (0 disables)")
+		simCycles = flag.Int64("simcycles", 200000, "simulator measurement cycles (0 disables)")
+		seed      = flag.Uint64("seed", 1988, "simulator seed")
+		markdown  = flag.Bool("markdown", false, "emit Markdown instead of plain text")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (paper-vs-measured cells) instead of text")
+		csvDir    = flag.String("csvdir", "", "also write each experiment's tables/series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := exp.RunConfig{GTPNMaxN: *gtpnMaxN, SimCycles: *simCycles, Seed: *seed}
+	if cfg.GTPNMaxN == 0 {
+		cfg.GTPNMaxN = -1
+	}
+	if cfg.SimCycles == 0 {
+		cfg.SimCycles = -1
+	}
+
+	var todo []exp.Experiment
+	if *id != "" {
+		e, ok := exp.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperrepro: unknown experiment %q; try -list\n", *id)
+			os.Exit(1)
+		}
+		todo = []exp.Experiment{e}
+	} else {
+		todo = exp.All()
+	}
+
+	failures := 0
+	for _, e := range todo {
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %s: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		var werr error
+		switch {
+		case *jsonOut:
+			werr = rep.WriteJSON(os.Stdout)
+		case *markdown:
+			werr = rep.WriteMarkdown(os.Stdout)
+		default:
+			werr = rep.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %s: %v\n", e.ID, werr)
+			failures++
+		}
+		if *csvDir != "" {
+			paths, err := rep.WriteCSVDir(*csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperrepro: %s: csv export: %v\n", e.ID, err)
+				failures++
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %d CSV files for %s\n", len(paths), e.ID)
+			}
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+// Command tracefit implements the measurement loop the paper's conclusion
+// asks for: generate (or read) a memory-reference trace, estimate the
+// basic workload parameters from it, and feed them to the MVA model.
+//
+// Examples:
+//
+//	tracefit -generate -refs 500000 -n 8 -out trace.bin
+//	tracefit -in trace.bin -n 8                   # fit + solve
+//	tracefit -generate -refs 300000 -n 4 -solve 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snoopmva/internal/fit"
+	"snoopmva/internal/mva"
+	"snoopmva/internal/tables"
+	"snoopmva/internal/trace"
+	"snoopmva/internal/workload"
+)
+
+func main() {
+	var (
+		generate = flag.Bool("generate", false, "generate a synthetic trace instead of reading one")
+		inPath   = flag.String("in", "", "trace file to read (binary format)")
+		outPath  = flag.String("out", "", "write the generated trace here (with -generate)")
+		n        = flag.Int("n", 4, "number of processors")
+		refs     = flag.Int("refs", 300000, "references to generate")
+		sharing  = flag.Int("sharing", 5, "Appendix A sharing level driving generation")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		solveN   = flag.Int("solve", 10, "solve the MVA with fitted parameters for this system size")
+	)
+	flag.Parse()
+
+	var refsList []trace.Ref
+	switch {
+	case *generate:
+		w, err := sharingParams(*sharing)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := trace.NewGenerator(trace.GeneratorConfig{N: *n, Workload: w, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < *refs; i++ {
+			r, ok := g.Next(i % *n)
+			if !ok {
+				break
+			}
+			refsList = append(refsList, r)
+		}
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fatal(err)
+			}
+			tw := trace.NewWriter(f)
+			for _, r := range refsList {
+				if err := tw.Write(r); err != nil {
+					fatal(err)
+				}
+			}
+			if err := tw.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d references to %s\n", len(refsList), *outPath)
+		}
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		refsList, err = trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("read %d references from %s\n", len(refsList), *inPath)
+	default:
+		fatal(fmt.Errorf("specify -generate or -in <file>"))
+	}
+
+	est, err := fit.Fit(refsList, fit.Config{N: *n})
+	if err != nil {
+		fatal(err)
+	}
+	p := est.Params
+	tb := tables.New(fmt.Sprintf("Fitted workload parameters (%d refs, %d processors)", est.Refs, *n),
+		"parameter", "value")
+	rows := []struct {
+		name string
+		v    float64
+	}{
+		{"p_private", p.PPrivate}, {"p_sro", p.PSro}, {"p_sw", p.PSw},
+		{"h_private", p.HPrivate}, {"h_sro", p.HSro}, {"h_sw", p.HSw},
+		{"r_private", p.RPrivate}, {"r_sw", p.RSw},
+		{"amod_private", p.AmodPrivate}, {"amod_sw", p.AmodSw},
+		{"csupply_sro", p.CsupplySro}, {"csupply_sw", p.CsupplySw},
+		{"wb_csupply", p.WbCsupply},
+		{"rep_p", p.RepP}, {"rep_sw", p.RepSw},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.name, r.v)
+	}
+	if err := tb.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *solveN > 0 {
+		res, err := (mva.Model{Workload: p, RawParams: true}).Solve(*solveN, mva.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nMVA with fitted parameters, N=%d: speedup %.3f, U_bus %.3f\n",
+			*solveN, res.Speedup, res.UBus)
+	}
+}
+
+func sharingParams(s int) (workload.Params, error) {
+	switch s {
+	case 1:
+		return workload.AppendixA(workload.Sharing1), nil
+	case 5:
+		return workload.AppendixA(workload.Sharing5), nil
+	case 20:
+		return workload.AppendixA(workload.Sharing20), nil
+	default:
+		return workload.Params{}, fmt.Errorf("sharing must be 1, 5 or 20 (got %d)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracefit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package snoopmva
+
+// Smoke tests for the command-line tools: build each binary once and run it
+// with small arguments, checking exit status and a sentinel in the output.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests build binaries")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	tracePath := filepath.Join(t.TempDir(), "t.bin")
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"mvasolve", []string{"-protocol", "Dragon", "-sharing", "5", "-sweep", "1,4"}, "speedup"},
+		{"mvasolve", []string{"-n", "4", "-explain"}, "equation 1"},
+		{"mvasolve", []string{"-stress", "-n", "4"}, "speedup"},
+		{"gtpnsolve", []string{"-sharing", "5", "-n", "2", "-compare"}, "states"},
+		{"cachesim", []string{"-protocol", "Illinois", "-n", "4", "-cycles", "40000", "-compare"}, "Illinois"},
+		{"paperrepro", []string{"-list"}, "tab4.1a"},
+		{"paperrepro", []string{"-exp", "power", "-gtpn", "0", "-simcycles", "0"}, "4.32"},
+		{"paperrepro", []string{"-exp", "power", "-gtpn", "0", "-simcycles", "0", "-json"}, "\"worst_rel_err\""},
+		{"hiersolve", []string{"-total", "8", "-gmiss", "0.1"}, "clusters"},
+		{"tracefit", []string{"-generate", "-refs", "30000", "-n", "2", "-out", tracePath, "-solve", "4"}, "fitted"},
+		{"tracefit", []string{"-in", tracePath, "-n", "2", "-solve", "0"}, "p_private"},
+		{"sensitivity", []string{"-n", "8"}, "h_private"},
+		{"sensitivity", []string{"-sweep", "h_sw", "-values", "0.3,0.7"}, "h_sw"},
+		{"protodoc", []string{"-protocol", "Berkeley"}, "OwnedShared"},
+		{"protodoc", []string{"-mods", "1,4", "-format", "markdown"}, "update-write"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name+"_"+strings.Join(c.args[:1], ""), func(t *testing.T) {
+			cmd := exec.Command(filepath.Join(bin, c.name), c.args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", c.name, c.args, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s %v output missing %q:\n%s", c.name, c.args, c.want, out)
+			}
+		})
+	}
+
+	// Error paths exit non-zero.
+	for _, c := range []struct {
+		name string
+		args []string
+	}{
+		{"mvasolve", []string{"-sharing", "7"}},
+		{"paperrepro", []string{"-exp", "nonesuch"}},
+		{"protodoc", []string{"-protocol", "nonesuch"}},
+		{"hiersolve", []string{}},
+	} {
+		cmd := exec.Command(filepath.Join(bin, c.name), c.args...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("%s %v should fail:\n%s", c.name, c.args, out)
+		}
+	}
+	_ = os.Remove(tracePath)
+}

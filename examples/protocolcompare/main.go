@@ -1,0 +1,47 @@
+// Protocol comparison across all three models: the MVA (microseconds),
+// the detailed Petri-net model (small N), and the cycle-level simulator —
+// the triangle of evidence the paper's validation methodology rests on.
+//
+//	go run ./examples/protocolcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snoopmva"
+)
+
+func main() {
+	w := snoopmva.AppendixA(snoopmva.Sharing5)
+	const n = 6
+
+	fmt.Printf("All named protocols at 5%% sharing, N=%d\n\n", n)
+	fmt.Printf("%-14s %10s %14s %12s\n", "protocol", "MVA", "detailed(GTPN)", "simulation")
+	fmt.Printf("%s\n", "------------------------------------------------------")
+	for _, p := range snoopmva.Protocols() {
+		mva, err := snoopmva.Solve(p, w, n)
+		if err != nil {
+			log.Fatalf("%v: %v", p, err)
+		}
+		det, err := snoopmva.SolveDetailed(p, w, n)
+		if err != nil {
+			log.Fatalf("%v: %v", p, err)
+		}
+		sim, err := snoopmva.Simulate(p, w, n, snoopmva.SimOptions{Seed: 42, MeasureCycles: 200000})
+		if err != nil {
+			log.Fatalf("%v: %v", p, err)
+		}
+		fmt.Printf("%-14s %10.3f %14.3f %12.3f\n", p.Name(), mva.Speedup, det.Speedup, sim.Speedup)
+	}
+
+	fmt.Println("\nEmergent workload quantities from the simulator (Write-Once):")
+	sim, err := snoopmva.Simulate(snoopmva.WriteOnce(), w, n, snoopmva.SimOptions{Seed: 42, MeasureCycles: 200000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  amod    (model input 0.7/0.3): %.3f\n", sim.ObservedAmod)
+	fmt.Printf("  csupply (model input ~0.5-0.95): %.3f\n", sim.ObservedCsupply)
+	fmt.Println("\nThe analytical models take these as parameters; the simulator")
+	fmt.Println("measures them — differences explain residual speedup gaps.")
+}

@@ -1,0 +1,3 @@
+module snoopmva
+
+go 1.22

@@ -1,0 +1,60 @@
+package snoopmva
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSolveGroupsSingleMatchesSolve(t *testing.T) {
+	w := AppendixA(Sharing5)
+	h, err := SolveGroups([]GroupSpec{{Name: "all", Count: 10, Protocol: WriteOnce(), Workload: w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(WriteOnce(), w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Speedup-s.Speedup)/s.Speedup > 1e-6 {
+		t.Errorf("groups %v vs single %v", h.Speedup, s.Speedup)
+	}
+}
+
+func TestSolveGroupsMixed(t *testing.T) {
+	res, err := SolveGroups([]GroupSpec{
+		{Name: "wo", Count: 4, Protocol: WriteOnce(), Workload: AppendixA(Sharing20)},
+		{Name: "dragon", Count: 4, Protocol: Dragon(), Workload: AppendixA(Sharing20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessors != 8 || len(res.PerGroup) != 2 {
+		t.Fatalf("bookkeeping: %+v", res)
+	}
+	if res.PerGroup[1].Speedup/4 <= res.PerGroup[0].Speedup/4 {
+		t.Errorf("Dragon group should outperform WO group: %+v", res.PerGroup)
+	}
+}
+
+func TestSolveGroupsValidation(t *testing.T) {
+	if _, err := SolveGroups(nil); err == nil {
+		t.Error("empty groups accepted")
+	}
+	if _, err := SolveGroups([]GroupSpec{{Count: 2, Protocol: WithMods(9), Workload: AppendixA(Sharing5)}}); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	var sb strings.Builder
+	if err := Explain(&sb, Illinois(), AppendixA(Sharing5), 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedup") || !strings.Contains(sb.String(), "eq 13") {
+		t.Errorf("breakdown incomplete:\n%s", sb.String())
+	}
+	if err := Explain(&sb, WithMods(9), AppendixA(Sharing5), 8); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package cachesim
+
+import (
+	"testing"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/workload"
+)
+
+// adaptiveCfg builds a Dragon run with the RWB competitive switch.
+func adaptiveCfg(threshold int, seed uint64) Config {
+	cfg := quickCfg(8, protocol.Dragon, workload.Sharing20, seed)
+	cfg.AdaptiveThreshold = threshold
+	return cfg
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	cfg := adaptiveCfg(-1, 1)
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestAdaptiveDropsOccur(t *testing.T) {
+	res, err := Run(adaptiveCfg(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed.AdaptiveDrops == 0 {
+		t.Error("adaptive switch never fired at 20% sharing under Dragon")
+	}
+	// Pure Dragon must never drop copies adaptively.
+	pure, err := Run(adaptiveCfg(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.Observed.AdaptiveDrops != 0 {
+		t.Errorf("threshold 0 must disable the mechanism, got %d drops", pure.Observed.AdaptiveDrops)
+	}
+}
+
+// A tighter threshold invalidates copies sooner, shrinking update traffic
+// toward the invalidate protocols' behavior.
+func TestAdaptiveThresholdControlsUpdateTraffic(t *testing.T) {
+	var updates []int64
+	for _, threshold := range []int{1, 4, 0} { // 0 = pure Dragon
+		res, err := Run(adaptiveCfg(threshold, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, res.Observed.Updates)
+	}
+	if !(updates[0] <= updates[1] && updates[1] <= updates[2]) {
+		t.Errorf("update traffic should grow with threshold: k=1:%d k=4:%d pure:%d",
+			updates[0], updates[1], updates[2])
+	}
+}
+
+func TestAdaptiveInvariantsHold(t *testing.T) {
+	cfg := adaptiveCfg(2, 3)
+	cfg.MeasureCycles = 25000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInvariantChecks(true)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The adaptive protocol's performance lands between aggressive invalidation
+// and pure update on this workload — or at least stays in the same
+// neighborhood and never collapses.
+func TestAdaptivePerformanceSane(t *testing.T) {
+	dragon, err := Run(adaptiveCfg(0, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Run(adaptiveCfg(2, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := adaptive.Speedup / dragon.Speedup
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("adaptive speedup %v implausibly far from Dragon %v", adaptive.Speedup, dragon.Speedup)
+	}
+}

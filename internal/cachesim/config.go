@@ -1,0 +1,189 @@
+// Package cachesim is the detailed, cycle-level multiprocessor simulator:
+// N processors with snooping caches executing the *actual* per-block
+// protocol state machines of internal/protocol over a shared FCFS bus with
+// interleaved memory modules. It plays the role of the independent
+// simulation studies ([ArBa86], [KEWP85]) the paper compares against.
+//
+// The reference stream is probabilistic (the paper's workload model,
+// Section 2.3): stream class, read/write mix and hit/miss draws follow the
+// basic parameters — but everything at block granularity is real. Blocks
+// have identities; invalidations destroy remote copies; dirty ownership
+// migrates; write-backs happen when states say so. Quantities the
+// analytical models take as parameters (amod, csupply, effective hit
+// rates) are *emergent* here and are reported back in the result for
+// comparison.
+package cachesim
+
+import (
+	"fmt"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/trace"
+	"snoopmva/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// N is the number of processors.
+	N int
+	// Protocol selects the coherence protocol (state machines + timing
+	// behavior).
+	Protocol protocol.Protocol
+	// Workload holds the basic parameters; Appendix A per-protocol
+	// adjustments apply unless RawParams (only the hit-rate and stream
+	// parameters are used for generation — replacement and supply
+	// behavior is emergent).
+	Workload  workload.Params
+	Timing    workload.Timing
+	RawParams bool
+	// Seed makes the run reproducible.
+	Seed uint64
+	// SplitTransactions models a split-transaction bus: memory-supplied
+	// misses release the bus during the memory latency; the response
+	// (block transfer) arbitrates for the bus again when the data is
+	// ready, with priority over new requests.
+	SplitTransactions bool
+
+	// AdaptiveThreshold enables RWB-style competitive switching between
+	// update and invalidate for protocols with modification 4 (Section
+	// 2.2: "the RWB protocol includes the capability to switch between
+	// invalidation and broadcast write operations"). Each cache counts
+	// consecutive update-writes it has absorbed for a block without a
+	// local re-reference; when the count reaches the threshold the cache
+	// drops its copy instead of updating it, converting the traffic
+	// pattern to invalidation. Zero disables the mechanism.
+	AdaptiveThreshold int
+
+	// Trace switches the simulator to trace-driven mode: references come
+	// from the source instead of the probabilistic generator, and hits
+	// and misses are determined by the actual cache contents (the
+	// [KEWP85] methodology). Block ids are folded into the class pools
+	// modulo the pool sizes. Processors whose stream ends halt.
+	Trace trace.Source
+
+	// WarmupCycles are simulated but not measured (default 30000;
+	// negative means no warmup).
+	WarmupCycles int64
+	// MeasureCycles is the measurement window (default 300000).
+	MeasureCycles int64
+	// BatchCycles is the batch size for confidence intervals
+	// (default MeasureCycles/15).
+	BatchCycles int64
+
+	// Pool sizes (block identities) per class. Defaults: 64 shared-
+	// writable, 256 shared read-only, 512 private per processor.
+	SWBlocks   int
+	SROBlocks  int
+	PrivBlocks int
+	// Per-cache residency capacity per class. Defaults: 16 sw, 64 sro,
+	// 128 private.
+	SWCapacity   int
+	SROCapacity  int
+	PrivCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 30000
+	} else if c.WarmupCycles < 0 {
+		c.WarmupCycles = 0
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 300000
+	}
+	if c.BatchCycles == 0 {
+		c.BatchCycles = c.MeasureCycles / 15
+		if c.BatchCycles < 1 {
+			c.BatchCycles = 1
+		}
+	}
+	if c.SWBlocks == 0 {
+		c.SWBlocks = 64
+	}
+	if c.SROBlocks == 0 {
+		c.SROBlocks = 256
+	}
+	if c.PrivBlocks == 0 {
+		c.PrivBlocks = 512
+	}
+	if c.SWCapacity == 0 {
+		c.SWCapacity = 16
+	}
+	if c.SROCapacity == 0 {
+		c.SROCapacity = 64
+	}
+	if c.PrivCapacity == 0 {
+		c.PrivCapacity = 128
+	}
+	if c.Timing == (workload.Timing{}) {
+		c.Timing = workload.DefaultTiming()
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("cachesim: N=%d < 1", c.N)
+	}
+	p := c.params()
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if !c.Protocol.WriteThroughBase {
+		if err := c.Protocol.Mods.Valid(); err != nil {
+			return err
+		}
+	}
+	if c.AdaptiveThreshold < 0 {
+		return fmt.Errorf("cachesim: negative adaptive threshold %d", c.AdaptiveThreshold)
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles < 1 {
+		return fmt.Errorf("cachesim: bad cycle budget warmup=%d measure=%d", c.WarmupCycles, c.MeasureCycles)
+	}
+	for _, v := range []struct {
+		name string
+		n    int
+	}{
+		{"SWBlocks", c.SWBlocks}, {"SROBlocks", c.SROBlocks}, {"PrivBlocks", c.PrivBlocks},
+		{"SWCapacity", c.SWCapacity}, {"SROCapacity", c.SROCapacity}, {"PrivCapacity", c.PrivCapacity},
+	} {
+		if v.n < 1 {
+			return fmt.Errorf("cachesim: %s = %d < 1", v.name, v.n)
+		}
+	}
+	return nil
+}
+
+func (c Config) params() workload.Params {
+	if c.RawParams {
+		return c.Workload
+	}
+	return c.Workload.ForProtocol(c.Protocol.Mods)
+}
+
+// class indexes the three reference streams.
+type class int
+
+const (
+	classPrivate class = iota
+	classSRO
+	classSW
+	numClasses
+)
+
+func (cl class) String() string {
+	switch cl {
+	case classPrivate:
+		return "private"
+	case classSRO:
+		return "sro"
+	case classSW:
+		return "sw"
+	default:
+		return fmt.Sprintf("class(%d)", int(cl))
+	}
+}

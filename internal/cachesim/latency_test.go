@@ -1,0 +1,54 @@
+package cachesim
+
+import (
+	"testing"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/workload"
+)
+
+func TestPerClassLatency(t *testing.T) {
+	res, err := Run(quickCfg(8, protocol.WriteOnce, workload.Sharing20, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cl := 0; cl < 3; cl++ {
+		if res.MeanResponse[cl] < 1 {
+			t.Errorf("class %d mean response %v < T_supply", cl, res.MeanResponse[cl])
+		}
+		if res.P95Response[cl] < res.MeanResponse[cl]*0.5 {
+			t.Errorf("class %d p95 %v implausibly below mean %v", cl, res.P95Response[cl], res.MeanResponse[cl])
+		}
+		if res.MaxResponse[cl] < res.P95Response[cl] {
+			t.Errorf("class %d max %v below p95 %v", cl, res.MaxResponse[cl], res.P95Response[cl])
+		}
+	}
+	// The sw stream misses half the time (h_sw=0.5) while the private
+	// stream mostly hits: sw responses must be slower on average.
+	if res.MeanResponse[2] <= res.MeanResponse[0] {
+		t.Errorf("sw mean response %v should exceed private %v",
+			res.MeanResponse[2], res.MeanResponse[0])
+	}
+	// The private class dominates the mix, so its mean response must sit
+	// below R (R additionally contains the think time).
+	if res.MeanResponse[0] >= res.R {
+		t.Errorf("private mean response %v should be below R %v", res.MeanResponse[0], res.R)
+	}
+}
+
+func TestLatencyReservoirBounded(t *testing.T) {
+	cfg := quickCfg(4, protocol.WriteOnce, workload.Sharing5, 23)
+	cfg.MeasureCycles = 400000 // >> reservoirCap completions
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for cl := 0; cl < 3; cl++ {
+		if len(s.respReservoir[cl]) > reservoirCap {
+			t.Errorf("class %d reservoir grew to %d", cl, len(s.respReservoir[cl]))
+		}
+	}
+}

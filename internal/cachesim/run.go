@@ -1,0 +1,647 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/stats"
+	"snoopmva/internal/trace"
+)
+
+// generate draws the next memory reference for processor p and stores it in
+// the processor's pending request.
+func (s *Simulator) generate(p int) {
+	if s.traceSrc != nil {
+		s.generateFromTrace(p)
+		return
+	}
+	rng := s.procRng[p]
+	cl := class(rng.Choose(s.par.pClass))
+	isWrite := !rng.Bernoulli(s.par.readProb[cl])
+	wantHit := rng.Bernoulli(s.par.hitRate[cl])
+	var bid int32 = -1
+	if wantHit {
+		bid = s.pickValid(p, cl, rng)
+	}
+	if bid < 0 {
+		bid = s.pickMissTarget(p, cl, rng)
+		if bid < 0 {
+			// Degenerate pool: fall back to any block of the class.
+			bid = s.pickValid(p, cl, rng)
+		}
+	}
+	s.procs[p].req = request{
+		proc:    p,
+		class:   cl,
+		isWrite: isWrite,
+		block:   bid,
+		victim:  -1,
+		issued:  s.cycle,
+	}
+	if s.measuring {
+		s.obs.refs[cl]++
+	}
+}
+
+// generateFromTrace pulls the next reference for processor p from the
+// trace source. Hit or miss is determined by the actual cache contents
+// (trace-driven semantics); block ids are folded into the class pools.
+func (s *Simulator) generateFromTrace(p int) {
+	r, ok := s.traceSrc.Next(p)
+	if !ok {
+		s.procs[p].phase = phaseHalted
+		return
+	}
+	var cl class
+	var bid int32
+	switch r.Class {
+	case trace.SW:
+		cl = classSW
+		bid = int32(int(r.Block) % s.cfg.SWBlocks)
+	case trace.SRO:
+		cl = classSRO
+		bid = int32(s.cfg.SWBlocks + int(r.Block)%s.cfg.SROBlocks)
+	default:
+		cl = classPrivate
+		bid = int32(s.cfg.SWBlocks + s.cfg.SROBlocks + p*s.cfg.PrivBlocks +
+			int(r.Block)%s.cfg.PrivBlocks)
+	}
+	s.procs[p].req = request{
+		proc:    p,
+		class:   cl,
+		isWrite: r.Write,
+		block:   bid,
+		victim:  -1,
+		issued:  s.cycle,
+	}
+	if s.measuring {
+		s.obs.refs[cl]++
+	}
+}
+
+// dispatch routes processor p's pending request once its cache is free:
+// locally satisfied requests finish in one cycle; bus requests pick a
+// victim (for misses) and join the FCFS queue.
+func (s *Simulator) dispatch(p int) {
+	pr := &s.procs[p]
+	req := &pr.req
+	b := &s.blocks[req.block]
+	state := b.states[p]
+	if b.futility != nil {
+		// A local reference proves the copy is still useful.
+		b.futility[p] = 0
+	}
+
+	var out protocol.ProcOutcome
+	if req.isWrite {
+		out = s.cfg.Protocol.OnProcWrite(state)
+	} else {
+		out = s.cfg.Protocol.OnProcRead(state)
+	}
+	if s.measuring {
+		if out.Hit {
+			s.obs.hits[req.class]++
+			if req.isWrite {
+				s.obs.writeHits++
+				if state.Wback() {
+					s.obs.writeHitsM++
+				}
+			}
+		}
+	}
+	if out.Op == protocol.BusNone {
+		s.setState(req.block, p, out.Next)
+		pr.phase = phaseLocal
+		pr.readyAt = s.cycle + s.tm.tSupply
+		return
+	}
+	if out.Op == protocol.BusRead || out.Op == protocol.BusReadMod {
+		// Miss: pick an eviction victim now if the cache is at capacity.
+		if len(s.valid[p][req.class]) >= s.capacity(req.class) {
+			req.victim = s.pickValid(p, req.class, s.procRng[p])
+		}
+	}
+	pr.phase = phaseWaitBus
+	s.busQueue = append(s.busQueue, *req)
+}
+
+// startTransaction begins serving the request at the head of the bus
+// queue. All coherence state changes are applied atomically at transaction
+// start; the bus is held for the computed duration.
+func (s *Simulator) startTransaction() {
+	req := s.busQueue[0]
+	s.busQueue = s.busQueue[1:]
+	p := req.proc
+	b := &s.blocks[req.block]
+	proto := s.cfg.Protocol
+
+	if s.measuring {
+		s.busWaitSum += s.cycle - req.issued
+		s.busServed++
+	}
+
+	// Re-evaluate against the current state: a queued write hit may have
+	// been invalidated (now a miss) or upgraded by an update broadcast.
+	var out protocol.ProcOutcome
+	if req.isWrite {
+		out = proto.OnProcWrite(b.states[p])
+	} else {
+		out = proto.OnProcRead(b.states[p])
+	}
+	if out.Op == protocol.BusNone {
+		// Resolved without a transaction after all; release the bus and
+		// let the requester complete.
+		s.setState(req.block, p, out.Next)
+		s.procs[p].phase = phaseSupply
+		s.procs[p].readyAt = s.cycle + s.tm.tSupply
+		return
+	}
+	if (out.Op == protocol.BusRead || out.Op == protocol.BusReadMod) && req.victim < 0 &&
+		len(s.valid[p][req.class]) >= s.capacity(req.class) {
+		req.victim = s.pickValid(p, req.class, s.procRng[p])
+	}
+
+	var duration int64
+	deferred := false
+	switch out.Op {
+	case protocol.BusRead, protocol.BusReadMod:
+		duration, deferred = s.serveMiss(req, out.Op)
+	case protocol.BusWriteWord:
+		duration = s.serveBroadcast(req, out, true)
+		if s.measuring {
+			s.obs.writeWords++
+		}
+	case protocol.BusInvalidate:
+		duration = s.serveBroadcast(req, out, false)
+		if s.measuring {
+			s.obs.invals++
+		}
+	case protocol.BusUpdateWrite:
+		duration = s.serveBroadcast(req, out, !proto.Mods.Has(protocol.Mod3) || proto.WriteThroughBase)
+		if s.measuring {
+			s.obs.updates++
+		}
+	default:
+		panic(fmt.Sprintf("cachesim: unexpected bus op %v", out.Op))
+	}
+
+	s.busBusy = true
+	s.busEnd = s.cycle + duration
+	s.busReq = req
+	s.busNoComplete = deferred
+	if s.checkInvariants {
+		if err := s.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// serveMiss performs a read / read-mod transaction and returns its bus
+// occupancy plus whether the data delivery was deferred to a
+// split-transaction response phase.
+func (s *Simulator) serveMiss(req request, op protocol.BusOp) (int64, bool) {
+	p := req.proc
+	b := &s.blocks[req.block]
+	proto := s.cfg.Protocol
+
+	// Snoop: find sharers and the (unique) dirty holder.
+	shared := false
+	dirtyHolder := -1
+	for c := 0; c < s.cfg.N; c++ {
+		if c == p || !b.states[c].Valid() {
+			continue
+		}
+		shared = true
+		if b.states[c].Wback() {
+			dirtyHolder = c
+		}
+	}
+	duration := int64(1) // address cycle
+	deferred := false
+	switch {
+	case shared:
+		duration += s.tm.tBlock // cache-to-cache supply
+	case s.cfg.SplitTransactions:
+		// Split transaction: the bus is released during the memory
+		// latency; the response phase is scheduled separately.
+		deferred = true
+	default:
+		duration += s.tm.memSupply // memory latency + transfer
+	}
+	if s.measuring {
+		s.obs.misses++
+		if shared {
+			s.obs.missShared++
+		}
+		if dirtyHolder >= 0 {
+			s.obs.missDirty++
+		}
+	}
+
+	// Apply snoop transitions.
+	for c := 0; c < s.cfg.N; c++ {
+		if c == p || !b.states[c].Valid() {
+			continue
+		}
+		so := proto.OnSnoop(b.states[c], op)
+		s.setState(req.block, c, so.Next)
+		if c == dirtyHolder && so.WriteMemory {
+			duration += s.tm.tBlock // supplier's memory update (Write-Once interrupt)
+			s.occupyMemoryBlock(s.cycle + duration)
+			if s.measuring {
+				s.obs.writebacks++
+			}
+		}
+		// Snooping occupies the remote cache.
+		busyUntil := s.cycle + 1
+		if so.WholeTransaction || so.SupplyData {
+			busyUntil = s.cycle + duration
+		}
+		if busyUntil > s.cacheBusyUntil[c] {
+			s.cacheBusyUntil[c] = busyUntil
+		}
+	}
+
+	// Requester's replacement write-back, if the victim is still resident
+	// and dirty.
+	if req.victim >= 0 {
+		v := &s.blocks[req.victim]
+		if v.states[p].Valid() {
+			if ro := proto.OnReplace(v.states[p]); ro.Op == protocol.BusWriteBlock {
+				duration += s.tm.tBlock
+				s.occupyMemoryBlock(s.cycle + duration)
+				if s.measuring {
+					s.obs.writebacks++
+				}
+			}
+			s.setState(req.victim, p, protocol.Invalid)
+		}
+	}
+
+	// Install the fill state.
+	s.setState(req.block, p, proto.FillState(op, shared))
+	if deferred {
+		s.respQueue = append(s.respQueue, pendingResp{
+			proc:     p,
+			readyAt:  s.cycle + duration + s.tm.dMem,
+			duration: s.tm.tBlock,
+		})
+	}
+	return duration, deferred
+}
+
+// serveBroadcast performs a write-word / invalidate / update transaction.
+func (s *Simulator) serveBroadcast(req request, out protocol.ProcOutcome, touchesMemory bool) int64 {
+	p := req.proc
+	b := &s.blocks[req.block]
+	proto := s.cfg.Protocol
+
+	var duration int64
+	switch out.Op {
+	case protocol.BusInvalidate:
+		duration = s.tm.tInval
+	default:
+		duration = s.tm.tWrite
+	}
+	if touchesMemory {
+		// Wait for the word's memory module, then occupy it.
+		m := s.procRng[p].Intn(s.tm.modules)
+		if s.memBusyUntil[m] > s.cycle {
+			duration += s.memBusyUntil[m] - s.cycle
+		}
+		s.memBusyUntil[m] = s.cycle + duration + s.tm.dMem
+	}
+	for c := 0; c < s.cfg.N; c++ {
+		if c == p || !b.states[c].Valid() {
+			continue
+		}
+		so := proto.OnSnoop(b.states[c], out.Op)
+		// RWB adaptive switching: a sharer that has absorbed too many
+		// updates without referencing the block drops its copy instead
+		// of updating it again.
+		if out.Op == protocol.BusUpdateWrite && b.futility != nil && so.Next.Valid() {
+			b.futility[c]++
+			if int(b.futility[c]) >= s.cfg.AdaptiveThreshold {
+				so.Next = protocol.Invalid
+				so.WholeTransaction = false
+				b.futility[c] = 0
+				if s.measuring {
+					s.obs.adaptiveDrops++
+				}
+			}
+		}
+		s.setState(req.block, c, so.Next)
+		busyUntil := s.cycle + 1
+		if so.WholeTransaction {
+			busyUntil = s.cycle + duration
+		}
+		if busyUntil > s.cacheBusyUntil[c] {
+			s.cacheBusyUntil[c] = busyUntil
+		}
+	}
+	if b.futility != nil {
+		b.futility[p] = 0 // the writer is clearly using the block
+	}
+	s.setState(req.block, p, out.Next)
+	return duration
+}
+
+// occupyMemoryBlock marks all interleaved modules busy for a block write
+// completing at busEnd.
+func (s *Simulator) occupyMemoryBlock(busEnd int64) {
+	until := busEnd + s.tm.dMem
+	for m := range s.memBusyUntil {
+		if until > s.memBusyUntil[m] {
+			s.memBusyUntil[m] = until
+		}
+	}
+}
+
+// complete finishes processor p's request and returns it to thinking.
+func (s *Simulator) complete(p int) {
+	if s.measuring {
+		s.completions++
+		s.batchCompl++
+		req := &s.procs[p].req
+		s.recordResponse(req.class, float64(s.cycle-req.issued))
+	}
+	pr := &s.procs[p]
+	pr.phase = phaseThink
+	pr.readyAt = s.cycle + int64(s.procRng[p].Geometric(1/s.par.tau))
+}
+
+// step advances the simulation by one cycle.
+func (s *Simulator) step() {
+	// 1. Complete the bus transaction ending now. Split-transaction
+	// request phases leave the requester waiting for the response phase.
+	if s.busBusy && s.cycle >= s.busEnd {
+		s.busBusy = false
+		if !s.busNoComplete {
+			p := s.busReq.proc
+			s.procs[p].phase = phaseSupply
+			s.procs[p].readyAt = s.cycle + s.tm.tSupply
+		}
+		s.busNoComplete = false
+	}
+	// 2. Advance processors.
+	for p := range s.procs {
+		pr := &s.procs[p]
+		switch pr.phase {
+		case phaseThink:
+			if s.cycle >= pr.readyAt {
+				s.generate(p)
+				if pr.phase == phaseHalted {
+					continue // trace exhausted
+				}
+				if s.cacheBusyUntil[p] > s.cycle {
+					pr.phase = phaseWaitCache
+				} else {
+					s.dispatch(p)
+				}
+			}
+		case phaseWaitCache:
+			if s.cacheBusyUntil[p] <= s.cycle {
+				s.dispatch(p)
+			}
+		case phaseLocal, phaseSupply:
+			if s.cycle >= pr.readyAt {
+				s.complete(p)
+				// The new think time may be zero-length only if τ < 1,
+				// which Validate excludes; nothing more to do this cycle.
+			}
+		case phaseWaitBus, phaseHalted:
+			// Bus progress is handled above; halted processors have
+			// exhausted their trace.
+		}
+	}
+	// 3. Start the next bus transaction — after processor advancement so a
+	// request issued this cycle can begin service this cycle when the bus
+	// is free (no phantom one-cycle wait). Ready split-transaction
+	// responses take priority over new requests.
+	if !s.busBusy {
+		if len(s.respQueue) > 0 && s.respQueue[0].readyAt <= s.cycle {
+			resp := s.respQueue[0]
+			s.respQueue = s.respQueue[1:]
+			s.busBusy = true
+			s.busEnd = s.cycle + resp.duration
+			s.busReq = request{proc: resp.proc, issued: s.cycle}
+			s.busNoComplete = false
+		} else if len(s.busQueue) > 0 {
+			s.startTransaction()
+		}
+	}
+	// 4. Measurement accounting.
+	if s.measuring {
+		if s.busBusy {
+			s.busBusyCycles++
+		}
+		s.queueLenSum += int64(len(s.busQueue))
+		for _, until := range s.memBusyUntil {
+			if until > s.cycle {
+				s.memBusyCycles++
+			}
+		}
+	}
+	s.cycle++
+}
+
+// Run executes the configured warmup and measurement windows and returns
+// the collected results.
+func (s *Simulator) Run() (*Result, error) {
+	cfg := s.cfg
+	for s.cycle < cfg.WarmupCycles {
+		s.step()
+	}
+	s.measuring = true
+	s.batchStart = s.cycle
+	end := cfg.WarmupCycles + cfg.MeasureCycles
+	var speedups []float64
+	tau := s.par.tau
+	tSup := float64(s.tm.tSupply)
+	for s.cycle < end {
+		if s.traceSrc != nil && s.allHalted() {
+			end = s.cycle
+			break
+		}
+		s.step()
+		if s.cycle-s.batchStart >= cfg.BatchCycles {
+			if s.batchCompl > 0 {
+				rBatch := float64(cfg.N) * float64(s.cycle-s.batchStart) / float64(s.batchCompl)
+				speedups = append(speedups, float64(cfg.N)*(tau+tSup)/rBatch)
+			}
+			s.batchStart = s.cycle
+			s.batchCompl = 0
+		}
+	}
+	if s.completions == 0 {
+		return nil, fmt.Errorf("cachesim: no requests completed in %d cycles", cfg.MeasureCycles)
+	}
+	measured := end - cfg.WarmupCycles
+	if measured < 1 {
+		measured = 1
+	}
+	r := float64(cfg.N) * float64(measured) / float64(s.completions)
+	res := &Result{
+		N:           cfg.N,
+		Protocol:    cfg.Protocol,
+		Seed:        cfg.Seed,
+		Cycles:      measured,
+		Completions: s.completions,
+		R:           r,
+		Speedup:     float64(cfg.N) * (tau + tSup) / r,
+		UBus:        float64(s.busBusyCycles) / float64(measured),
+		UMem:        float64(s.memBusyCycles) / float64(measured) / float64(s.tm.modules),
+		MeanQueue:   float64(s.queueLenSum) / float64(measured),
+	}
+	if s.busServed > 0 {
+		res.MeanBusWait = float64(s.busWaitSum) / float64(s.busServed)
+	}
+	for cl := 0; cl < 3; cl++ {
+		res.MeanResponse[cl] = s.respSummary[cl].Mean()
+		res.MaxResponse[cl] = s.respSummary[cl].Max()
+		if p95, err := stats.Quantile(s.respReservoir[cl], 0.95); err == nil {
+			res.P95Response[cl] = p95
+		}
+	}
+	var sm stats.Summary
+	for _, v := range speedups {
+		sm.Add(v)
+	}
+	if iv, err := sm.ConfidenceInterval(0.95); err == nil {
+		res.SpeedupCI = iv
+	}
+	res.Observed = s.observed()
+	return res, nil
+}
+
+func (s *Simulator) observed() Observed {
+	o := Observed{}
+	for cl := 0; cl < 3; cl++ {
+		if s.obs.refs[cl] > 0 {
+			o.HitRate[cl] = float64(s.obs.hits[cl]) / float64(s.obs.refs[cl])
+		}
+	}
+	if s.obs.writeHits > 0 {
+		o.Amod = float64(s.obs.writeHitsM) / float64(s.obs.writeHits)
+	}
+	if s.obs.misses > 0 {
+		o.Csupply = float64(s.obs.missShared) / float64(s.obs.misses)
+		o.DirtySupply = float64(s.obs.missDirty) / float64(s.obs.misses)
+	}
+	o.Misses = s.obs.misses
+	o.Invalidations = s.obs.invals
+	o.WriteWords = s.obs.writeWords
+	o.Updates = s.obs.updates
+	o.Writebacks = s.obs.writebacks
+	o.AdaptiveDrops = s.obs.adaptiveDrops
+	return o
+}
+
+// allHalted reports whether every processor has exhausted its trace and
+// no work remains in flight.
+func (s *Simulator) allHalted() bool {
+	if s.busBusy || len(s.busQueue) > 0 || len(s.respQueue) > 0 {
+		return false
+	}
+	for i := range s.procs {
+		if s.procs[i].phase != phaseHalted {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariants verifies the global coherence invariants over all
+// blocks: at most one dirty (wback) copy per block, and an exclusive copy
+// is the only copy.
+func (s *Simulator) CheckInvariants() error {
+	for i := range s.blocks {
+		b := &s.blocks[i]
+		dirty, valid := 0, 0
+		exclusive := false
+		for c := 0; c < s.cfg.N; c++ {
+			st := b.states[c]
+			if !st.Valid() {
+				continue
+			}
+			valid++
+			if st.Wback() {
+				dirty++
+			}
+			if st.Exclusive() {
+				exclusive = true
+			}
+		}
+		if dirty > 1 {
+			return fmt.Errorf("cachesim: block %d has %d dirty copies", i, dirty)
+		}
+		if exclusive && valid > 1 {
+			return fmt.Errorf("cachesim: block %d exclusive with %d copies", i, valid)
+		}
+	}
+	return nil
+}
+
+// Result holds the outputs of one simulation run.
+type Result struct {
+	N           int
+	Protocol    protocol.Protocol
+	Seed        uint64
+	Cycles      int64
+	Completions int64
+	R           float64
+	Speedup     float64
+	SpeedupCI   stats.Interval
+	UBus        float64
+	UMem        float64
+	MeanQueue   float64
+	MeanBusWait float64
+	// Per-class response times in cycles from issue to completion
+	// (private, sro, sw): mean, 95th percentile (reservoir-sampled) and
+	// maximum observed.
+	MeanResponse [3]float64
+	P95Response  [3]float64
+	MaxResponse  [3]float64
+	Observed     Observed
+}
+
+// Observed reports quantities that are parameters to the analytical models
+// but emergent in the simulation.
+type Observed struct {
+	// HitRate is the effective hit rate per class (private, sro, sw) —
+	// invalidations push it below the configured target.
+	HitRate [3]float64
+	// Amod is the fraction of write hits that found the block already
+	// modified (the amod parameters).
+	Amod float64
+	// Csupply is the fraction of misses that found a copy in another
+	// cache (the csupply parameters).
+	Csupply float64
+	// DirtySupply is the fraction of misses whose remote copy was dirty
+	// (wb_csupply × csupply).
+	DirtySupply float64
+
+	Misses        int64
+	Invalidations int64
+	WriteWords    int64
+	Updates       int64
+	Writebacks    int64
+	// AdaptiveDrops counts copies self-invalidated by the RWB-style
+	// competitive update/invalidate switch (Config.AdaptiveThreshold).
+	AdaptiveDrops int64
+}
+
+// String renders the headline metrics.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s N=%d seed=%d: speedup=%.3f (%v) U_bus=%.3f U_mem=%.3f",
+		r.Protocol, r.N, r.Seed, r.Speedup, r.SpeedupCI, r.UBus, r.UMem)
+}
+
+// Run is the one-call convenience: build a simulator for cfg and run it.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

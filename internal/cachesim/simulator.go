@@ -1,0 +1,326 @@
+package cachesim
+
+import (
+	"fmt"
+	"math"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/sim"
+	"snoopmva/internal/stats"
+	"snoopmva/internal/trace"
+)
+
+// blk is one cache block identity with its full coherence state vector.
+type blk struct {
+	class  class
+	owner  int32 // owning processor for private blocks, -1 otherwise
+	states []protocol.State
+	pos    []int32 // index into the per-cache valid list, -1 when invalid
+	// futility counts consecutive absorbed update-writes per cache since
+	// the cache's last own reference (RWB adaptive switching; allocated
+	// only when the mechanism is enabled).
+	futility []uint8
+}
+
+type procPhase int
+
+const (
+	phaseThink procPhase = iota
+	phaseWaitCache
+	phaseLocal
+	phaseWaitBus
+	phaseSupply
+	// phaseHalted: the processor's trace stream is exhausted
+	// (trace-driven runs only).
+	phaseHalted
+)
+
+// request is one memory reference in flight.
+type request struct {
+	proc    int
+	class   class
+	isWrite bool
+	block   int32
+	victim  int32 // candidate eviction on a miss, -1 if none
+	issued  int64
+}
+
+type processor struct {
+	phase   procPhase
+	readyAt int64
+	req     request
+}
+
+// pendingResp is a deferred split-transaction response: the memory data
+// for processor proc becomes available at readyAt and will occupy the bus
+// for duration cycles.
+type pendingResp struct {
+	proc     int
+	readyAt  int64
+	duration int64
+}
+
+// Simulator is one configured run. Construct with New, run with Run.
+type Simulator struct {
+	cfg Config
+	par parCache
+	tm  timingInts
+
+	rng     *sim.RNG
+	procRng []*sim.RNG
+
+	blocks []blk
+	// valid[cache][class] lists the block ids valid in that cache.
+	valid [][][]int32
+
+	procs          []processor
+	traceSrc       trace.Source
+	busQueue       []request
+	respQueue      []pendingResp
+	busBusy        bool
+	busEnd         int64
+	busReq         request
+	busNoComplete  bool
+	memBusyUntil   []int64
+	cacheBusyUntil []int64
+
+	cycle int64
+
+	checkInvariants bool
+
+	// measurement
+	measuring     bool
+	completions   int64
+	busBusyCycles int64
+	memBusyCycles int64
+	queueLenSum   int64
+	busWaitSum    int64
+	busServed     int64
+	batch         *stats.BatchMeans
+	batchStart    int64
+	batchCompl    int64
+	obs           observedCounters
+	respSummary   [3]stats.Summary
+	respReservoir [3][]float64
+	respSeen      [3]int64
+}
+
+// parCache caches the per-class generation probabilities.
+type parCache struct {
+	tau      float64
+	pClass   []float64 // weights for Choose
+	readProb [3]float64
+	hitRate  [3]float64
+}
+
+type timingInts struct {
+	tSupply, tWrite, tInval, dMem, tBlock int64
+	modules                               int
+	memSupply                             int64 // dMem + tBlock
+}
+
+type observedCounters struct {
+	refs          [3]int64
+	hits          [3]int64
+	writeHits     int64
+	writeHitsM    int64
+	misses        int64
+	missShared    int64
+	missDirty     int64
+	invals        int64
+	writebacks    int64
+	updates       int64
+	writeWords    int64
+	adaptiveDrops int64
+}
+
+// New builds a simulator for cfg.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.params()
+	if p.Tau < 1 {
+		return nil, fmt.Errorf("cachesim: τ=%v < 1 cycle cannot be generated at cycle granularity", p.Tau)
+	}
+	s := &Simulator{cfg: cfg}
+	s.par = parCache{
+		tau:      p.Tau,
+		pClass:   []float64{p.PPrivate, p.PSro, p.PSw},
+		readProb: [3]float64{p.RPrivate, 1, p.RSw},
+		hitRate:  [3]float64{p.HPrivate, p.HSro, p.HSw},
+	}
+	round := func(v float64) int64 { return int64(math.Round(v)) }
+	s.tm = timingInts{
+		tSupply: maxI64(1, round(cfg.Timing.TSupply)),
+		tWrite:  maxI64(1, round(cfg.Timing.TWrite)),
+		tInval:  maxI64(1, round(cfg.Timing.TInval)),
+		dMem:    round(cfg.Timing.DMem),
+		tBlock:  maxI64(1, round(cfg.Timing.TBlock)),
+		modules: cfg.Timing.BlockSize,
+	}
+	s.tm.memSupply = s.tm.dMem + s.tm.tBlock
+
+	s.traceSrc = cfg.Trace
+	s.rng = sim.NewRNG(cfg.Seed)
+	s.procRng = make([]*sim.RNG, cfg.N)
+	for i := range s.procRng {
+		s.procRng[i] = s.rng.Split()
+	}
+
+	nblocks := cfg.SWBlocks + cfg.SROBlocks + cfg.PrivBlocks*cfg.N
+	s.blocks = make([]blk, 0, nblocks)
+	addBlock := func(cl class, owner int32) {
+		b := blk{
+			class:  cl,
+			owner:  owner,
+			states: make([]protocol.State, cfg.N),
+			pos:    make([]int32, cfg.N),
+		}
+		if cfg.AdaptiveThreshold > 0 {
+			b.futility = make([]uint8, cfg.N)
+		}
+		for i := range b.pos {
+			b.pos[i] = -1
+		}
+		s.blocks = append(s.blocks, b)
+	}
+	for i := 0; i < cfg.SWBlocks; i++ {
+		addBlock(classSW, -1)
+	}
+	for i := 0; i < cfg.SROBlocks; i++ {
+		addBlock(classSRO, -1)
+	}
+	for pr := 0; pr < cfg.N; pr++ {
+		for i := 0; i < cfg.PrivBlocks; i++ {
+			addBlock(classPrivate, int32(pr))
+		}
+	}
+	s.valid = make([][][]int32, cfg.N)
+	for c := 0; c < cfg.N; c++ {
+		s.valid[c] = make([][]int32, numClasses)
+	}
+	s.procs = make([]processor, cfg.N)
+	for i := range s.procs {
+		s.procs[i].phase = phaseThink
+		s.procs[i].readyAt = int64(s.procRng[i].Geometric(1 / s.par.tau))
+	}
+	s.memBusyUntil = make([]int64, s.tm.modules)
+	s.cacheBusyUntil = make([]int64, cfg.N)
+	bm, err := stats.NewBatchMeans(1) // placeholder; batches pushed manually
+	if err != nil {
+		return nil, err
+	}
+	s.batch = bm
+	return s, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// reservoirCap bounds the per-class response-time samples kept for
+// quantile estimation.
+const reservoirCap = 4096
+
+// recordResponse tracks a completed request's response time (cycles from
+// issue to completion) for its class, with reservoir sampling for
+// quantiles.
+func (s *Simulator) recordResponse(cl class, resp float64) {
+	s.respSummary[cl].Add(resp)
+	s.respSeen[cl]++
+	res := s.respReservoir[cl]
+	if len(res) < reservoirCap {
+		s.respReservoir[cl] = append(res, resp)
+		return
+	}
+	// Vitter's algorithm R.
+	j := s.rng.Intn(int(s.respSeen[cl]))
+	if j < reservoirCap {
+		res[j] = resp
+	}
+}
+
+// SetInvariantChecks enables per-transaction coherence invariant checking
+// (used by the test suite; slows the run down).
+func (s *Simulator) SetInvariantChecks(on bool) { s.checkInvariants = on }
+
+// setState updates a block's state in one cache, maintaining the valid
+// lists.
+func (s *Simulator) setState(bid int32, cache int, next protocol.State) {
+	b := &s.blocks[bid]
+	cur := b.states[cache]
+	if cur.Valid() == next.Valid() {
+		b.states[cache] = next
+		return
+	}
+	if next.Valid() {
+		// insert
+		lst := s.valid[cache][b.class]
+		b.pos[cache] = int32(len(lst))
+		s.valid[cache][b.class] = append(lst, bid)
+	} else {
+		// remove (swap with last)
+		lst := s.valid[cache][b.class]
+		i := b.pos[cache]
+		last := lst[len(lst)-1]
+		lst[i] = last
+		s.blocks[last].pos[cache] = i
+		s.valid[cache][b.class] = lst[:len(lst)-1]
+		b.pos[cache] = -1
+	}
+	b.states[cache] = next
+}
+
+// pickValid returns a random valid block of class cl in cache c, or -1.
+func (s *Simulator) pickValid(c int, cl class, rng *sim.RNG) int32 {
+	lst := s.valid[c][cl]
+	if len(lst) == 0 {
+		return -1
+	}
+	return lst[rng.Intn(len(lst))]
+}
+
+// pickMissTarget returns a random block of class cl NOT valid in cache c.
+func (s *Simulator) pickMissTarget(c int, cl class, rng *sim.RNG) int32 {
+	var lo, n int
+	switch cl {
+	case classSW:
+		lo, n = 0, s.cfg.SWBlocks
+	case classSRO:
+		lo, n = s.cfg.SWBlocks, s.cfg.SROBlocks
+	case classPrivate:
+		lo = s.cfg.SWBlocks + s.cfg.SROBlocks + c*s.cfg.PrivBlocks
+		n = s.cfg.PrivBlocks
+	}
+	// Rejection sampling: pools are much larger than residency capacities,
+	// so a handful of tries suffices; fall back to a linear scan.
+	for try := 0; try < 8; try++ {
+		bid := int32(lo + rng.Intn(n))
+		if !s.blocks[bid].states[c].Valid() {
+			return bid
+		}
+	}
+	for i := 0; i < n; i++ {
+		bid := int32(lo + i)
+		if !s.blocks[bid].states[c].Valid() {
+			return bid
+		}
+	}
+	return -1 // entire pool resident (pathological config)
+}
+
+func (s *Simulator) capacity(cl class) int {
+	switch cl {
+	case classSW:
+		return s.cfg.SWCapacity
+	case classSRO:
+		return s.cfg.SROCapacity
+	default:
+		return s.cfg.PrivCapacity
+	}
+}

@@ -1,0 +1,105 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+
+	"snoopmva/internal/mva"
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/workload"
+)
+
+func TestSplitTransactionsImproveThroughput(t *testing.T) {
+	base := quickCfg(16, protocol.WriteOnce, workload.Sharing5, 77)
+	split := base
+	split.SplitTransactions = true
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a saturated bus, releasing the memory latency buys real capacity.
+	if rs.Speedup <= rb.Speedup {
+		t.Errorf("split bus %v should beat circuit bus %v at saturation", rs.Speedup, rb.Speedup)
+	}
+	// Bus utilization must drop (the latency cycles left the bus).
+	if rs.UBus >= rb.UBus {
+		t.Errorf("split bus utilization %v should be below %v", rs.UBus, rb.UBus)
+	}
+}
+
+func TestSplitTransactionsNeutralAtLightLoad(t *testing.T) {
+	// With one processor there is no contention: splitting changes bus
+	// accounting but the response time barely moves (the requester waits
+	// for memory either way).
+	base := quickCfg(1, protocol.WriteOnce, workload.Sharing5, 5)
+	split := base
+	split.SplitTransactions = true
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rs.Speedup-rb.Speedup) / rb.Speedup; rel > 0.03 {
+		t.Errorf("N=1: split %v vs circuit %v (rel %.1f%%) should be near-identical",
+			rs.Speedup, rb.Speedup, rel*100)
+	}
+}
+
+func TestSplitTransactionsInvariantsHold(t *testing.T) {
+	cfg := quickCfg(6, protocol.Illinois, workload.Sharing20, 9)
+	cfg.SplitTransactions = true
+	cfg.MeasureCycles = 30000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInvariantChecks(true)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The MVA's split-transaction option must agree with the simulator on the
+// direction and rough size of the gain.
+func TestSplitTransactionsMVAAgreesOnGain(t *testing.T) {
+	const n = 16
+	m := mva.Model{Workload: workload.AppendixA(workload.Sharing5)}
+	circuit, err := m.Solve(n, mva.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := m.Solve(n, mva.Options{SplitTransactionBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Speedup <= circuit.Speedup {
+		t.Fatalf("MVA split %v should beat circuit %v", split.Speedup, circuit.Speedup)
+	}
+	gainMVA := split.Speedup / circuit.Speedup
+
+	base := quickCfg(n, protocol.WriteOnce, workload.Sharing5, 123)
+	sb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := base
+	sc.SplitTransactions = true
+	ss, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainSim := ss.Speedup / sb.Speedup
+	if math.Abs(gainMVA-gainSim) > 0.25 {
+		t.Errorf("split-transaction gain: MVA %.3f× vs sim %.3f× — too far apart", gainMVA, gainSim)
+	}
+}

@@ -1,0 +1,122 @@
+package cachesim
+
+import (
+	"testing"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/trace"
+	"snoopmva/internal/workload"
+)
+
+func traceFor(t *testing.T, n int, refs int, seed uint64) *trace.SliceSource {
+	t.Helper()
+	g, err := trace.NewGenerator(trace.GeneratorConfig{
+		N:        n,
+		Workload: workload.AppendixA(workload.Sharing5),
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []trace.Ref
+	for i := 0; i < refs; i++ {
+		r, ok := g.Next(i % n)
+		if !ok {
+			t.Fatal("generator exhausted")
+		}
+		all = append(all, r)
+	}
+	return trace.NewSliceSource(all, n)
+}
+
+func TestTraceDrivenRun(t *testing.T) {
+	const n = 4
+	cfg := quickCfg(n, protocol.WriteOnce, workload.Sharing5, 11)
+	cfg.Trace = traceFor(t, n, 150000, 5)
+	cfg.WarmupCycles = 5000
+	cfg.MeasureCycles = 60000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions == 0 {
+		t.Fatal("no completions in trace-driven mode")
+	}
+	if res.Speedup <= 0 || res.Speedup > n {
+		t.Errorf("speedup %v out of range", res.Speedup)
+	}
+	// The trace targets the same workload but hit rates are now emergent
+	// (the generator's recency set meets the simulator's random-victim
+	// eviction policy), so only a broad band is expected — the exact
+	// agreements are the determinism/halting/invariant tests below.
+	prob, err := Run(quickCfg(n, protocol.WriteOnce, workload.Sharing5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Speedup / prob.Speedup
+	if ratio < 0.4 || ratio > 1.5 {
+		t.Errorf("trace-driven %.3f vs probabilistic %.3f (ratio %.2f) implausibly far apart",
+			res.Speedup, prob.Speedup, ratio)
+	}
+	// The private stream must still dominate and mostly hit.
+	if res.Observed.HitRate[0] < 0.5 {
+		t.Errorf("trace-driven private hit rate %.3f implausibly low", res.Observed.HitRate[0])
+	}
+}
+
+func TestTraceDrivenHaltsWhenExhausted(t *testing.T) {
+	const n = 2
+	cfg := quickCfg(n, protocol.WriteOnce, workload.Sharing5, 3)
+	cfg.Trace = traceFor(t, n, 200, 9) // tiny trace
+	cfg.WarmupCycles = -1              // no warmup: every reference is measured
+	cfg.MeasureCycles = 1000000        // far more cycles than the trace needs
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reference must complete, and the run must stop early.
+	if res.Completions != 200 {
+		t.Errorf("completions = %d, want 200 (one per trace ref)", res.Completions)
+	}
+	if res.Cycles >= 1000000 {
+		t.Errorf("run did not stop early: %d cycles", res.Cycles)
+	}
+}
+
+func TestTraceDrivenDeterministic(t *testing.T) {
+	const n = 3
+	run := func() *Result {
+		cfg := quickCfg(n, protocol.Illinois, workload.Sharing5, 21)
+		cfg.Trace = traceFor(t, n, 20000, 77)
+		cfg.WarmupCycles = 1000
+		cfg.MeasureCycles = 40000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Speedup != b.Speedup || a.Completions != b.Completions {
+		t.Errorf("trace-driven runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestTraceDrivenInvariantsHold(t *testing.T) {
+	const n = 4
+	cfg := quickCfg(n, protocol.Dragon, workload.Sharing20, 2)
+	cfg.Trace = traceFor(t, n, 30000, 13)
+	cfg.WarmupCycles = -1
+	cfg.MeasureCycles = 50000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInvariantChecks(true)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

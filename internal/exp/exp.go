@@ -1,0 +1,198 @@
+// Package exp is the experiment registry: one entry per table and figure
+// in the paper's evaluation (plus the Section 4 point comparisons and the
+// solution-cost demonstration), each able to regenerate its artifact from
+// this repository's models and report paper-vs-measured numbers.
+//
+// DESIGN.md §5 is the index; cmd/paperrepro drives the registry end to
+// end and EXPERIMENTS.md records a captured run.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"snoopmva/internal/tables"
+)
+
+// RunConfig tunes how much of the expensive machinery each experiment runs.
+type RunConfig struct {
+	// GTPNMaxN bounds the detailed GTPN comparator (its cost grows
+	// rapidly with N). Zero means 6; negative disables GTPN columns.
+	GTPNMaxN int
+	// SimCycles is the detailed simulator's measurement window. Zero
+	// means 200000; negative disables simulator columns.
+	SimCycles int64
+	// Seed drives the simulator. Zero means 1988.
+	Seed uint64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.GTPNMaxN == 0 {
+		c.GTPNMaxN = 6
+	}
+	if c.SimCycles == 0 {
+		c.SimCycles = 200000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1988
+	}
+	return c
+}
+
+// Comparison is one paper-vs-measured cell.
+type Comparison struct {
+	Label    string
+	Paper    float64
+	Measured float64
+}
+
+// RelErr returns |measured − paper| / |paper|.
+func (c Comparison) RelErr() float64 {
+	if c.Paper == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(c.Measured-c.Paper) / math.Abs(c.Paper)
+}
+
+// Report is the output of one experiment run.
+type Report struct {
+	ID          string
+	Title       string
+	Notes       []string
+	Tables      []*tables.Table
+	Plots       []*tables.Plot
+	Comparisons []Comparison
+}
+
+// WorstRelErr returns the maximum relative error over the comparisons
+// (0 when there are none).
+func (r *Report) WorstRelErr() float64 {
+	worst := 0.0
+	for _, c := range r.Comparisons {
+		if e := c.RelErr(); e > worst && !math.IsInf(e, 0) {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// WriteText renders the report for a terminal.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.Plots {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := p.WriteASCII(w); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := t.WriteASCII(w); err != nil {
+			return err
+		}
+	}
+	if len(r.Comparisons) > 0 {
+		ct := tables.New("Paper vs measured", "quantity", "paper", "measured", "rel err %")
+		for _, c := range r.Comparisons {
+			ct.AddRow(c.Label, c.Paper, c.Measured, fmt.Sprintf("%.1f", c.RelErr()*100))
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := ct.WriteASCII(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "worst relative error: %.1f%%\n", r.WorstRelErr()*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the report's tables as Markdown (plots fall back
+// to fenced ASCII).
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "> %s\n\n", n); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.Plots {
+		if _, err := fmt.Fprintln(w, "```"); err != nil {
+			return err
+		}
+		if err := p.WriteASCII(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, "```"); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteMarkdown(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if len(r.Comparisons) > 0 {
+		ct := tables.New("Paper vs measured", "quantity", "paper", "measured", "rel err %")
+		for _, c := range r.Comparisons {
+			ct.AddRow(c.Label, c.Paper, c.Measured, fmt.Sprintf("%.1f", c.RelErr()*100))
+		}
+		if err := ct.WriteMarkdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(RunConfig) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// cheap is a RunConfig that keeps every experiment fast enough for tests.
+var cheap = RunConfig{GTPNMaxN: 2, SimCycles: 40000, Seed: 7}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"arba86", "asymptotic", "busutil", "fig4.1", "kewp85",
+		"power", "solvecost", "stress", "tab4.1a", "tab4.1b", "tab4.1c",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig4.1"); !ok {
+		t.Error("fig4.1 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(cheap)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != experiment id %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 && len(rep.Plots) == 0 {
+				t.Errorf("%s produced no artifacts", e.ID)
+			}
+			var text strings.Builder
+			if err := rep.WriteText(&text); err != nil {
+				t.Fatalf("WriteText: %v", err)
+			}
+			if !strings.Contains(text.String(), e.ID) {
+				t.Errorf("text output missing experiment id:\n%s", text.String())
+			}
+			var md strings.Builder
+			if err := rep.WriteMarkdown(&md); err != nil {
+				t.Fatalf("WriteMarkdown: %v", err)
+			}
+			if !strings.HasPrefix(md.String(), "## ") {
+				t.Errorf("markdown output malformed:\n%s", md.String()[:60])
+			}
+		})
+	}
+}
+
+func TestTable41aAgreement(t *testing.T) {
+	e, _ := ByID("tab4.1a")
+	rep, err := e.Run(RunConfig{GTPNMaxN: -1, SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Comparisons) != 27 { // 3 sharings × 9 Ns
+		t.Fatalf("comparisons = %d, want 27", len(rep.Comparisons))
+	}
+	if rep.WorstRelErr() > 0.10 {
+		t.Errorf("worst relative error %.1f%% exceeds the documented 10%% band", rep.WorstRelErr()*100)
+	}
+}
+
+func TestKEWP85Direction(t *testing.T) {
+	e, _ := ByID("kewp85")
+	rep, err := e.Run(RunConfig{GTPNMaxN: -1, SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Comparisons) != 1 {
+		t.Fatalf("comparisons = %d", len(rep.Comparisons))
+	}
+	c := rep.Comparisons[0]
+	if c.Measured < 0.05 || c.Measured > 0.20 {
+		t.Errorf("WO bus-utilization increase %.3f not in the paper's ~10%% neighborhood", c.Measured)
+	}
+}
+
+func TestStressBoundHolds(t *testing.T) {
+	e, _ := ByID("stress")
+	rep, err := e.Run(RunConfig{GTPNMaxN: 4, SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rep.Notes, "\n")
+	if !strings.Contains(joined, "PASS") {
+		t.Errorf("stress bound did not pass:\n%s", joined)
+	}
+}
+
+func TestComparisonRelErr(t *testing.T) {
+	c := Comparison{Paper: 2, Measured: 2.2}
+	if math.Abs(c.RelErr()-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", c.RelErr())
+	}
+	zero := Comparison{Paper: 0, Measured: 1}
+	if !math.IsInf(zero.RelErr(), 1) {
+		t.Error("zero-paper RelErr should be +Inf")
+	}
+	r := Report{Comparisons: []Comparison{c, zero}}
+	if math.Abs(r.WorstRelErr()-0.1) > 1e-12 {
+		t.Errorf("WorstRelErr = %v (infinite entries must be skipped)", r.WorstRelErr())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate id")
+		}
+	}()
+	register(Experiment{ID: "fig4.1"})
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	c := RunConfig{}.withDefaults()
+	if c.GTPNMaxN != 6 || c.SimCycles != 200000 || c.Seed != 1988 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	neg := RunConfig{GTPNMaxN: -1, SimCycles: -1}.withDefaults()
+	if neg.GTPNMaxN != -1 || neg.SimCycles != -1 {
+		t.Errorf("negative (disable) values must survive: %+v", neg)
+	}
+}

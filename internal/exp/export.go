@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var unsafeChars = regexp.MustCompile(`[^a-zA-Z0-9._-]+`)
+
+// slug converts a free-form title into a filesystem-safe fragment.
+func slug(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = unsafeChars.ReplaceAllString(s, "-")
+	s = strings.Trim(s, "-")
+	if len(s) > 60 {
+		s = s[:60]
+	}
+	if s == "" {
+		s = "artifact"
+	}
+	return s
+}
+
+// WriteCSVDir writes every table and plot series of the report as CSV
+// files under dir (created if needed), named <experiment>-<slug>.csv.
+// Returns the paths written.
+func (r *Report) WriteCSVDir(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	write := func(name string, emit func(f *os.File) error) error {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", slug(r.ID), name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	for i, t := range r.Tables {
+		name := slug(t.Title)
+		if name == "artifact" {
+			name = fmt.Sprintf("table%d", i+1)
+		}
+		t := t
+		if err := write(name, func(f *os.File) error { return t.WriteCSV(f) }); err != nil {
+			return paths, err
+		}
+	}
+	for i, p := range r.Plots {
+		name := slug(p.Title)
+		if name == "artifact" {
+			name = fmt.Sprintf("plot%d", i+1)
+		}
+		csv := p.CSV()
+		if err := write(name, func(f *os.File) error { return csv.WriteCSV(f) }); err != nil {
+			return paths, err
+		}
+	}
+	return paths, nil
+}

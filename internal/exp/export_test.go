@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVDir(t *testing.T) {
+	e, _ := ByID("fig4.1")
+	rep, err := e.Run(RunConfig{GTPNMaxN: -1, SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := rep.WriteCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 { // one table + one plot series
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", p)
+		}
+		if !strings.HasSuffix(p, ".csv") || !strings.Contains(filepath.Base(p), "fig4.1") {
+			t.Errorf("unexpected path %s", p)
+		}
+		if !strings.Contains(string(data), ",") {
+			t.Errorf("%s does not look like CSV", p)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Figure 4.1: speedup vs N": "figure-4.1-speedup-vs-n",
+		"":                         "artifact",
+		"---":                      "artifact",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := strings.Repeat("x", 100)
+	if len(slug(long)) > 60 {
+		t.Error("slug not truncated")
+	}
+}
+
+func TestWriteCSVDirBadPath(t *testing.T) {
+	e, _ := ByID("power")
+	rep, err := e.Run(RunConfig{GTPNMaxN: -1, SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.WriteCSVDir("/dev/null/notadir"); err == nil {
+		t.Error("impossible directory accepted")
+	}
+}

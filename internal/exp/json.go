@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// reportJSON is the machine-readable schema for regression tracking: one
+// object per experiment with every paper-vs-measured cell.
+type reportJSON struct {
+	ID          string           `json:"id"`
+	Title       string           `json:"title"`
+	Notes       []string         `json:"notes,omitempty"`
+	Comparisons []comparisonJSON `json:"comparisons,omitempty"`
+	WorstRelErr float64          `json:"worst_rel_err"`
+}
+
+type comparisonJSON struct {
+	Label    string  `json:"label"`
+	Paper    float64 `json:"paper"`
+	Measured float64 `json:"measured"`
+	RelErr   float64 `json:"rel_err"`
+}
+
+// WriteJSON emits the report as one indented JSON object — the format CI
+// systems can diff against a committed baseline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := reportJSON{
+		ID:          r.ID,
+		Title:       r.Title,
+		Notes:       r.Notes,
+		WorstRelErr: r.WorstRelErr(),
+	}
+	for _, c := range r.Comparisons {
+		rel := c.RelErr()
+		out.Comparisons = append(out.Comparisons, comparisonJSON{
+			Label: c.Label, Paper: c.Paper, Measured: c.Measured, RelErr: rel,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	e, _ := ByID("power")
+	rep, err := e.Run(RunConfig{GTPNMaxN: -1, SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID          string `json:"id"`
+		Comparisons []struct {
+			Label    string  `json:"label"`
+			Paper    float64 `json:"paper"`
+			Measured float64 `json:"measured"`
+			RelErr   float64 `json:"rel_err"`
+		} `json:"comparisons"`
+		WorstRelErr float64 `json:"worst_rel_err"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.ID != "power" || len(decoded.Comparisons) == 0 {
+		t.Errorf("decoded: %+v", decoded)
+	}
+	c := decoded.Comparisons[0]
+	if c.Paper != 4.32 || c.Measured <= 0 || c.RelErr < 0 {
+		t.Errorf("comparison cell wrong: %+v", c)
+	}
+	if decoded.WorstRelErr <= 0 {
+		t.Errorf("worst rel err missing: %v", decoded.WorstRelErr)
+	}
+}

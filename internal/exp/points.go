@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"fmt"
+
+	"snoopmva/internal/cachesim"
+	"snoopmva/internal/gtpnmodel"
+	"snoopmva/internal/mva"
+	"snoopmva/internal/paperdata"
+	"snoopmva/internal/petri"
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/tables"
+	"snoopmva/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:          "busutil",
+		Title:       "Section 4.2 — bus utilization, six processors, Write-Once, 5% sharing",
+		Description: "Paper reports ~77% (MVA) vs ~81% (GTPN); MVA underestimates relative to the detailed model",
+		Run:         runBusUtil,
+	})
+	register(Experiment{
+		ID:          "power",
+		Title:       "Section 4.4 — processing power for modifications 1+2+3, nine processors, 5% sharing",
+		Description: "Paper reports 4.32 (MVA) vs 4.1 (GTPN), agreeing with the [PaPa84] model",
+		Run:         runPower,
+	})
+	register(Experiment{
+		ID:          "kewp85",
+		Title:       "Section 4.4 — Write-Once vs modifications 2+3 bus utilization at ~99% sharing",
+		Description: "Paper reports a ~10% bus-utilization increase for Write-Once at unsaturating loads, matching [KEWP85]",
+		Run:         runKEWP85,
+	})
+	register(Experiment{
+		ID:          "arba86",
+		Title:       "Section 4.4 — modification 1 vs 2 sensitivity to amod_p",
+		Description: "With amod_p = 0.95 (the [ArBa86] setting) modifications 1 and 2 perform nearly equally at 1% sharing",
+		Run:         runArBa86,
+	})
+}
+
+func runBusUtil(cfg RunConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{ID: "busutil", Title: "Section 4.2 — bus utilization (N=6, Write-Once, 5% sharing)"}
+	m, err := (mva.Model{Workload: workload.AppendixA(workload.Sharing5)}).Solve(6, mva.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tb := tables.New("Bus utilization", "model", "U_bus")
+	tb.AddRow("paper MVA", paperdata.BusUtilMVA6)
+	tb.AddRow("paper GTPN", paperdata.BusUtilGTPN6)
+	tb.AddRow("our MVA", m.UBus)
+	rep.Comparisons = append(rep.Comparisons,
+		Comparison{Label: "MVA U_bus (N=6, WO, 5%)", Paper: paperdata.BusUtilMVA6, Measured: m.UBus})
+	if cfg.GTPNMaxN >= 6 {
+		g, err := gtpnmodel.Solve(gtpnmodel.Config{Workload: workload.AppendixA(workload.Sharing5), N: 6}, petri.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("our GTPN", g.UBus)
+		rep.Comparisons = append(rep.Comparisons,
+			Comparison{Label: "GTPN U_bus (N=6, WO, 5%)", Paper: paperdata.BusUtilGTPN6, Measured: g.UBus})
+		if m.UBus < g.UBus {
+			rep.Notes = append(rep.Notes,
+				"direction check passed: the MVA underestimates bus utilization relative to the detailed model, as the paper observes")
+		} else {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("direction check FAILED: MVA U_bus %.3f not below GTPN %.3f", m.UBus, g.UBus))
+		}
+	}
+	if cfg.SimCycles > 0 {
+		sr, err := cachesim.Run(cachesim.Config{
+			N: 6, Protocol: protocol.WriteOnce,
+			Workload: workload.AppendixA(workload.Sharing5),
+			Seed:     cfg.Seed, MeasureCycles: cfg.SimCycles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("our simulator", sr.UBus)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+func runPower(cfg RunConfig) (*Report, error) {
+	rep := &Report{ID: "power", Title: "Section 4.4 — processing power (mods 1+2+3, N=9, 5% sharing)"}
+	m, err := (mva.Model{
+		Workload: workload.AppendixA(workload.Sharing5),
+		Mods:     protocol.Mods(protocol.Mod1, protocol.Mod2, protocol.Mod3),
+	}).Solve(9, mva.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tb := tables.New("Processing power", "model", "power")
+	tb.AddRow("paper MVA", paperdata.ProcessingPowerMVA)
+	tb.AddRow("paper GTPN", paperdata.ProcessingPowerGTPN)
+	tb.AddRow("our MVA", m.ProcessingPower)
+	rep.Tables = append(rep.Tables, tb)
+	rep.Comparisons = append(rep.Comparisons,
+		Comparison{Label: "processing power", Paper: paperdata.ProcessingPowerMVA, Measured: m.ProcessingPower})
+	rep.Notes = append(rep.Notes,
+		"processing power = N·τ/R = speedup·τ/(τ+T_supply); both identities are computed and cross-checked in the test suite")
+	return rep, nil
+}
+
+// runKEWP85 reproduces the [KEWP85] comparison: at very high sharing and a
+// load that does not saturate the bus, Write-Once generates ~10% more bus
+// utilization than a protocol with modifications 2+3 when ownership
+// retention makes write hits find blocks already modified.
+func runKEWP85(cfg RunConfig) (*Report, error) {
+	rep := &Report{ID: "kewp85", Title: "Section 4.4 — WO vs mods 2+3 bus utilization, ~99% sharing"}
+	base := workload.AppendixA(workload.Sharing5)
+	base.PPrivate, base.PSro, base.PSw = 0.01, 0.0, 0.99
+	base.Tau = 30 // light load: keep the bus far from saturation
+	base.HSw = 0.9
+
+	// Write-Once: without ownership, write hits often find the block
+	// unmodified (a remote read resets wback via the memory update), so
+	// first writes keep going to the bus; amod stays at the Appendix A
+	// default.
+	wo := base
+	wo.AmodSw = 0.3
+	// Mods 2+3: ownership is retained across supplies; the probability
+	// that a write hit finds the block already modified rises
+	// (0.3 → 0.38).
+	m23 := base
+	m23.AmodSw = 0.38
+
+	n := 8
+	rwo, err := (mva.Model{Workload: wo, RawParams: true}).Solve(n, mva.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rm23, err := (mva.Model{Workload: m23, Mods: protocol.Mods(protocol.Mod2, protocol.Mod3), RawParams: true}).Solve(n, mva.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if rwo.UBus > 0.8 || rm23.UBus > 0.8 {
+		rep.Notes = append(rep.Notes, "warning: bus nearing saturation; the paper's comparison holds for unsaturating loads")
+	}
+	increase := rwo.UBus/rm23.UBus - 1
+	tb := tables.New("Bus utilization at ~99% sharing (N=8, light load)",
+		"protocol", "U_bus", "speedup")
+	tb.AddRow("Write-Once", rwo.UBus, rwo.Speedup)
+	tb.AddRow("WO+2+3", rm23.UBus, rm23.Speedup)
+	rep.Tables = append(rep.Tables, tb)
+	rep.Comparisons = append(rep.Comparisons, Comparison{
+		Label:    "relative U_bus increase of WO over WO+2+3",
+		Paper:    paperdata.KEWP85BusUtilIncrease,
+		Measured: increase,
+	})
+	rep.Notes = append(rep.Notes,
+		"the paper conditions this on the write-hit-unmodified probability dropping significantly under modification 2; amod_sw 0.3 (WO) vs 0.38 (WO+2+3) encodes that premise")
+	return rep, nil
+}
+
+func runArBa86(cfg RunConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{ID: "arba86", Title: "Section 4.4 — mods 1 vs 2 under amod_p = 0.95 (1% sharing)"}
+	n := 10
+	tb := tables.New("Speedup gains over Write-Once at N=10, 1% sharing",
+		"amod_p", "WO", "WO+1", "WO+2", "mod1 gain", "mod2 gain")
+	for _, amod := range []float64{0.7, 0.95} {
+		w := workload.AppendixA(workload.Sharing1)
+		w.AmodPrivate = amod
+		base, err := (mva.Model{Workload: w}).Solve(n, mva.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m1, err := (mva.Model{Workload: w, Mods: protocol.Mods(protocol.Mod1)}).Solve(n, mva.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m2, err := (mva.Model{Workload: w, Mods: protocol.Mods(protocol.Mod2)}).Solve(n, mva.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(amod, base.Speedup, m1.Speedup, m2.Speedup,
+			m1.Speedup-base.Speedup, m2.Speedup-base.Speedup)
+		if amod == 0.95 {
+			gap := (m1.Speedup - base.Speedup) - (m2.Speedup - base.Speedup)
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"at amod_p=0.95 the mod1-vs-mod2 gain gap shrinks to %.3f speedup units (paper: \"roughly equal\")", gap))
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}

@@ -1,0 +1,291 @@
+// Package fit estimates the paper's basic workload parameters from a
+// memory-reference trace — the "workload measurement studies to aid in the
+// assignment of parameter values" the paper's conclusion calls for.
+//
+// The estimator replays the trace against per-processor, per-class LRU
+// shadow caches (with dirty bits) and a global residency map, and counts
+// exactly the events the parameters describe:
+//
+//	p_class      class frequencies
+//	r_class      read fractions
+//	h_class      shadow-cache hit rates
+//	amod_class   write hits finding the block dirty
+//	csupply_*    misses finding the block resident in another shadow cache
+//	wb_csupply   of those, the fraction whose holder is dirty
+//	rep_*        evictions of dirty blocks
+//
+// The shadow caches deliberately ignore coherence actions (no
+// invalidations): that is what a measurement study over a raw address
+// trace sees, and it matches the "basic parameter" semantics of Section
+// 2.3. τ cannot be recovered from a reference trace (it is processor
+// speed, not reference behavior) and is taken from the config.
+package fit
+
+import (
+	"errors"
+	"fmt"
+
+	"snoopmva/internal/trace"
+	"snoopmva/internal/workload"
+)
+
+// Config controls the estimator.
+type Config struct {
+	// N is the number of processors in the trace.
+	N int
+	// Tau is the mean think time to embed in the fitted parameters
+	// (not derivable from a reference trace). Zero means 2.5.
+	Tau float64
+	// Shadow-cache capacities per class (blocks). Zero values mean
+	// 16 sw / 64 sro / 128 private, matching the simulator defaults.
+	SWCapacity, SROCapacity, PrivCapacity int
+	// Warmup references per processor excluded from counting (cold-start
+	// misses would bias the hit rates). Zero means 1000; negative means
+	// no warmup.
+	Warmup int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tau == 0 {
+		c.Tau = 2.5
+	}
+	if c.SWCapacity == 0 {
+		c.SWCapacity = 16
+	}
+	if c.SROCapacity == 0 {
+		c.SROCapacity = 64
+	}
+	if c.PrivCapacity == 0 {
+		c.PrivCapacity = 128
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1000
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("fit: N=%d < 1", c.N)
+	}
+	if c.Tau < 0 {
+		return fmt.Errorf("fit: negative tau %v", c.Tau)
+	}
+	d := c.withDefaults()
+	if d.SWCapacity < 1 || d.SROCapacity < 1 || d.PrivCapacity < 1 {
+		return errors.New("fit: capacities must be positive")
+	}
+	return nil
+}
+
+// line is one shadow-cache entry.
+type line struct {
+	block uint32
+	dirty bool
+}
+
+// shadow is one per-class LRU shadow cache.
+type shadow struct {
+	cap   int
+	lines []line // LRU order: oldest first
+}
+
+// lookup finds the block; on hit it is moved to MRU and its dirty flag
+// or'd with write. Returns (hit, wasDirtyBeforeWrite).
+func (s *shadow) lookup(block uint32, write bool) (bool, bool) {
+	for i := range s.lines {
+		if s.lines[i].block == block {
+			l := s.lines[i]
+			wasDirty := l.dirty
+			l.dirty = l.dirty || write
+			copy(s.lines[i:], s.lines[i+1:])
+			s.lines[len(s.lines)-1] = l
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// insert adds the block at MRU, evicting LRU if full. Returns whether an
+// eviction happened and whether the victim was dirty.
+func (s *shadow) insert(block uint32, write bool) (evicted, victimDirty bool) {
+	if len(s.lines) >= s.cap {
+		evicted = true
+		victimDirty = s.lines[0].dirty
+		copy(s.lines, s.lines[1:])
+		s.lines = s.lines[:len(s.lines)-1]
+	}
+	s.lines = append(s.lines, line{block: block, dirty: write})
+	return evicted, victimDirty
+}
+
+// holds reports residency and dirtiness without touching LRU order.
+func (s *shadow) holds(block uint32) (bool, bool) {
+	for i := range s.lines {
+		if s.lines[i].block == block {
+			return true, s.lines[i].dirty
+		}
+	}
+	return false, false
+}
+
+// Estimate holds the fitted parameters and the sample sizes behind them.
+type Estimate struct {
+	// Params are the fitted basic parameters (Tau from the config).
+	Params workload.Params
+	// Refs is the total number of counted (post-warmup) references.
+	Refs int64
+	// PerClass counts the references per class (private, sro, sw).
+	PerClass [3]int64
+	// Misses counts shadow-cache misses per class.
+	Misses [3]int64
+	// Evictions counts capacity evictions per class.
+	Evictions [3]int64
+}
+
+// Fit replays the trace and estimates the parameters.
+func Fit(refs []trace.Ref, cfg Config) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(refs) == 0 {
+		return nil, errors.New("fit: empty trace")
+	}
+	capOf := func(c trace.Class) int {
+		switch c {
+		case trace.SW:
+			return cfg.SWCapacity
+		case trace.SRO:
+			return cfg.SROCapacity
+		default:
+			return cfg.PrivCapacity
+		}
+	}
+	// shadows[p][class]
+	shadows := make([][]shadow, cfg.N)
+	for p := range shadows {
+		shadows[p] = make([]shadow, 3)
+		for c := range shadows[p] {
+			shadows[p][c].cap = capOf(trace.Class(c))
+		}
+	}
+	seen := make([]int, cfg.N) // references per processor (for warmup)
+
+	var (
+		est                   Estimate
+		reads                 [3]int64
+		hits                  [3]int64
+		writeHits             [3]int64
+		writeHitsDirty        [3]int64
+		missesWithHolder      [3]int64
+		missesWithDirtyHolder [3]int64
+		evictDirty            [3]int64
+	)
+	for _, r := range refs {
+		p := int(r.Proc)
+		if p < 0 || p >= cfg.N {
+			return nil, fmt.Errorf("fit: reference for processor %d outside N=%d", p, cfg.N)
+		}
+		if r.Class > trace.SW {
+			return nil, fmt.Errorf("fit: invalid class %d", r.Class)
+		}
+		c := int(r.Class)
+		sh := &shadows[p][c]
+		counted := seen[p] >= cfg.Warmup
+		seen[p]++
+
+		hit, wasDirty := sh.lookup(r.Block, r.Write)
+		var evicted, victimDirty bool
+		if !hit {
+			// For shared classes, check residency elsewhere before insert.
+			var holder, dirtyHolder bool
+			if r.Class != trace.Private {
+				for q := 0; q < cfg.N; q++ {
+					if q == p {
+						continue
+					}
+					h, d := shadows[q][c].holds(r.Block)
+					holder = holder || h
+					dirtyHolder = dirtyHolder || d
+				}
+			}
+			evicted, victimDirty = sh.insert(r.Block, r.Write)
+			if counted {
+				est.Misses[c]++
+				if holder {
+					missesWithHolder[c]++
+				}
+				if dirtyHolder {
+					missesWithDirtyHolder[c]++
+				}
+			}
+		}
+		if !counted {
+			continue
+		}
+		est.Refs++
+		est.PerClass[c]++
+		if !r.Write {
+			reads[c]++
+		}
+		if hit {
+			hits[c]++
+			if r.Write {
+				writeHits[c]++
+				if wasDirty {
+					writeHitsDirty[c]++
+				}
+			}
+		}
+		if evicted {
+			est.Evictions[c]++
+			if victimDirty {
+				evictDirty[c]++
+			}
+		}
+	}
+	if est.Refs == 0 {
+		return nil, errors.New("fit: no references survived warmup")
+	}
+
+	frac := func(num, den int64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	w := workload.Params{
+		Tau:      cfg.Tau,
+		PPrivate: frac(est.PerClass[trace.Private], est.Refs),
+		PSro:     frac(est.PerClass[trace.SRO], est.Refs),
+		PSw:      frac(est.PerClass[trace.SW], est.Refs),
+
+		HPrivate: frac(hits[trace.Private], est.PerClass[trace.Private]),
+		HSro:     frac(hits[trace.SRO], est.PerClass[trace.SRO]),
+		HSw:      frac(hits[trace.SW], est.PerClass[trace.SW]),
+
+		RPrivate: frac(reads[trace.Private], est.PerClass[trace.Private]),
+		RSw:      frac(reads[trace.SW], est.PerClass[trace.SW]),
+
+		AmodPrivate: frac(writeHitsDirty[trace.Private], writeHits[trace.Private]),
+		AmodSw:      frac(writeHitsDirty[trace.SW], writeHits[trace.SW]),
+
+		CsupplySro: frac(missesWithHolder[trace.SRO], est.Misses[trace.SRO]),
+		CsupplySw:  frac(missesWithHolder[trace.SW], est.Misses[trace.SW]),
+		WbCsupply:  frac(missesWithDirtyHolder[trace.SW], missesWithHolder[trace.SW]),
+
+		RepP:  frac(evictDirty[trace.Private], est.Evictions[trace.Private]),
+		RepSw: frac(evictDirty[trace.SW], est.Evictions[trace.SW]),
+	}
+	// Close the partition exactly (counting rounds off).
+	w.PPrivate = 1 - w.PSro - w.PSw
+	est.Params = w
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("fit: estimated parameters invalid: %w", err)
+	}
+	return &est, nil
+}

@@ -1,0 +1,99 @@
+package gtpnmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snoopmva/internal/mva"
+	"snoopmva/internal/petri"
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/workload"
+)
+
+// Property: for RANDOM workloads — not just the Appendix A points — the
+// bus-only MVA agrees with the exact GTPN solution at small N. This is the
+// paper's robustness claim (Section 4.3) turned into a property test: the
+// mean-value equations hold up across the parameter space, not only at the
+// calibrated values.
+func TestMVAvsGTPNRandomWorkloadsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-model property test is slow")
+	}
+	f := func(h1000, sw300, hsw1000, rep100, cs100 uint16, nRaw uint8) bool {
+		p := workload.AppendixA(workload.Sharing5)
+		// Private/sro hit rates down to 0.7: beyond that the machine is
+		// saturated even at N=2-3 and the mean-value approximations are
+		// known to drift past the paper's own stress envelope (its §4.3
+		// test has an overall miss ratio around 0.2).
+		p.HPrivate = 0.7 + float64(h1000%300)/1000 // [0.7, 1)
+		p.HSro = p.HPrivate
+		sw := float64(sw300%300) / 1000 // [0, 0.3)
+		p.PSw = sw
+		p.PPrivate = 1 - p.PSro - sw
+		p.HSw = float64(hsw1000%1001) / 1000
+		p.RepP = float64(rep100%101) / 100
+		p.RepSw = p.RepP
+		p.CsupplySw = float64(cs100%101) / 100
+		if p.Validate() != nil {
+			return true
+		}
+		// Stay within the paper's validated stress envelope: its §4.3
+		// test drives roughly a 20% miss ratio. Past ~25% the machine is
+		// deeply saturated even at N=2-3 and the mean-value equations'
+		// accuracy visibly degrades (an honest boundary of the technique,
+		// also visible in our EXPERIMENTS.md notes).
+		if p.Classes().Misses() > 0.25 {
+			return true
+		}
+		n := 2 + int(nRaw%2) // N in {2,3}: cheap exact solutions
+		g, err := Solve(Config{Workload: p, RawParams: true, N: n},
+			petri.Options{MaxStates: 100000})
+		if err != nil {
+			t.Logf("gtpn error (skipping): %v", err)
+			return true
+		}
+		m, err := (mva.Model{Workload: p, RawParams: true}).Solve(n, mva.Options{
+			NoCacheInterference:  true,
+			NoMemoryInterference: true,
+		})
+		if err != nil {
+			return false
+		}
+		rel := math.Abs(m.Speedup-g.Speedup) / g.Speedup
+		if rel > 0.08 {
+			t.Logf("divergence %.1f%% at N=%d: MVA %.4f vs GTPN %.4f (params %+v)",
+				rel*100, n, m.Speedup, g.Speedup, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: protocol modifications never make the GTPN model slower than
+// base Write-Once at the Appendix A workloads (mirrors the MVA ordering
+// tests at the detailed-model level).
+func TestGTPNModsNeverHurt(t *testing.T) {
+	for _, s := range workload.Sharings() {
+		base, err := Solve(Config{Workload: workload.AppendixA(s), N: 3}, petri.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ms := range []protocol.ModSet{
+			protocol.Mods(protocol.Mod1),
+			protocol.Mods(protocol.Mod1, protocol.Mod4),
+			protocol.Mods(protocol.Mod1, protocol.Mod2, protocol.Mod3),
+		} {
+			v, err := Solve(Config{Workload: workload.AppendixA(s), Mods: ms, N: 3}, petri.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Speedup < base.Speedup*0.995 {
+				t.Errorf("%v at %v: %.4f below WO %.4f", ms, s, v.Speedup, base.Speedup)
+			}
+		}
+	}
+}

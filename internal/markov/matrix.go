@@ -1,0 +1,187 @@
+// Package markov provides steady-state solvers for discrete- and
+// continuous-time Markov chains, the numerical substrate underneath the
+// GTPN engine (internal/petri).
+//
+// Two solver families are provided:
+//
+//   - the Grassmann–Taksar–Heyman (GTH) elimination algorithm on dense
+//     matrices, which is numerically robust (no subtractions) and exact up
+//     to rounding for chains of up to a few thousand states, and
+//   - power iteration on sparse (CSR) matrices for larger chains.
+//
+// All chains are assumed irreducible over the supplied state set; the
+// solvers report an error when that assumption visibly fails (zero row sums,
+// non-convergence).
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dense is a dense row-major square matrix.
+type Dense struct {
+	n    int
+	data []float64
+}
+
+// NewDense allocates an n×n zero matrix.
+func NewDense(n int) *Dense {
+	if n <= 0 {
+		panic(fmt.Sprintf("markov: invalid dense dimension %d", n))
+	}
+	return &Dense{n: n, data: make([]float64, n*n)}
+}
+
+// N returns the dimension.
+func (m *Dense) N() int { return m.n }
+
+// At returns element (i,j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns element (i,j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Add accumulates v into element (i,j).
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.n+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.n)
+	copy(c.data, m.data)
+	return c
+}
+
+// RowSum returns the sum of row i.
+func (m *Dense) RowSum(i int) float64 {
+	var s float64
+	for j := 0; j < m.n; j++ {
+		s += m.data[i*m.n+j]
+	}
+	return s
+}
+
+// coo is one coordinate-format entry used while assembling a sparse matrix.
+type coo struct {
+	row, col int
+	val      float64
+}
+
+// Sparse is a compressed-sparse-row (CSR) square matrix built through a
+// Builder. It supports the row-vector product needed by power iteration.
+type Sparse struct {
+	n       int
+	rowPtr  []int
+	colIdx  []int
+	values  []float64
+	nnzonce int
+}
+
+// SparseBuilder accumulates entries (duplicates are summed) and produces a
+// CSR matrix.
+type SparseBuilder struct {
+	n       int
+	entries []coo
+}
+
+// NewSparseBuilder creates a builder for an n×n matrix.
+func NewSparseBuilder(n int) *SparseBuilder {
+	if n <= 0 {
+		panic(fmt.Sprintf("markov: invalid sparse dimension %d", n))
+	}
+	return &SparseBuilder{n: n}
+}
+
+// Add accumulates v into entry (i,j).
+func (b *SparseBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("markov: sparse index (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, coo{i, j, v})
+}
+
+// Build finalizes the CSR matrix, summing duplicate coordinates.
+func (b *SparseBuilder) Build() *Sparse {
+	sort.Slice(b.entries, func(x, y int) bool {
+		if b.entries[x].row != b.entries[y].row {
+			return b.entries[x].row < b.entries[y].row
+		}
+		return b.entries[x].col < b.entries[y].col
+	})
+	s := &Sparse{n: b.n, rowPtr: make([]int, b.n+1)}
+	for k := 0; k < len(b.entries); {
+		e := b.entries[k]
+		v := e.val
+		k++
+		for k < len(b.entries) && b.entries[k].row == e.row && b.entries[k].col == e.col {
+			v += b.entries[k].val
+			k++
+		}
+		s.colIdx = append(s.colIdx, e.col)
+		s.values = append(s.values, v)
+		s.rowPtr[e.row+1] = len(s.colIdx)
+	}
+	// rowPtr is cumulative: fill gaps for empty rows.
+	for i := 1; i <= b.n; i++ {
+		if s.rowPtr[i] < s.rowPtr[i-1] {
+			s.rowPtr[i] = s.rowPtr[i-1]
+		}
+	}
+	s.nnzonce = len(s.values)
+	return s
+}
+
+// N returns the dimension.
+func (s *Sparse) N() int { return s.n }
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return s.nnzonce }
+
+// RowSum returns the sum of stored entries in row i.
+func (s *Sparse) RowSum(i int) float64 {
+	var sum float64
+	for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+		sum += s.values[k]
+	}
+	return sum
+}
+
+// VecMul computes dst = x · S (row vector times matrix). dst and x must both
+// have length N and must not alias.
+func (s *Sparse) VecMul(dst, x []float64) {
+	if len(dst) != s.n || len(x) != s.n {
+		panic("markov: VecMul dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < s.n; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			dst[s.colIdx[k]] += xi * s.values[k]
+		}
+	}
+}
+
+// normalize scales v to sum to 1; returns false if the sum is not positive
+// and finite.
+func normalize(v []float64) bool {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return false
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+	return true
+}

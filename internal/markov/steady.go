@@ -1,0 +1,268 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotStochastic indicates that a supplied transition matrix has a row
+// that does not sum to (approximately) one.
+var ErrNotStochastic = errors.New("markov: matrix is not row-stochastic")
+
+// ErrNoConvergence indicates that an iterative solver did not reach the
+// requested tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("markov: iteration did not converge")
+
+const stochTol = 1e-8
+
+// SteadyStateGTH computes the stationary distribution π of an irreducible
+// DTMC with transition matrix P (row-stochastic) using the
+// Grassmann–Taksar–Heyman algorithm. GTH performs state elimination using
+// only additions, multiplications and divisions of non-negative quantities,
+// making it far more robust than straight Gaussian elimination for nearly
+// decomposable chains.
+//
+// P is modified in place; pass P.Clone() to preserve it.
+func SteadyStateGTH(p *Dense) ([]float64, error) {
+	n := p.N()
+	for i := 0; i < n; i++ {
+		if math.Abs(p.RowSum(i)-1) > stochTol {
+			return nil, fmt.Errorf("%w: row %d sums to %v", ErrNotStochastic, i, p.RowSum(i))
+		}
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	// Elimination sweep: fold state k into states 0..k-1 (Stewart's
+	// formulation: column k is normalized by the row-k escape mass so the
+	// back substitution can use it directly).
+	for k := n - 1; k > 0; k-- {
+		// s = total rate out of k to states below it.
+		var s float64
+		for j := 0; j < k; j++ {
+			s += p.At(k, j)
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("markov: state %d unreachable backwards (chain reducible?)", k)
+		}
+		for i := 0; i < k; i++ {
+			p.Set(i, k, p.At(i, k)/s)
+		}
+		for i := 0; i < k; i++ {
+			pik := p.At(i, k)
+			if pik == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				p.Add(i, j, pik*p.At(k, j))
+			}
+		}
+	}
+	// Back substitution.
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var s float64
+		for i := 0; i < k; i++ {
+			s += pi[i] * p.At(i, k)
+		}
+		pi[k] = s
+	}
+	if !normalize(pi) {
+		return nil, errors.New("markov: GTH produced a degenerate solution")
+	}
+	return pi, nil
+}
+
+// PowerOptions configures SteadyStatePower.
+type PowerOptions struct {
+	// Tol is the convergence tolerance on the L1 change per iteration.
+	// Zero means 1e-12.
+	Tol float64
+	// MaxIter bounds the iteration count. Zero means 200000.
+	MaxIter int
+	// Damping in (0,1]: the iterate is x' = d·xP + (1-d)·x, which guarantees
+	// convergence for periodic chains. Zero means 0.9.
+	Damping float64
+}
+
+func (o PowerOptions) withDefaults() PowerOptions {
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 200000
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.9
+	}
+	return o
+}
+
+// SteadyStatePower computes the stationary distribution of an irreducible
+// DTMC with sparse row-stochastic transition matrix P by damped power
+// iteration.
+func SteadyStatePower(p *Sparse, opts PowerOptions) ([]float64, error) {
+	o := opts.withDefaults()
+	if o.Damping <= 0 || o.Damping > 1 {
+		return nil, fmt.Errorf("markov: damping %v outside (0,1]", o.Damping)
+	}
+	n := p.N()
+	for i := 0; i < n; i++ {
+		if math.Abs(p.RowSum(i)-1) > stochTol {
+			return nil, fmt.Errorf("%w: row %d sums to %v", ErrNotStochastic, i, p.RowSum(i))
+		}
+	}
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		p.VecMul(next, x)
+		var diff float64
+		for i := range next {
+			next[i] = o.Damping*next[i] + (1-o.Damping)*x[i]
+			diff += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if diff < o.Tol {
+			if !normalize(x) {
+				return nil, errors.New("markov: power iteration degenerate")
+			}
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations", ErrNoConvergence, o.MaxIter)
+}
+
+// SteadyStateCTMC computes the stationary distribution of an irreducible
+// CTMC given its generator matrix Q (off-diagonal rates >= 0, rows sum to
+// zero) by uniformization to a DTMC solved with GTH.
+//
+// Q is not modified.
+func SteadyStateCTMC(q *Dense) ([]float64, error) {
+	n := q.N()
+	// Validate generator structure and find the uniformization constant.
+	var lambda float64
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			v := q.At(i, j)
+			if i == j {
+				continue
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("markov: negative off-diagonal rate Q[%d][%d]=%v", i, j, v)
+			}
+			off += v
+		}
+		if math.Abs(q.At(i, i)+off) > 1e-6*(1+off) {
+			return nil, fmt.Errorf("markov: generator row %d does not sum to zero", i)
+		}
+		if off > lambda {
+			lambda = off
+		}
+	}
+	if lambda == 0 {
+		return nil, errors.New("markov: generator has no transitions")
+	}
+	lambda *= 1.05 // keep self-loop probability strictly positive (aperiodicity)
+	p := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				p.Set(i, j, 1+q.At(i, i)/lambda)
+			} else {
+				p.Set(i, j, q.At(i, j)/lambda)
+			}
+		}
+	}
+	return SteadyStateGTH(p)
+}
+
+// MeanRecurrenceTimes returns the mean recurrence time 1/π_i for each state
+// of a DTMC given its stationary distribution.
+func MeanRecurrenceTimes(pi []float64) []float64 {
+	out := make([]float64, len(pi))
+	for i, p := range pi {
+		if p <= 0 {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = 1 / p
+		}
+	}
+	return out
+}
+
+// ExpectedReward returns Σ_i π_i·r_i, the long-run average reward of a chain
+// with stationary distribution pi and per-state reward r.
+func ExpectedReward(pi, r []float64) (float64, error) {
+	if len(pi) != len(r) {
+		return 0, fmt.Errorf("markov: reward length %d != distribution length %d", len(r), len(pi))
+	}
+	var sum float64
+	for i := range pi {
+		sum += pi[i] * r[i]
+	}
+	return sum, nil
+}
+
+// SolveLinear solves the dense linear system A·x = b by Gaussian elimination
+// with partial pivoting. A and b are not modified.
+//
+// Exposed as a general utility (the queueing package uses it for open-network
+// traffic equations).
+func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, fmt.Errorf("markov: rhs length %d != matrix dimension %d", len(b), n)
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		best, bestAbs := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > bestAbs {
+				best, bestAbs = r, v
+			}
+		}
+		if bestAbs < 1e-300 {
+			return nil, fmt.Errorf("markov: singular matrix at column %d", col)
+		}
+		if best != col {
+			for j := 0; j < n; j++ {
+				tmp := m.At(col, j)
+				m.Set(col, j, m.At(best, j))
+				m.Set(best, j, tmp)
+			}
+			x[col], x[best] = x[best], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Add(r, j, -f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,394 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// twoState builds the classic 2-state chain with P01=a, P10=b whose
+// stationary distribution is (b/(a+b), a/(a+b)).
+func twoState(a, b float64) *Dense {
+	p := NewDense(2)
+	p.Set(0, 0, 1-a)
+	p.Set(0, 1, a)
+	p.Set(1, 0, b)
+	p.Set(1, 1, 1-b)
+	return p
+}
+
+func TestGTHTwoState(t *testing.T) {
+	pi, err := SteadyStateGTH(twoState(0.3, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pi[0], 2.0/3.0, 1e-12) || !approx(pi[1], 1.0/3.0, 1e-12) {
+		t.Errorf("pi = %v, want [2/3 1/3]", pi)
+	}
+}
+
+func TestGTHSingleState(t *testing.T) {
+	p := NewDense(1)
+	p.Set(0, 0, 1)
+	pi, err := SteadyStateGTH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi) != 1 || pi[0] != 1 {
+		t.Errorf("pi = %v, want [1]", pi)
+	}
+}
+
+func TestGTHRejectsNonStochastic(t *testing.T) {
+	p := NewDense(2)
+	p.Set(0, 0, 0.5) // row sums to 0.5
+	p.Set(1, 1, 1)
+	if _, err := SteadyStateGTH(p); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("expected ErrNotStochastic, got %v", err)
+	}
+}
+
+func TestGTHReducibleChain(t *testing.T) {
+	// State 1 never reaches state 0: elimination should fail.
+	p := NewDense(2)
+	p.Set(0, 0, 0.5)
+	p.Set(0, 1, 0.5)
+	p.Set(1, 1, 1)
+	if _, err := SteadyStateGTH(p); err == nil {
+		t.Error("expected error for reducible chain")
+	}
+}
+
+// randomStochastic builds a random irreducible stochastic matrix by mixing a
+// random matrix with a small uniform component.
+func randomStochastic(rng *rand.Rand, n int) *Dense {
+	p := NewDense(n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		var sum float64
+		for j := range row {
+			row[j] = rng.Float64() + 0.01 // strictly positive => irreducible
+			sum += row[j]
+		}
+		for j := range row {
+			p.Set(i, j, row[j]/sum)
+		}
+	}
+	return p
+}
+
+func TestGTHSatisfiesBalanceEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		p := randomStochastic(rng, n)
+		orig := p.Clone()
+		pi, err := SteadyStateGTH(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check pi = pi * P and normalization.
+		var sum float64
+		for _, v := range pi {
+			if v < 0 {
+				t.Fatalf("negative stationary probability %v", v)
+			}
+			sum += v
+		}
+		if !approx(sum, 1, 1e-10) {
+			t.Fatalf("pi sums to %v", sum)
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += pi[i] * orig.At(i, j)
+			}
+			if !approx(s, pi[j], 1e-9) {
+				t.Fatalf("balance violated at %d: %v vs %v", j, s, pi[j])
+			}
+		}
+	}
+}
+
+func TestPowerMatchesGTH(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(10)
+		d := randomStochastic(rng, n)
+		b := NewSparseBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Add(i, j, d.At(i, j))
+			}
+		}
+		s := b.Build()
+		piP, err := SteadyStatePower(s, PowerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		piG, err := SteadyStateGTH(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range piP {
+			if !approx(piP[i], piG[i], 1e-8) {
+				t.Fatalf("power vs GTH mismatch at %d: %v vs %v", i, piP[i], piG[i])
+			}
+		}
+	}
+}
+
+func TestPowerPeriodicChainWithDamping(t *testing.T) {
+	// A strictly periodic 2-cycle: undamped iteration never converges, the
+	// default damping must handle it.
+	b := NewSparseBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	pi, err := SteadyStatePower(b.Build(), PowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pi[0], 0.5, 1e-9) || !approx(pi[1], 0.5, 1e-9) {
+		t.Errorf("pi = %v, want [0.5 0.5]", pi)
+	}
+}
+
+func TestPowerRejectsBadInput(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 0.7) // row 0 sums to 0.7; row 1 sums to 0
+	s := b.Build()
+	if _, err := SteadyStatePower(s, PowerOptions{}); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("expected ErrNotStochastic, got %v", err)
+	}
+	good := NewSparseBuilder(1)
+	good.Add(0, 0, 1)
+	if _, err := SteadyStatePower(good.Build(), PowerOptions{Damping: 2}); err == nil {
+		t.Error("expected error for damping > 1")
+	}
+}
+
+func TestPowerNoConvergence(t *testing.T) {
+	// Slowly mixing asymmetric chain: two iterations cannot reach 1e-12
+	// from the uniform start (whose stationary point is [2/3 1/3]).
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 0.999)
+	b.Add(0, 1, 0.001)
+	b.Add(1, 0, 0.002)
+	b.Add(1, 1, 0.998)
+	_, err := SteadyStatePower(b.Build(), PowerOptions{MaxIter: 2, Damping: 1})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("expected ErrNoConvergence, got %v", err)
+	}
+}
+
+func TestCTMCBirthDeath(t *testing.T) {
+	// M/M/1/3 queue: lambda=1, mu=2 => pi_i ∝ (1/2)^i.
+	const lambda, mu = 1.0, 2.0
+	q := NewDense(4)
+	for i := 0; i < 3; i++ {
+		q.Add(i, i+1, lambda)
+		q.Add(i, i, -lambda)
+		q.Add(i+1, i, mu)
+		q.Add(i+1, i+1, -mu)
+	}
+	pi, err := SteadyStateCTMC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := 1 + 0.5 + 0.25 + 0.125
+	want := []float64{1 / z, 0.5 / z, 0.25 / z, 0.125 / z}
+	for i := range want {
+		if !approx(pi[i], want[i], 1e-9) {
+			t.Errorf("pi[%d] = %v, want %v", i, pi[i], want[i])
+		}
+	}
+}
+
+func TestCTMCValidation(t *testing.T) {
+	q := NewDense(2)
+	q.Set(0, 1, -1) // negative rate
+	q.Set(0, 0, 1)
+	if _, err := SteadyStateCTMC(q); err == nil {
+		t.Error("expected error for negative rate")
+	}
+	q2 := NewDense(2)
+	q2.Set(0, 1, 1) // row doesn't sum to zero
+	if _, err := SteadyStateCTMC(q2); err == nil {
+		t.Error("expected error for bad generator row")
+	}
+	q3 := NewDense(2) // all-zero generator
+	if _, err := SteadyStateCTMC(q3); err == nil {
+		t.Error("expected error for empty generator")
+	}
+}
+
+func TestMeanRecurrenceTimes(t *testing.T) {
+	rt := MeanRecurrenceTimes([]float64{0.25, 0.75, 0})
+	if rt[0] != 4 || !approx(rt[1], 4.0/3.0, 1e-12) || !math.IsInf(rt[2], 1) {
+		t.Errorf("recurrence times = %v", rt)
+	}
+}
+
+func TestExpectedReward(t *testing.T) {
+	got, err := ExpectedReward([]float64{0.5, 0.5}, []float64{2, 4})
+	if err != nil || got != 3 {
+		t.Errorf("ExpectedReward = %v, %v; want 3", got, err)
+	}
+	if _, err := ExpectedReward([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := NewDense(3)
+	//  2x + y - z = 8 ;  -3x - y + 2z = -11 ;  -2x + y + 2z = -3
+	// solution x=2, y=3, z=-1
+	vals := [3][3]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !approx(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingularAndMismatch(t *testing.T) {
+	a := NewDense(2) // zero matrix: singular
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("expected singular-matrix error")
+	}
+	if _, err := SolveLinear(NewDense(2), []float64{1}); err == nil {
+		t.Error("expected dimension-mismatch error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := NewDense(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveLinear(a, []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 7, 1e-12) || !approx(x[1], 5, 1e-12) {
+		t.Errorf("x = %v, want [7 5]", x)
+	}
+}
+
+func TestSparseBuilderDuplicatesSummed(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 1, 0.25)
+	b.Add(0, 1, 0.75)
+	b.Add(1, 0, 1)
+	s := b.Build()
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 (duplicates summed)", s.NNZ())
+	}
+	if !approx(s.RowSum(0), 1, 1e-15) || !approx(s.RowSum(1), 1, 1e-15) {
+		t.Errorf("row sums = %v, %v", s.RowSum(0), s.RowSum(1))
+	}
+}
+
+func TestSparseVecMul(t *testing.T) {
+	b := NewSparseBuilder(3)
+	b.Add(0, 1, 2)
+	b.Add(1, 2, 3)
+	b.Add(2, 0, 4)
+	s := b.Build()
+	dst := make([]float64, 3)
+	s.VecMul(dst, []float64{1, 10, 100})
+	// x·S: dst[j] = sum_i x[i]*S[i][j] => dst = [400, 2, 30]
+	want := []float64{400, 2, 30}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst = %v, want %v", dst, want)
+			break
+		}
+	}
+}
+
+func TestSparseEmptyRowsHandled(t *testing.T) {
+	b := NewSparseBuilder(4)
+	b.Add(3, 0, 1) // rows 0..2 empty
+	s := b.Build()
+	for i := 0; i < 3; i++ {
+		if s.RowSum(i) != 0 {
+			t.Errorf("row %d sum = %v, want 0", i, s.RowSum(i))
+		}
+	}
+	if s.RowSum(3) != 1 {
+		t.Errorf("row 3 sum = %v, want 1", s.RowSum(3))
+	}
+}
+
+// Property: for random irreducible chains, GTH output is a probability
+// vector satisfying global balance.
+func TestGTHPropertyQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 2 + int(sz%10)
+		rng := rand.New(rand.NewSource(seed))
+		p := randomStochastic(rng, n)
+		orig := p.Clone()
+		pi, err := SteadyStateGTH(p)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range pi {
+			if v < -1e-15 {
+				return false
+			}
+			sum += v
+		}
+		if !approx(sum, 1, 1e-9) {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += pi[i] * orig.At(i, j)
+			}
+			if !approx(s, pi[j], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDensePanicsOnBadDimension(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	NewDense(0)
+}
+
+func TestSparseBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	NewSparseBuilder(2).Add(2, 0, 1)
+}

@@ -1,0 +1,228 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TransientCTMC computes the state distribution of a CTMC at time t from
+// an initial distribution, by uniformization (randomization): the Poisson-
+// weighted sum of DTMC powers, truncated when the Poisson tail falls below
+// eps. Robust and accurate for the modest chains produced by the GTPN
+// engine's warm-up analyses.
+func TransientCTMC(q *Dense, initial []float64, t, eps float64) ([]float64, error) {
+	n := q.N()
+	if len(initial) != n {
+		return nil, fmt.Errorf("markov: initial distribution length %d != %d", len(initial), n)
+	}
+	var psum float64
+	for _, p := range initial {
+		if p < 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("markov: invalid initial probability %v", p)
+		}
+		psum += p
+	}
+	if math.Abs(psum-1) > 1e-9 {
+		return nil, fmt.Errorf("markov: initial distribution sums to %v", psum)
+	}
+	if t < 0 || math.IsNaN(t) {
+		return nil, fmt.Errorf("markov: negative time %v", t)
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	// Uniformization rate and the associated DTMC.
+	var lambda float64
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := q.At(i, j)
+			if v < 0 {
+				return nil, fmt.Errorf("markov: negative rate Q[%d][%d]=%v", i, j, v)
+			}
+			off += v
+		}
+		if math.Abs(q.At(i, i)+off) > 1e-6*(1+off) {
+			return nil, fmt.Errorf("markov: generator row %d does not sum to zero", i)
+		}
+		if off > lambda {
+			lambda = off
+		}
+	}
+	if lambda == 0 || t == 0 {
+		out := make([]float64, n)
+		copy(out, initial)
+		return out, nil
+	}
+	p := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				p.Set(i, j, 1+q.At(i, i)/lambda)
+			} else {
+				p.Set(i, j, q.At(i, j)/lambda)
+			}
+		}
+	}
+	// Poisson-weighted accumulation: result = Σ_k Pois(λt; k) · π₀ P^k.
+	lt := lambda * t
+	cur := make([]float64, n)
+	copy(cur, initial)
+	out := make([]float64, n)
+	// Poisson pmf iteratively; start at k = 0.
+	logw := -lt // log Pois(0)
+	w := math.Exp(logw)
+	var accumulated float64
+	next := make([]float64, n)
+	for k := 0; ; k++ {
+		if k > 0 {
+			// cur = cur · P
+			for j := 0; j < n; j++ {
+				next[j] = 0
+			}
+			for i := 0; i < n; i++ {
+				ci := cur[i]
+				if ci == 0 {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					next[j] += ci * p.At(i, j)
+				}
+			}
+			cur, next = next, cur
+			logw += math.Log(lt) - math.Log(float64(k))
+			w = math.Exp(logw)
+		}
+		for j := 0; j < n; j++ {
+			out[j] += w * cur[j]
+		}
+		accumulated += w
+		if 1-accumulated < eps && float64(k) >= lt {
+			break
+		}
+		if k > 10_000_000 {
+			return nil, errors.New("markov: uniformization did not converge")
+		}
+	}
+	// Renormalize the truncated tail.
+	if !normalize(out) {
+		return nil, errors.New("markov: degenerate transient distribution")
+	}
+	return out, nil
+}
+
+// AbsorptionDTMC analyzes a DTMC with absorbing states: given transition
+// matrix P and the set of absorbing state indices, it returns, for each
+// transient state, the expected number of steps to absorption and the
+// probability of ending in each absorbing state.
+//
+// Uses the fundamental-matrix formulation N = (I − Q)⁻¹ solved column by
+// column with the dense linear solver.
+func AbsorptionDTMC(p *Dense, absorbing []int) (steps []float64, hit [][]float64, err error) {
+	n := p.N()
+	isAbs := make([]bool, n)
+	for _, a := range absorbing {
+		if a < 0 || a >= n {
+			return nil, nil, fmt.Errorf("markov: absorbing index %d out of range", a)
+		}
+		isAbs[a] = true
+	}
+	if len(absorbing) == 0 {
+		return nil, nil, errors.New("markov: no absorbing states given")
+	}
+	var transient []int
+	for i := 0; i < n; i++ {
+		if math.Abs(p.RowSum(i)-1) > stochTol {
+			return nil, nil, fmt.Errorf("%w: row %d sums to %v", ErrNotStochastic, i, p.RowSum(i))
+		}
+		if !isAbs[i] {
+			transient = append(transient, i)
+		}
+	}
+	tN := len(transient)
+	if tN == 0 {
+		return []float64{}, [][]float64{}, nil
+	}
+	idx := make(map[int]int, tN)
+	for k, s := range transient {
+		idx[s] = k
+	}
+	// M = I − Q over transient states.
+	m := NewDense(tN)
+	for a, s := range transient {
+		for b, u := range transient {
+			v := 0.0
+			if a == b {
+				v = 1
+			}
+			v -= p.At(s, u)
+			m.Set(a, b, v)
+		}
+	}
+	// Expected steps: (I−Q)·t = 1.
+	ones := make([]float64, tN)
+	for i := range ones {
+		ones[i] = 1
+	}
+	steps, err = SolveLinear(m, ones)
+	if err != nil {
+		return nil, nil, fmt.Errorf("markov: fundamental matrix singular (chain not absorbing?): %w", err)
+	}
+	// Hitting probabilities: (I−Q)·h_a = R[:,a] for each absorbing a.
+	hit = make([][]float64, tN)
+	for i := range hit {
+		hit[i] = make([]float64, len(absorbing))
+	}
+	for ai, a := range absorbing {
+		rhs := make([]float64, tN)
+		for k, s := range transient {
+			rhs[k] = p.At(s, a)
+		}
+		col, err := SolveLinear(m, rhs)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k := range col {
+			hit[k][ai] = col[k]
+		}
+	}
+	_ = idx
+	return steps, hit, nil
+}
+
+// MeanFirstPassage returns the expected number of steps for an irreducible
+// DTMC to first reach target from each state (0 at the target itself),
+// by making target absorbing and reusing the absorption analysis.
+func MeanFirstPassage(p *Dense, target int) ([]float64, error) {
+	n := p.N()
+	if target < 0 || target >= n {
+		return nil, fmt.Errorf("markov: target %d out of range", target)
+	}
+	mod := p.Clone()
+	for j := 0; j < n; j++ {
+		v := 0.0
+		if j == target {
+			v = 1
+		}
+		mod.Set(target, j, v)
+	}
+	steps, _, err := AbsorptionDTMC(mod, []int{target})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		if i == target {
+			out[i] = 0
+			continue
+		}
+		out[i] = steps[k]
+		k++
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// Two-state CTMC with rates a (0→1) and b (1→0): the transient solution is
+// known in closed form.
+func twoStateCTMC(a, b float64) *Dense {
+	q := NewDense(2)
+	q.Set(0, 0, -a)
+	q.Set(0, 1, a)
+	q.Set(1, 0, b)
+	q.Set(1, 1, -b)
+	return q
+}
+
+func TestTransientClosedForm(t *testing.T) {
+	const a, b = 0.7, 0.3
+	q := twoStateCTMC(a, b)
+	for _, tm := range []float64{0, 0.1, 0.5, 1, 3, 10} {
+		got, err := TransientCTMC(q, []float64{1, 0}, tm, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// P(state 0 at t | start 0) = b/(a+b) + a/(a+b)·e^{−(a+b)t}.
+		want0 := b/(a+b) + a/(a+b)*math.Exp(-(a+b)*tm)
+		if !approx(got[0], want0, 1e-9) {
+			t.Errorf("t=%v: p0 = %v, want %v", tm, got[0], want0)
+		}
+		if !approx(got[0]+got[1], 1, 1e-12) {
+			t.Errorf("t=%v: distribution sums to %v", tm, got[0]+got[1])
+		}
+	}
+}
+
+func TestTransientConvergesToStationary(t *testing.T) {
+	q := twoStateCTMC(1, 2)
+	pi, err := SteadyStateCTMC(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TransientCTMC(q, []float64{0, 1}, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if !approx(got[i], pi[i], 1e-9) {
+			t.Errorf("state %d: transient(100) = %v, stationary = %v", i, got[i], pi[i])
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	q := twoStateCTMC(1, 1)
+	if _, err := TransientCTMC(q, []float64{1}, 1, 0); err == nil {
+		t.Error("short initial accepted")
+	}
+	if _, err := TransientCTMC(q, []float64{0.5, 0.6}, 1, 0); err == nil {
+		t.Error("unnormalized initial accepted")
+	}
+	if _, err := TransientCTMC(q, []float64{1, 0}, -1, 0); err == nil {
+		t.Error("negative time accepted")
+	}
+	bad := NewDense(2)
+	bad.Set(0, 1, -1)
+	bad.Set(0, 0, 1)
+	if _, err := TransientCTMC(bad, []float64{1, 0}, 1, 0); err == nil {
+		t.Error("negative rate accepted")
+	}
+	// Zero generator: distribution unchanged.
+	zero := NewDense(2)
+	got, err := TransientCTMC(zero, []float64{0.3, 0.7}, 5, 0)
+	if err != nil || !approx(got[0], 0.3, 1e-12) {
+		t.Errorf("zero generator: %v, %v", got, err)
+	}
+}
+
+// Gambler's-ruin style chain: states 0..3 with 0 and 3 absorbing, fair
+// coin moves between 1 and 2.
+func gambler() *Dense {
+	p := NewDense(4)
+	p.Set(0, 0, 1)
+	p.Set(3, 3, 1)
+	p.Set(1, 0, 0.5)
+	p.Set(1, 2, 0.5)
+	p.Set(2, 1, 0.5)
+	p.Set(2, 3, 0.5)
+	return p
+}
+
+func TestAbsorptionGamblersRuin(t *testing.T) {
+	steps, hit, err := AbsorptionDTMC(gambler(), []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For fair gambler's ruin with boundaries {0,3}: from state i, expected
+	// steps = i(3−i): state 1 → 2, state 2 → 2.
+	if !approx(steps[0], 2, 1e-10) || !approx(steps[1], 2, 1e-10) {
+		t.Errorf("steps = %v, want [2 2]", steps)
+	}
+	// Ruin probability from state i is 1−i/3.
+	if !approx(hit[0][0], 2.0/3.0, 1e-10) || !approx(hit[0][1], 1.0/3.0, 1e-10) {
+		t.Errorf("hit from state 1 = %v, want [2/3 1/3]", hit[0])
+	}
+	if !approx(hit[1][0], 1.0/3.0, 1e-10) || !approx(hit[1][1], 2.0/3.0, 1e-10) {
+		t.Errorf("hit from state 2 = %v, want [1/3 2/3]", hit[1])
+	}
+}
+
+func TestAbsorptionValidation(t *testing.T) {
+	if _, _, err := AbsorptionDTMC(gambler(), nil); err == nil {
+		t.Error("no absorbing states accepted")
+	}
+	if _, _, err := AbsorptionDTMC(gambler(), []int{9}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	bad := NewDense(2)
+	bad.Set(0, 0, 0.5)
+	bad.Set(1, 1, 1)
+	if _, _, err := AbsorptionDTMC(bad, []int{1}); err == nil {
+		t.Error("non-stochastic matrix accepted")
+	}
+	// All states absorbing: trivially empty result.
+	iden := NewDense(2)
+	iden.Set(0, 0, 1)
+	iden.Set(1, 1, 1)
+	steps, hit, err := AbsorptionDTMC(iden, []int{0, 1})
+	if err != nil || len(steps) != 0 || len(hit) != 0 {
+		t.Errorf("all-absorbing: %v %v %v", steps, hit, err)
+	}
+	// Chain that never absorbs from some state: singular fundamental matrix.
+	stuck := NewDense(3)
+	stuck.Set(0, 0, 1) // absorbing
+	stuck.Set(1, 2, 1) // 1 <-> 2 closed loop
+	stuck.Set(2, 1, 1)
+	if _, _, err := AbsorptionDTMC(stuck, []int{0}); err == nil {
+		t.Error("non-absorbing chain accepted")
+	}
+}
+
+func TestMeanFirstPassage(t *testing.T) {
+	// Symmetric random walk on a triangle: from any state, mean first
+	// passage to another state is 2 steps? Compute: P(i→j)=0.5 for the two
+	// neighbors. By symmetry m = 1 + 0.5·0 + 0.5·m → m = 2.
+	p := NewDense(3)
+	for i := 0; i < 3; i++ {
+		p.Set(i, (i+1)%3, 0.5)
+		p.Set(i, (i+2)%3, 0.5)
+	}
+	m, err := MeanFirstPassage(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 0 {
+		t.Errorf("m[target] = %v, want 0", m[0])
+	}
+	if !approx(m[1], 2, 1e-10) || !approx(m[2], 2, 1e-10) {
+		t.Errorf("m = %v, want [0 2 2]", m)
+	}
+	if _, err := MeanFirstPassage(p, 7); err == nil {
+		t.Error("bad target accepted")
+	}
+	// Consistency with stationary distribution: for an irreducible chain,
+	// mean recurrence time of state 0 = 1/π₀ = 1 + Σ_j P(0,j)·m_j.
+	pi, err := SteadyStateGTH(p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := 1.0
+	for j := 0; j < 3; j++ {
+		rec += p.At(0, j) * m[j]
+	}
+	if !approx(rec, 1/pi[0], 1e-9) {
+		t.Errorf("recurrence identity broken: %v vs %v", rec, 1/pi[0])
+	}
+}

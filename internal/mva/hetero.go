@@ -1,0 +1,211 @@
+package mva
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"snoopmva/internal/queueing"
+	"snoopmva/internal/workload"
+)
+
+// Group is one homogeneous set of processors in a heterogeneous system:
+// Count processors all running the same workload. Different groups share
+// the bus and memory but may differ arbitrarily in workload parameters —
+// a multi-class generalization of the paper's single-class model, built
+// from the same equations with per-class arrival-theorem terms.
+type Group struct {
+	Name  string
+	Count int
+	Model Model
+}
+
+// HeteroResult holds the multi-group solution.
+type HeteroResult struct {
+	// PerGroup results: R and speedup per processor of each group.
+	PerGroup []GroupResult
+	// TotalProcessors across groups.
+	TotalProcessors int
+	// Speedup is the aggregate Σ N_g·(τ_g+T_supply)/R_g.
+	Speedup float64
+	// ProcessingPower is Σ N_g·τ_g/R_g.
+	ProcessingPower float64
+	// UBus and WBus are the shared-bus measures.
+	UBus float64
+	WBus float64
+	// UMem and WMem are the shared-memory measures.
+	UMem float64
+	WMem float64
+	// Iterations of the joint fixed point.
+	Iterations int
+}
+
+// GroupResult is one group's slice of the solution.
+type GroupResult struct {
+	Name    string
+	Count   int
+	R       float64
+	Speedup float64 // per-group N_g·(τ_g+T_supply)/R_g
+}
+
+// SolveHeterogeneous computes the joint steady state of several processor
+// groups sharing one bus and memory. All groups must use the same timing
+// constants (one bus, one memory system).
+func SolveHeterogeneous(groups []Group, opts Options) (HeteroResult, error) {
+	o := opts.withDefaults()
+	if len(groups) == 0 {
+		return HeteroResult{}, errors.New("mva: no groups")
+	}
+	type gState struct {
+		g     Group
+		d     workload.Derived
+		iv    workload.Interference
+		r     float64
+		tau   float64
+		nf    float64
+		rBc   float64
+		rRr   float64
+		local float64
+	}
+	gs := make([]gState, len(groups))
+	total := 0
+	var timing workload.Timing
+	for i, g := range groups {
+		if g.Count < 1 {
+			return HeteroResult{}, fmt.Errorf("mva: group %d count %d < 1", i, g.Count)
+		}
+		d, err := g.Model.Derive()
+		if err != nil {
+			return HeteroResult{}, fmt.Errorf("mva: group %d: %w", i, err)
+		}
+		if i == 0 {
+			timing = d.Timing
+		} else if d.Timing != timing {
+			return HeteroResult{}, errors.New("mva: groups must share timing constants")
+		}
+		total += g.Count
+		gs[i] = gState{g: g, d: d, tau: d.Params.Tau, nf: float64(g.Count)}
+	}
+	t := timing
+	for i := range gs {
+		// Snooping interference sees the whole machine.
+		gs[i].iv = gs[i].d.Interference(total)
+		d := gs[i].d
+		gs[i].r = gs[i].tau + t.TSupply + d.PBc*d.TBc(0) + d.PRr*d.TRead
+	}
+
+	var wBus, wMem float64
+	res := HeteroResult{TotalProcessors: total}
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		// Per-group response components with the current shared waits.
+		for i := range gs {
+			d := gs[i].d
+			tBc := d.TBc(wMem)
+			gs[i].rBc = d.PBc * (wBus + tBc)
+			gs[i].rRr = d.PRr * (wBus + d.TRead)
+		}
+		// Shared-bus aggregates.
+		var uBus, busOpRate, busTimeRate float64
+		for i := range gs {
+			d := gs[i].d
+			tBc := d.TBc(wMem)
+			demand := d.PBc*tBc + d.PRr*d.TRead
+			uBus += gs[i].nf * demand / gs[i].r
+			busOpRate += gs[i].nf * (d.PBc + d.PRr) / gs[i].r
+			busTimeRate += gs[i].nf * demand / gs[i].r
+		}
+		// Mean access time over all classes (op-weighted) and residual
+		// life (time-weighted, deterministic service).
+		var tBus, tRes float64
+		if busOpRate > 0 {
+			for i := range gs {
+				d := gs[i].d
+				tBc := d.TBc(wMem)
+				wBcOps := gs[i].nf * d.PBc / gs[i].r
+				wRrOps := gs[i].nf * d.PRr / gs[i].r
+				tBus += (wBcOps*tBc + wRrOps*d.TRead) / busOpRate
+				if busTimeRate > 0 {
+					tRes += (wBcOps * tBc / busTimeRate) * (tBc / 2)
+					tRes += (wRrOps * d.TRead / busTimeRate) * (d.TRead / 2)
+				}
+			}
+		}
+		pBusyBus, err := queueing.BusyProbabilityFinite(uBus, total)
+		if err != nil {
+			return HeteroResult{}, err
+		}
+		// Queue seen by an arrival: every processor's steady-state bus
+		// residence, minus the arriving customer's own share (approximated
+		// by scaling its own group's term by (N_g−1)/N_g would make w_bus
+		// class-dependent; we use the population-wide correction as in
+		// equation (6) with mixed classes).
+		var qBus float64
+		for i := range gs {
+			qBus += gs[i].nf * (gs[i].rBc + gs[i].rRr) / gs[i].r
+		}
+		qBus *= float64(total-1) / float64(total)
+		waiting := qBus - pBusyBus
+		if waiting < 0 {
+			waiting = 0
+		}
+		newWBus := waiting*tBus + pBusyBus*tRes
+
+		// Shared-memory interference.
+		var uMem float64
+		for i := range gs {
+			uMem += gs[i].nf * (1 / float64(t.BlockSize)) * gs[i].d.MemOpsPerRequest() * t.DMem / gs[i].r
+		}
+		pBusyMem, err := queueing.BusyProbabilityFinite(uMem, total)
+		if err != nil {
+			return HeteroResult{}, err
+		}
+		newWMem := pBusyMem * t.DMem / 2
+
+		// Per-group cache interference and response.
+		var maxDelta float64
+		for i := range gs {
+			d := gs[i].d
+			iv := gs[i].iv
+			var rLocal float64
+			if qBus > 0 && iv.P > 0 {
+				var nInt float64
+				if iv.PPrime >= 1 {
+					nInt = iv.P * qBus
+				} else {
+					nInt = iv.P * (1 - math.Pow(iv.PPrime, qBus)) / (1 - iv.PPrime)
+				}
+				rLocal = d.PLocal * nInt * iv.TInterference
+			}
+			gs[i].local = rLocal
+			newR := gs[i].tau + t.TSupply + rLocal + gs[i].rBc + gs[i].rRr
+			delta := math.Abs(newR - gs[i].r)
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			gs[i].r = 0.5*newR + 0.5*gs[i].r
+		}
+		dw := math.Max(math.Abs(newWBus-wBus), math.Abs(newWMem-wMem))
+		wBus = 0.5*newWBus + 0.5*wBus
+		wMem = 0.5*newWMem + 0.5*wMem
+		res.Iterations = iter
+		if math.Max(maxDelta, dw) < o.Tol*(1+wBus) {
+			res.WBus = wBus
+			res.WMem = wMem
+			res.UBus = math.Min(uBus, 1)
+			res.UMem = math.Min(uMem, 1)
+			for i := range gs {
+				gr := GroupResult{
+					Name:    gs[i].g.Name,
+					Count:   gs[i].g.Count,
+					R:       gs[i].r,
+					Speedup: gs[i].nf * (gs[i].tau + t.TSupply) / gs[i].r,
+				}
+				res.PerGroup = append(res.PerGroup, gr)
+				res.Speedup += gr.Speedup
+				res.ProcessingPower += gs[i].nf * gs[i].tau / gs[i].r
+			}
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w (heterogeneous, %d groups)", ErrNoConvergence, len(groups))
+}

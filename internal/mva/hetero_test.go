@@ -1,0 +1,154 @@
+package mva
+
+import (
+	"math"
+	"testing"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/workload"
+)
+
+func TestHeterogeneousReducesToSingleClass(t *testing.T) {
+	// One group must reproduce the single-class solver closely (the only
+	// difference is the joint damping schedule).
+	m := Model{Workload: workload.AppendixA(workload.Sharing5)}
+	for _, n := range []int{1, 4, 10, 20} {
+		h, err := SolveHeterogeneous([]Group{{Name: "all", Count: n, Model: m}}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.Solve(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(h.Speedup-s.Speedup) / s.Speedup; rel > 1e-6 {
+			t.Errorf("N=%d: hetero %v vs single %v (rel %.2e)", n, h.Speedup, s.Speedup, rel)
+		}
+	}
+}
+
+func TestHeterogeneousSplitGroupsMatchWhole(t *testing.T) {
+	// Splitting identical processors into two groups must not change the
+	// answer.
+	m := Model{Workload: workload.AppendixA(workload.Sharing5)}
+	whole, err := SolveHeterogeneous([]Group{{Count: 8, Model: m}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SolveHeterogeneous([]Group{
+		{Name: "a", Count: 3, Model: m},
+		{Name: "b", Count: 5, Model: m},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(split.Speedup-whole.Speedup) / whole.Speedup; rel > 1e-6 {
+		t.Errorf("split %v vs whole %v", split.Speedup, whole.Speedup)
+	}
+	if split.PerGroup[0].Count != 3 || split.PerGroup[1].Name != "b" {
+		t.Errorf("group bookkeeping wrong: %+v", split.PerGroup)
+	}
+}
+
+func TestHeterogeneousMixedWorkloads(t *testing.T) {
+	// A compute-heavy group (long think time) mixed with a memory-heavy
+	// group: the compute group must see a shorter R and the memory group
+	// must feel the shared-bus contention.
+	light := Model{Workload: workload.AppendixA(workload.Sharing1)}
+	light.Workload.Tau = 20
+	heavy := Model{Workload: workload.AppendixA(workload.Sharing20)}
+	res, err := SolveHeterogeneous([]Group{
+		{Name: "compute", Count: 4, Model: light},
+		{Name: "memory", Count: 8, Model: heavy},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessors != 12 {
+		t.Errorf("total = %d", res.TotalProcessors)
+	}
+	// Each group's per-processor utilization τ/R must be higher for the
+	// compute group.
+	uc := 20.0 / res.PerGroup[0].R
+	um := 2.5 / res.PerGroup[1].R
+	if uc <= um {
+		t.Errorf("compute utilization %v should exceed memory-bound %v", uc, um)
+	}
+	if res.UBus <= 0 || res.UBus > 1 {
+		t.Errorf("U_bus = %v", res.UBus)
+	}
+	// The heavy group competing for the same bus must be slower than it
+	// would be alone.
+	alone, err := heavy.Solve(8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerGroup[1].R <= alone.R {
+		t.Errorf("shared-bus R %v should exceed alone R %v", res.PerGroup[1].R, alone.R)
+	}
+}
+
+func TestHeterogeneousMixedProtocols(t *testing.T) {
+	// Groups may run different protocols over the same bus (e.g. during a
+	// migration study): Dragon processors should outperform Write-Once
+	// ones under the same workload.
+	wo := Model{Workload: workload.AppendixA(workload.Sharing20)}
+	dragon := Model{Workload: workload.AppendixA(workload.Sharing20), Mods: protocol.Mods(protocol.Mod1, protocol.Mod2, protocol.Mod3, protocol.Mod4)}
+	res, err := SolveHeterogeneous([]Group{
+		{Name: "wo", Count: 5, Model: wo},
+		{Name: "dragon", Count: 5, Model: dragon},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWO := res.PerGroup[0].Speedup / 5
+	perDragon := res.PerGroup[1].Speedup / 5
+	if perDragon <= perWO {
+		t.Errorf("Dragon per-processor %v should beat WO %v", perDragon, perWO)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	if _, err := SolveHeterogeneous(nil, Options{}); err == nil {
+		t.Error("empty groups accepted")
+	}
+	m := Model{Workload: workload.AppendixA(workload.Sharing5)}
+	if _, err := SolveHeterogeneous([]Group{{Count: 0, Model: m}}, Options{}); err == nil {
+		t.Error("zero count accepted")
+	}
+	bad := m
+	bad.Workload.HSw = 9
+	if _, err := SolveHeterogeneous([]Group{{Count: 2, Model: bad}}, Options{}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	slow := m
+	slow.Timing = workload.DefaultTiming()
+	slow.Timing.DMem = 9
+	if _, err := SolveHeterogeneous([]Group{
+		{Count: 2, Model: m},
+		{Count: 2, Model: slow},
+	}, Options{}); err == nil {
+		t.Error("mismatched timing accepted")
+	}
+}
+
+func TestHeterogeneousIdentities(t *testing.T) {
+	m := Model{Workload: workload.AppendixA(workload.Sharing5)}
+	res, err := SolveHeterogeneous([]Group{
+		{Name: "a", Count: 2, Model: m},
+		{Name: "b", Count: 6, Model: m},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, g := range res.PerGroup {
+		sum += g.Speedup
+	}
+	if math.Abs(sum-res.Speedup) > 1e-9 {
+		t.Errorf("speedup decomposition broken: %v vs %v", sum, res.Speedup)
+	}
+	if res.ProcessingPower >= res.Speedup {
+		t.Errorf("power %v must be below speedup %v (T_supply overhead)", res.ProcessingPower, res.Speedup)
+	}
+}

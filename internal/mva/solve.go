@@ -1,0 +1,238 @@
+package mva
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"snoopmva/internal/queueing"
+)
+
+// ErrNoConvergence indicates the fixed point did not reach tolerance within
+// the iteration budget.
+var ErrNoConvergence = errors.New("mva: fixed point did not converge")
+
+// Solve computes the steady-state performance measures for n processors.
+// The equations are iterated from zero waiting times (Section 3.2). With
+// the default (zero) Damping, plain substitution is tried first — the
+// paper's scheme — and the solver falls back to under-relaxed iteration if
+// the plain scheme oscillates (which happens only deep in saturation, far
+// beyond the paper's configurations). An explicitly set Damping disables
+// the fallback.
+func (m Model) Solve(n int, opts Options) (Result, error) {
+	if opts.Damping == 0 {
+		var lastErr error
+		for _, d := range []float64{1, 0.5, 0.2} {
+			o := opts
+			o.Damping = d
+			res, err := m.solveOnce(n, o)
+			if err == nil {
+				return res, nil
+			}
+			if !errors.Is(err, ErrNoConvergence) {
+				return res, err
+			}
+			lastErr = err
+		}
+		return Result{}, lastErr
+	}
+	return m.solveOnce(n, opts)
+}
+
+func (m Model) solveOnce(n int, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	if n < 1 {
+		return Result{}, fmt.Errorf("mva: system size %d < 1", n)
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		return Result{}, fmt.Errorf("mva: damping %v outside (0,1]", o.Damping)
+	}
+	d, err := m.Derive()
+	if err != nil {
+		return Result{}, err
+	}
+	t := d.Timing
+	tau := d.Params.Tau
+	iv := d.Interference(n)
+
+	res := Result{N: n, Mods: m.Mods, Derived: d, Interference: iv}
+	nf := float64(n)
+
+	// Bus occupancy of a remote read: under a split-transaction bus the
+	// memory latency of memory-supplied reads comes off the bus.
+	tReadBus := d.TRead
+	if o.SplitTransactionBus {
+		tReadBus -= t.DMem * (1 - d.PCsupplyRR)
+		if tReadBus < 1 {
+			tReadBus = 1
+		}
+	}
+
+	// Fixed-point state: waiting times start at zero (Section 3.2).
+	var wBus, wMem float64
+	// Initial R with zero waits.
+	r := tau + t.TSupply + d.PBc*d.TBc(0) + d.PRr*d.TRead
+
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		tBc := d.TBc(wMem) // broadcast bus occupancy (T_write + w_mem, or T_inval)
+
+		// Equations (3) and (4): weighted response-time components.
+		rBroadcast := d.PBc * (wBus + tBc)
+		rRemoteRead := d.PRr * (wBus + d.TRead)
+
+		// Equation (6): mean bus-queue population seen by an arrival —
+		// the arrival-theorem heuristic (other N−1 caches at their
+		// steady-state behavior).
+		others := nf - 1
+		if o.NoArrivalCorrection {
+			others = nf
+		}
+		qBus := others * (rBroadcast + rRemoteRead) / r
+		if qBus < 0 {
+			qBus = 0
+		}
+
+		// Equation (7): bus utilization from per-cache bus demand.
+		busDemand := d.PBc*tBc + d.PRr*tReadBus
+		uBus := nf * busDemand / r
+		// Equation (8): probability an arrival finds the bus busy.
+		var pBusyBus float64
+		if o.NoArrivalCorrection {
+			pBusyBus = math.Min(uBus, 1)
+		} else {
+			pBusyBus, err = queueing.BusyProbabilityFinite(uBus, n)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+
+		// Equations (9) and (10): mean access time and residual life.
+		var tBus, tRes float64
+		if busDemand > 0 {
+			fBc := d.PBc / (d.PBc + d.PRr)
+			fRr := d.PRr / (d.PBc + d.PRr)
+			tBus = fBc*tBc + fRr*tReadBus
+			// Residual life weights each class by its share of bus *time*
+			// (length-biased sampling), then takes duration/2 for the
+			// deterministic access times.
+			wBcTime := d.PBc * tBc
+			wRrTime := d.PRr * tReadBus
+			tot := wBcTime + wRrTime
+			half := 2.0
+			if o.ExponentialBus {
+				// Memoryless access times: residual = full duration.
+				half = 1.0
+			}
+			tRes = (wBcTime/tot)*(tBc/half) + (wRrTime/tot)*(tReadBus/half)
+			if o.NoResidualLife {
+				tRes = tBus
+			}
+		}
+
+		// Equation (5): mean bus waiting time. The waiting population
+		// (those not in service) is Q̄ − p_busy; the approximation can go
+		// slightly negative at light load, clamp at zero.
+		waiting := qBus - pBusyBus
+		if waiting < 0 {
+			waiting = 0
+		}
+		newWBus := waiting*tBus + pBusyBus*tRes
+
+		// Equations (11) and (12): memory-module interference.
+		var newWMem float64
+		var uMem float64
+		if !o.NoMemoryInterference {
+			uMem = nf * (1 / float64(t.BlockSize)) * d.MemOpsPerRequest() * t.DMem / r
+			var pBusyMem float64
+			if o.NoArrivalCorrection {
+				pBusyMem = math.Min(uMem, 1)
+			} else {
+				pBusyMem, err = queueing.BusyProbabilityFinite(uMem, n)
+				if err != nil {
+					return Result{}, err
+				}
+			}
+			newWMem = pBusyMem * t.DMem / 2
+		}
+
+		// Equation (13) and (2): cache interference on local requests.
+		var nInt, rLocal float64
+		if !o.NoCacheInterference && qBus > 0 {
+			if iv.PPrime >= 1 {
+				nInt = iv.P * qBus
+			} else {
+				nInt = iv.P * (1 - math.Pow(iv.PPrime, qBus)) / (1 - iv.PPrime)
+			}
+			rLocal = d.PLocal * nInt * iv.TInterference
+		}
+
+		// Equation (1).
+		newR := tau + rLocal + rBroadcast + rRemoteRead + t.TSupply
+
+		// Damped update and joint convergence check on the fixed-point
+		// state (R, w_bus, w_mem) — checking R alone can declare false
+		// convergence on the first iteration, before the waiting times
+		// have moved off their zero start.
+		prevWBus, prevWMem, prevR := wBus, wMem, r
+		wBus = o.Damping*newWBus + (1-o.Damping)*wBus
+		wMem = o.Damping*newWMem + (1-o.Damping)*wMem
+		r = o.Damping*newR + (1-o.Damping)*r
+
+		res.Iterations = iter
+		delta := math.Max(math.Abs(r-prevR),
+			math.Max(math.Abs(wBus-prevWBus), math.Abs(wMem-prevWMem)))
+
+		if delta < o.Tol*(1+math.Abs(r)) {
+			res.R = r
+			res.RLocal = rLocal
+			res.RBroadcast = rBroadcast
+			res.RRemoteRead = rRemoteRead
+			res.WBus = wBus
+			res.QBus = qBus
+			res.UBus = math.Min(uBus, 1)
+			res.TBus = tBus
+			res.TResBus = tRes
+			res.WMem = wMem
+			res.UMem = math.Min(uMem, 1)
+			res.NInterference = nInt
+			res.Speedup = nf * (tau + t.TSupply) / r
+			res.ProcessingPower = nf * tau / r
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w within %d iterations (N=%d, %v)", ErrNoConvergence, o.MaxIter, n, m.Mods)
+}
+
+// Sweep solves the model for each system size in ns, in order.
+func (m Model) Sweep(ns []int, opts Options) ([]Result, error) {
+	out := make([]Result, 0, len(ns))
+	for _, n := range ns {
+		r, err := m.Solve(n, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mva: sweep at N=%d: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AsymptoticSpeedup returns the bus-saturation speedup bound
+// N·(τ+T_supply)/R as N→∞: the bus is the bottleneck, so throughput tends
+// to 1/(bus demand per request) requests per cycle and speedup tends to
+// (τ+T_supply)/busDemand. Memory waits at saturation are bounded by
+// d_mem/2; this returns the bound with that worst-case wait included and
+// excluded.
+func (m Model) AsymptoticSpeedup() (lo, hi float64, err error) {
+	d, err := m.Derive()
+	if err != nil {
+		return 0, 0, err
+	}
+	t := d.Timing
+	base := d.Params.Tau + t.TSupply
+	demandLo := d.PBc*d.TBc(t.DMem/2) + d.PRr*d.TRead
+	demandHi := d.PBc*d.TBc(0) + d.PRr*d.TRead
+	if demandHi <= 0 {
+		return math.Inf(1), math.Inf(1), nil
+	}
+	return base / demandLo, base / demandHi, nil
+}

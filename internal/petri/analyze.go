@@ -1,0 +1,451 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"snoopmva/internal/markov"
+)
+
+// inflight is one scheduled firing: transition t completes after remaining
+// cycles.
+type inflight struct {
+	t         TransID
+	remaining int
+}
+
+// state is a stable extended state: a marking plus the multiset of
+// in-flight firings (sorted canonically), with no enabled transition.
+type state struct {
+	marking []int
+	flights []inflight // sorted by (t, remaining)
+}
+
+func (s state) key() string {
+	buf := make([]byte, 0, 4*len(s.marking)+6*len(s.flights))
+	for _, m := range s.marking {
+		buf = appendInt(buf, m)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, '|')
+	for _, f := range s.flights {
+		buf = appendInt(buf, int(f.t))
+		buf = append(buf, ':')
+		buf = appendInt(buf, f.remaining)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	if v == 0 {
+		return append(buf, '0')
+	}
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [12]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(buf, tmp[i:]...)
+}
+
+func (s state) clone() state {
+	m := make([]int, len(s.marking))
+	copy(m, s.marking)
+	f := make([]inflight, len(s.flights))
+	copy(f, s.flights)
+	return state{marking: m, flights: f}
+}
+
+func sortFlights(f []inflight) {
+	sort.Slice(f, func(i, j int) bool {
+		if f[i].t != f[j].t {
+			return f[i].t < f[j].t
+		}
+		return f[i].remaining < f[j].remaining
+	})
+}
+
+// outcome is one stable state reachable from a resolution, with its path
+// probability and the number of firings of each transition along the way.
+type outcome struct {
+	st    state
+	prob  float64
+	fires []float64
+}
+
+// Options controls Analyze.
+type Options struct {
+	// MaxStates bounds the reachability graph. Zero means 200000.
+	MaxStates int
+	// MaxResolutionDepth bounds zero-time firing chains, guarding against
+	// Zeno nets. Zero means 10000.
+	MaxResolutionDepth int
+	// Power configures the embedded-chain solver for large graphs.
+	Power markov.PowerOptions
+	// DenseLimit: graphs up to this many states use the (more robust)
+	// dense GTH solver. Zero means 1500.
+	DenseLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = 200000
+	}
+	if o.MaxResolutionDepth == 0 {
+		o.MaxResolutionDepth = 10000
+	}
+	if o.DenseLimit == 0 {
+		o.DenseLimit = 1500
+	}
+	return o
+}
+
+// Result holds the steady-state analysis outputs.
+type Result struct {
+	// States is the number of stable states in the reachability graph —
+	// the quantity that explodes with modeled system size.
+	States int
+	// MeanCycle is the expected sojourn per embedded step (cycles).
+	MeanCycle float64
+	// TimeAvgMarking[p] is the long-run time-average token count of place p.
+	TimeAvgMarking []float64
+	// TimeAvgInFlight[t] is the long-run time-average number of in-flight
+	// firings of transition t (tokens "inside" the transition).
+	TimeAvgInFlight []float64
+	// Throughput[t] is the long-run firing rate of transition t per cycle.
+	Throughput []float64
+}
+
+// enabled returns a transition enabled in marking m, scanning from index
+// start; -1 if none.
+func (n *Net) anyEnabled(m []int) bool {
+	for i := range n.trans {
+		if n.isEnabled(i, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Net) isEnabled(ti int, m []int) bool {
+	for _, a := range n.trans[ti].in {
+		if m[a.Place] < a.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// resolver expands zero-time firing sequences into distributions over
+// stable states. Intermediate states are memoized: the outcome distribution
+// from a given raw state does not depend on how it was reached, and the
+// memo collapses the combinatorial explosion of firing orderings (distinct
+// interleavings of independent firings meet at the same intermediate
+// states).
+type resolver struct {
+	n    *Net
+	memo map[string][]outcome
+}
+
+func newResolver(n *Net) *resolver {
+	return &resolver{n: n, memo: map[string][]outcome{}}
+}
+
+// resolve returns the stable-state distribution reachable from raw in zero
+// time, with expected firing counts per transition conditioned on each
+// outcome. The returned slices are shared via the memo and must not be
+// mutated by callers.
+func (r *resolver) resolve(raw state, depthLimit int) ([]outcome, error) {
+	sortFlights(raw.flights)
+	key := raw.key()
+	if out, ok := r.memo[key]; ok {
+		return out, nil
+	}
+	if depthLimit <= 0 {
+		return nil, errors.New("petri: zero-time firing chain exceeded depth limit (Zeno net?)")
+	}
+	n := r.n
+	var en []int
+	var total float64
+	anyImmediate := false
+	for i := range n.trans {
+		if n.isEnabled(i, raw.marking) {
+			if n.trans[i].duration == 0 && !anyImmediate {
+				// GSPN semantics: immediate transitions have strict
+				// priority over timed ones — restart collection keeping
+				// immediates only.
+				anyImmediate = true
+				en = en[:0]
+				total = 0
+			}
+			if anyImmediate && n.trans[i].duration != 0 {
+				continue
+			}
+			en = append(en, i)
+			total += n.trans[i].weight
+		}
+	}
+	if len(en) == 0 {
+		out := []outcome{{st: raw.clone(), prob: 1, fires: make([]float64, len(n.trans))}}
+		r.memo[key] = out
+		return out, nil
+	}
+	acc := map[string]*outcome{}
+	for _, ti := range en {
+		p := n.trans[ti].weight / total
+		next := raw.clone()
+		for _, a := range n.trans[ti].in {
+			next.marking[a.Place] -= a.Weight
+		}
+		if n.trans[ti].duration == 0 {
+			for _, a := range n.trans[ti].out {
+				next.marking[a.Place] += a.Weight
+			}
+		} else {
+			next.flights = append(next.flights, inflight{t: TransID(ti), remaining: n.trans[ti].duration})
+		}
+		sub, err := r.resolve(next, depthLimit-1)
+		if err != nil {
+			return nil, err
+		}
+		for i := range sub {
+			o := &sub[i]
+			k := o.st.key()
+			dst, ok := acc[k]
+			if !ok {
+				dst = &outcome{st: o.st, fires: make([]float64, len(n.trans))}
+				acc[k] = dst
+			}
+			w := p * o.prob
+			dst.prob += w
+			for t, f := range o.fires {
+				dst.fires[t] += w * f
+			}
+			dst.fires[ti] += w
+		}
+	}
+	out := make([]outcome, 0, len(acc))
+	for _, o := range acc {
+		// Normalize conditional firing counts.
+		for i := range o.fires {
+			o.fires[i] /= o.prob
+		}
+		out = append(out, *o)
+	}
+	// Deterministic order for reproducible matrices.
+	sort.Slice(out, func(i, j int) bool { return out[i].st.key() < out[j].st.key() })
+	r.memo[key] = out
+	return out, nil
+}
+
+// advance moves a stable state forward to its next event: time passes by
+// the minimum remaining firing time, completed firings deposit their
+// outputs. Returns the raw (possibly unstable) state and the sojourn.
+func (n *Net) advance(st state) (state, int, error) {
+	if len(st.flights) == 0 {
+		return state{}, 0, errors.New("petri: deadlock — no enabled transitions and nothing in flight")
+	}
+	dt := st.flights[0].remaining
+	for _, f := range st.flights {
+		if f.remaining < dt {
+			dt = f.remaining
+		}
+	}
+	next := state{marking: make([]int, len(st.marking))}
+	copy(next.marking, st.marking)
+	for _, f := range st.flights {
+		if f.remaining == dt {
+			for _, a := range n.trans[f.t].out {
+				next.marking[a.Place] += a.Weight
+			}
+		} else {
+			next.flights = append(next.flights, inflight{t: f.t, remaining: f.remaining - dt})
+		}
+	}
+	return next, dt, nil
+}
+
+// Analyze builds the extended reachability graph and computes steady-state
+// measures. The net must be structurally valid and its reachability graph
+// irreducible (true for the cyclic protocol models built on this engine).
+func (n *Net) Analyze(opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	init := state{marking: make([]int, len(n.places))}
+	for i, p := range n.places {
+		init.marking[i] = p.initial
+	}
+	rv := newResolver(n)
+	initial, err := rv.resolve(init, o.MaxResolutionDepth)
+	if err != nil {
+		return nil, err
+	}
+
+	// BFS over stable states.
+	index := map[string]int{}
+	var states []state
+	var queue []int
+	addState := func(st state) int {
+		k := st.key()
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(states)
+		index[k] = id
+		states = append(states, st)
+		queue = append(queue, id)
+		return id
+	}
+	for _, oc := range initial {
+		addState(oc.st)
+	}
+	type edge struct {
+		from, to int
+		prob     float64
+	}
+	var edges []edge
+	sojourn := make(map[int]int)
+	// expFires[from][t] = expected firings of t during the step out of from.
+	expFires := make(map[int][]float64)
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		st := states[id]
+		raw, dt, err := n.advance(st)
+		if err != nil {
+			return nil, fmt.Errorf("petri: state %d: %w", id, err)
+		}
+		sojourn[id] = dt
+		outs, err := rv.resolve(raw, o.MaxResolutionDepth)
+		if err != nil {
+			return nil, err
+		}
+		ef := make([]float64, len(n.trans))
+		for _, oc := range outs {
+			to := addState(oc.st)
+			edges = append(edges, edge{from: id, to: to, prob: oc.prob})
+			for t := range ef {
+				ef[t] += oc.prob * oc.fires[t]
+			}
+			if len(states) > o.MaxStates {
+				return nil, fmt.Errorf("petri: state space exceeded %d states", o.MaxStates)
+			}
+		}
+		expFires[id] = ef
+	}
+
+	ns := len(states)
+	var pi []float64
+	if ns <= o.DenseLimit {
+		p := markov.NewDense(ns)
+		for _, e := range edges {
+			p.Add(e.from, e.to, e.prob)
+		}
+		pi, err = markov.SteadyStateGTH(p)
+	} else {
+		b := markov.NewSparseBuilder(ns)
+		for _, e := range edges {
+			b.Add(e.from, e.to, e.prob)
+		}
+		pi, err = markov.SteadyStatePower(b.Build(), o.Power)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("petri: embedded chain: %w", err)
+	}
+
+	res := &Result{
+		States:          ns,
+		TimeAvgMarking:  make([]float64, len(n.places)),
+		TimeAvgInFlight: make([]float64, len(n.trans)),
+		Throughput:      make([]float64, len(n.trans)),
+	}
+	var totalTime float64
+	for id := range states {
+		totalTime += pi[id] * float64(sojourn[id])
+	}
+	if totalTime <= 0 {
+		return nil, errors.New("petri: degenerate zero total time")
+	}
+	res.MeanCycle = totalTime
+	for id, st := range states {
+		w := pi[id] * float64(sojourn[id]) / totalTime
+		for p, m := range st.marking {
+			res.TimeAvgMarking[p] += w * float64(m)
+		}
+		for _, f := range st.flights {
+			res.TimeAvgInFlight[f.t] += w
+		}
+	}
+	for id := range states {
+		for t, e := range expFires[id] {
+			res.Throughput[t] += pi[id] * e
+		}
+	}
+	for t := range res.Throughput {
+		res.Throughput[t] /= totalTime
+	}
+	return res, nil
+}
+
+// StateCount builds the reachability graph and returns only its size —
+// used by the scaling benchmarks that demonstrate the exponential growth
+// the paper contrasts MVA against.
+func (n *Net) StateCount(opts Options) (int, error) {
+	o := opts.withDefaults()
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	init := state{marking: make([]int, len(n.places))}
+	for i, p := range n.places {
+		init.marking[i] = p.initial
+	}
+	rv := newResolver(n)
+	initial, err := rv.resolve(init, o.MaxResolutionDepth)
+	if err != nil {
+		return 0, err
+	}
+	index := map[string]bool{}
+	var states []state
+	var queue []state
+	add := func(st state) {
+		k := st.key()
+		if !index[k] {
+			index[k] = true
+			states = append(states, st)
+			queue = append(queue, st)
+		}
+	}
+	for _, oc := range initial {
+		add(oc.st)
+	}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		raw, _, err := n.advance(st)
+		if err != nil {
+			return 0, err
+		}
+		outs, err := rv.resolve(raw, o.MaxResolutionDepth)
+		if err != nil {
+			return 0, err
+		}
+		for _, oc := range outs {
+			add(oc.st)
+			if len(states) > o.MaxStates {
+				return 0, fmt.Errorf("petri: state space exceeded %d states", o.MaxStates)
+			}
+		}
+	}
+	return len(states), nil
+}

@@ -1,0 +1,50 @@
+package petri
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the net structure in Graphviz DOT format: places as
+// circles (annotated with their initial marking), transitions as boxes
+// (annotated with duration and weight), arcs with multiplicities. Useful
+// for documenting the protocol nets built by internal/gtpnmodel.
+func (n *Net) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	for i, p := range n.places {
+		label := p.name
+		if p.initial > 0 {
+			label = fmt.Sprintf("%s\\n●×%d", p.name, p.initial)
+		}
+		fmt.Fprintf(&b, "  p%d [shape=circle, label=\"%s\"];\n", i, label)
+	}
+	for i, t := range n.trans {
+		shape := "box"
+		style := ""
+		if t.duration == 0 {
+			style = ", style=filled, fillcolor=gray85"
+		}
+		fmt.Fprintf(&b, "  t%d [shape=%s, label=\"%s\\nd=%d w=%.3g\"%s];\n",
+			i, shape, t.name, t.duration, t.weight, style)
+		for _, a := range t.in {
+			lbl := ""
+			if a.Weight > 1 {
+				lbl = fmt.Sprintf(" [label=\"%d\"]", a.Weight)
+			}
+			fmt.Fprintf(&b, "  p%d -> t%d%s;\n", a.Place, i, lbl)
+		}
+		for _, a := range t.out {
+			lbl := ""
+			if a.Weight > 1 {
+				lbl = fmt.Sprintf(" [label=\"%d\"]", a.Weight)
+			}
+			fmt.Fprintf(&b, "  t%d -> p%d%s;\n", i, a.Place, lbl)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

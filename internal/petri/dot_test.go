@@ -1,0 +1,35 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	n := NewNet()
+	p := n.AddPlace("queue", 2)
+	free := n.AddPlace("free", 1)
+	s := n.AddTransition("serve", 3, 1)
+	n.AddInput(s, p, 1)
+	n.AddInput(s, free, 1)
+	n.AddOutput(s, p, 2)
+	n.AddOutput(s, free, 1)
+	imm := n.AddTransition("route", 0, 0.5)
+	n.AddInput(imm, p, 1)
+	n.AddOutput(imm, free, 1)
+
+	var sb strings.Builder
+	if err := n.WriteDOT(&sb, "testnet"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "testnet"`, "queue", "serve", "route",
+		"shape=circle", "shape=box", "d=3", "d=0",
+		"p0 -> t0", "t0 -> p0", `[label="2"]`, "fillcolor=gray85",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package protocol defines the snooping cache-consistency protocols studied
+// in the paper: the Write-Once base protocol [Good83] and the four
+// independent modifications of Section 2.2, whose combinations cover the
+// published protocol family (Synapse, Illinois, Berkeley, Dragon, RWB,
+// write-through).
+//
+// Two artifacts live here:
+//
+//   - the ModSet algebra naming protocols as modification combinations, and
+//   - the per-block finite state machine (3 bits of state: valid,
+//     exclusive, wback — Section 2.1) with processor-side and snoop-side
+//     transition functions parameterized by ModSet.
+//
+// The state machine is exercised directly by the detailed simulator
+// (internal/cachesim); the MVA and GTPN models use only the ModSet algebra
+// plus the workload adjustments it implies.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mod identifies one of the four proposed modifications to Write-Once.
+type Mod uint8
+
+const (
+	// Mod1 loads a block exclusive when no other cache raises the shared
+	// line on the fill. Included in Illinois, Dragon, and RWB.
+	Mod1 Mod = 1 + iota
+	// Mod2 has a dirty cache supply the block directly to the requester
+	// without updating main memory (ownership transfer). Included in
+	// Berkeley and Dragon; Illinois achieves a similar effect.
+	Mod2
+	// Mod3 uses a one-cycle invalidate instead of a write-word on the
+	// first write to a non-exclusive block. Included in all five
+	// successor protocols.
+	Mod3
+	// Mod4 broadcasts writes to non-exclusive blocks so all copies stay
+	// valid (update instead of invalidate). Included in RWB and Dragon;
+	// only practical together with Mod1.
+	Mod4
+)
+
+// String implements fmt.Stringer.
+func (m Mod) String() string {
+	if m >= Mod1 && m <= Mod4 {
+		return fmt.Sprintf("mod%d", m)
+	}
+	return fmt.Sprintf("Mod(%d)", uint8(m))
+}
+
+// ModSet is a set of modifications applied on top of Write-Once.
+type ModSet uint8
+
+// Mods builds a ModSet from individual modifications.
+func Mods(ms ...Mod) ModSet {
+	var s ModSet
+	for _, m := range ms {
+		if m < Mod1 || m > Mod4 {
+			panic(fmt.Sprintf("protocol: invalid modification %d", m))
+		}
+		s |= 1 << (m - 1)
+	}
+	return s
+}
+
+// Has reports whether the set contains m.
+func (s ModSet) Has(m Mod) bool {
+	if m < Mod1 || m > Mod4 {
+		return false
+	}
+	return s&(1<<(m-1)) != 0
+}
+
+// With returns s plus m.
+func (s ModSet) With(m Mod) ModSet { return s | Mods(m) }
+
+// Without returns s minus m.
+func (s ModSet) Without(m Mod) ModSet { return s &^ Mods(m) }
+
+// Count returns the number of modifications in the set.
+func (s ModSet) Count() int {
+	n := 0
+	for m := Mod1; m <= Mod4; m++ {
+		if s.Has(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// Mods returns the modifications in ascending order.
+func (s ModSet) Mods() []Mod {
+	var out []Mod
+	for m := Mod1; m <= Mod4; m++ {
+		if s.Has(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String renders e.g. "WO" or "WO+1+4".
+func (s ModSet) String() string {
+	if s == 0 {
+		return "WO"
+	}
+	parts := []string{"WO"}
+	for _, m := range s.Mods() {
+		parts = append(parts, fmt.Sprintf("%d", m))
+	}
+	return strings.Join(parts, "+")
+}
+
+// Valid reports whether the combination is practical. Per Section 2.2,
+// modification 4 alone reduces Write-Once to write-through; it is flagged
+// as valid only together with modification 1 (the WriteThrough protocol
+// below opts in explicitly).
+func (s ModSet) Valid() error {
+	if s.Has(Mod4) && !s.Has(Mod1) {
+		return fmt.Errorf("protocol: %v — modification 4 without modification 1 degenerates to write-through; use WriteThrough explicitly", s)
+	}
+	return nil
+}
+
+// Protocol names a protocol as a modification set over Write-Once.
+type Protocol struct {
+	Name string
+	Mods ModSet
+	// WriteThroughBase marks the degenerate all-write-through protocol
+	// (every write goes to the bus), which is not expressible as a
+	// practical ModSet.
+	WriteThroughBase bool
+}
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p.Name != "" {
+		return fmt.Sprintf("%s (%s)", p.Name, p.Mods)
+	}
+	return p.Mods.String()
+}
+
+// The named protocols of the paper, expressed as modification sets
+// (Section 2.2 attributions).
+var (
+	// WriteOnce is Goodman's base protocol [Good83].
+	WriteOnce = Protocol{Name: "Write-Once"}
+	// Synapse includes modification 3 only [Fran84].
+	Synapse = Protocol{Name: "Synapse", Mods: Mods(Mod3)}
+	// Berkeley includes modifications 2 and 3 [KEWP85].
+	Berkeley = Protocol{Name: "Berkeley", Mods: Mods(Mod2, Mod3)}
+	// Illinois includes modifications 1, 2 (in its memory-reflective
+	// variant) and 3 [PaPa84].
+	Illinois = Protocol{Name: "Illinois", Mods: Mods(Mod1, Mod2, Mod3)}
+	// Dragon includes all four modifications [McCr84].
+	Dragon = Protocol{Name: "Dragon", Mods: Mods(Mod1, Mod2, Mod3, Mod4)}
+	// RWB includes modifications 1, 3 and 4 [RuSe84].
+	RWB = Protocol{Name: "RWB", Mods: Mods(Mod1, Mod3, Mod4)}
+	// WriteThrough is the degenerate broadcast-everything protocol
+	// (modification 4 without modification 1).
+	WriteThrough = Protocol{Name: "Write-Through", Mods: 1 << (Mod4 - 1), WriteThroughBase: true}
+)
+
+// Named returns all named protocols in a stable order.
+func Named() []Protocol {
+	ps := []Protocol{WriteOnce, Synapse, Berkeley, Illinois, Dragon, RWB, WriteThrough}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// ByName looks up a named protocol (case-insensitive); ok is false when the
+// name is unknown.
+func ByName(name string) (Protocol, bool) {
+	for _, p := range Named() {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return Protocol{}, false
+}
+
+// AllModSets enumerates every practical modification combination (those
+// passing Valid), in ascending bitmask order. Used by sweep tooling.
+func AllModSets() []ModSet {
+	var out []ModSet
+	for s := ModSet(0); s < 16; s++ {
+		if s.Valid() == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

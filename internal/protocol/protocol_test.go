@@ -1,0 +1,466 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModString(t *testing.T) {
+	if Mod1.String() != "mod1" || Mod4.String() != "mod4" {
+		t.Error("Mod strings wrong")
+	}
+	if Mod(9).String() != "Mod(9)" {
+		t.Error("invalid Mod string wrong")
+	}
+}
+
+func TestModSetBasics(t *testing.T) {
+	s := Mods(Mod1, Mod3)
+	if !s.Has(Mod1) || s.Has(Mod2) || !s.Has(Mod3) || s.Has(Mod4) {
+		t.Errorf("membership wrong for %v", s)
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	s2 := s.With(Mod4).Without(Mod1)
+	if s2.Has(Mod1) || !s2.Has(Mod4) || !s2.Has(Mod3) {
+		t.Errorf("With/Without wrong: %v", s2)
+	}
+	if got := Mods().String(); got != "WO" {
+		t.Errorf("empty set = %q", got)
+	}
+	if got := Mods(Mod1, Mod4).String(); got != "WO+1+4" {
+		t.Errorf("string = %q, want WO+1+4", got)
+	}
+	mods := Mods(Mod4, Mod2).Mods()
+	if len(mods) != 2 || mods[0] != Mod2 || mods[1] != Mod4 {
+		t.Errorf("Mods() = %v", mods)
+	}
+	if ModSet(0).Has(Mod(0)) || ModSet(0xff).Has(Mod(9)) {
+		t.Error("out-of-range Has should be false")
+	}
+}
+
+func TestModsPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid mod")
+		}
+	}()
+	Mods(Mod(7))
+}
+
+func TestModSetValid(t *testing.T) {
+	if err := Mods(Mod4).Valid(); err == nil {
+		t.Error("mod 4 alone should be flagged")
+	}
+	if err := Mods(Mod1, Mod4).Valid(); err != nil {
+		t.Errorf("mods 1+4 should be valid: %v", err)
+	}
+	if err := Mods().Valid(); err != nil {
+		t.Errorf("WO should be valid: %v", err)
+	}
+}
+
+func TestNamedProtocolAttributions(t *testing.T) {
+	// Section 2.2 attributions.
+	cases := []struct {
+		p    Protocol
+		want []Mod
+	}{
+		{WriteOnce, nil},
+		{Synapse, []Mod{Mod3}},
+		{Berkeley, []Mod{Mod2, Mod3}},
+		{Illinois, []Mod{Mod1, Mod2, Mod3}},
+		{Dragon, []Mod{Mod1, Mod2, Mod3, Mod4}},
+		{RWB, []Mod{Mod1, Mod3, Mod4}},
+	}
+	for _, c := range cases {
+		got := c.p.Mods.Mods()
+		if len(got) != len(c.want) {
+			t.Errorf("%s mods = %v, want %v", c.p.Name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s mods = %v, want %v", c.p.Name, got, c.want)
+			}
+		}
+	}
+	if !WriteThrough.WriteThroughBase {
+		t.Error("WriteThrough must carry the degenerate flag")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("dragon")
+	if !ok || p.Name != "Dragon" {
+		t.Errorf("ByName(dragon) = %v, %v", p, ok)
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unknown protocol should not resolve")
+	}
+	if len(Named()) != 7 {
+		t.Errorf("Named() returned %d protocols, want 7", len(Named()))
+	}
+}
+
+func TestAllModSets(t *testing.T) {
+	sets := AllModSets()
+	// 16 bitmasks minus the 4 containing mod4-without-mod1
+	// ({4},{2,4},{3,4},{2,3,4}) = 12.
+	if len(sets) != 12 {
+		t.Errorf("AllModSets() = %d sets, want 12", len(sets))
+	}
+	for _, s := range sets {
+		if err := s.Valid(); err != nil {
+			t.Errorf("AllModSets contains invalid set %v", s)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if got := Dragon.String(); got != "Dragon (WO+1+2+3+4)" {
+		t.Errorf("Dragon.String() = %q", got)
+	}
+	anon := Protocol{Mods: Mods(Mod1)}
+	if got := anon.String(); got != "WO+1" {
+		t.Errorf("anonymous String() = %q", got)
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	cases := []struct {
+		s                       State
+		valid, exclusive, wback bool
+		str                     string
+	}{
+		{Invalid, false, false, false, "Invalid"},
+		{SharedClean, true, false, false, "SharedClean"},
+		{OwnedShared, true, false, true, "OwnedShared"},
+		{ExclusiveClean, true, true, false, "ExclusiveClean"},
+		{Modified, true, true, true, "Modified"},
+	}
+	for _, c := range cases {
+		if c.s.Valid() != c.valid || c.s.Exclusive() != c.exclusive || c.s.Wback() != c.wback {
+			t.Errorf("%v bits wrong", c.s)
+		}
+		if c.s.String() != c.str {
+			t.Errorf("String = %q, want %q", c.s.String(), c.str)
+		}
+	}
+	if State(0x7f).String() == "" {
+		t.Error("unknown state should still render")
+	}
+	if len(States()) != 5 {
+		t.Error("States() should list 5 states")
+	}
+}
+
+func TestBusOpString(t *testing.T) {
+	want := map[BusOp]string{
+		BusNone: "none", BusRead: "read", BusReadMod: "read-mod",
+		BusWriteWord: "write-word", BusInvalidate: "invalidate",
+		BusUpdateWrite: "update-write", BusWriteBlock: "write-block",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if BusOp(99).String() != "BusOp(99)" {
+		t.Error("unknown op string wrong")
+	}
+}
+
+// --- Write-Once base protocol transitions (Section 2.2 review) ---
+
+func TestWriteOnceReadPath(t *testing.T) {
+	p := WriteOnce
+	// Read miss issues a bus read and fills SharedClean.
+	out := p.OnProcRead(Invalid)
+	if out.Hit || out.Op != BusRead {
+		t.Errorf("read miss = %+v", out)
+	}
+	if got := p.FillState(BusRead, false); got != SharedClean {
+		t.Errorf("WO read fill = %v, want SharedClean (no shared line in base protocol)", got)
+	}
+	// Read hits never change state.
+	for _, s := range []State{SharedClean, ExclusiveClean, Modified, OwnedShared} {
+		out := p.OnProcRead(s)
+		if !out.Hit || out.Op != BusNone || out.Next != s {
+			t.Errorf("read hit in %v = %+v", s, out)
+		}
+	}
+}
+
+func TestWriteOnceWritePath(t *testing.T) {
+	p := WriteOnce
+	// Write miss: read-mod, fills Modified.
+	out := p.OnProcWrite(Invalid)
+	if out.Hit || out.Op != BusReadMod {
+		t.Errorf("write miss = %+v", out)
+	}
+	if got := p.FillState(BusReadMod, true); got != Modified {
+		t.Errorf("read-mod fill = %v, want Modified", got)
+	}
+	// The key Write-Once behavior: first write to a non-exclusive block is
+	// written through (write-word) and the block becomes exclusive clean.
+	out = p.OnProcWrite(SharedClean)
+	if !out.Hit || out.Op != BusWriteWord || out.Next != ExclusiveClean {
+		t.Errorf("first write = %+v, want write-word -> ExclusiveClean", out)
+	}
+	// Writes to exclusive blocks are local.
+	out = p.OnProcWrite(ExclusiveClean)
+	if !out.Hit || out.Op != BusNone || out.Next != Modified {
+		t.Errorf("write to ExclusiveClean = %+v", out)
+	}
+	out = p.OnProcWrite(Modified)
+	if !out.Hit || out.Op != BusNone || out.Next != Modified {
+		t.Errorf("write to Modified = %+v", out)
+	}
+}
+
+func TestWriteOnceSnoopDirtyInterrupt(t *testing.T) {
+	p := WriteOnce
+	// Dirty copy observes a bus read: writes memory, supplies, -> SharedClean.
+	out := p.OnSnoop(Modified, BusRead)
+	if !out.WriteMemory || !out.SupplyData || out.Next != SharedClean || !out.WholeTransaction {
+		t.Errorf("dirty snoop on read = %+v", out)
+	}
+	// Dirty copy observes read-mod: writes memory and invalidates.
+	out = p.OnSnoop(Modified, BusReadMod)
+	if !out.WriteMemory || out.Next != Invalid {
+		t.Errorf("dirty snoop on read-mod = %+v", out)
+	}
+	// Clean copies: read demotes exclusivity, read-mod invalidates.
+	if out := p.OnSnoop(ExclusiveClean, BusRead); out.Next != SharedClean || out.WriteMemory {
+		t.Errorf("ExclusiveClean snoop read = %+v", out)
+	}
+	if out := p.OnSnoop(SharedClean, BusReadMod); out.Next != Invalid {
+		t.Errorf("SharedClean snoop read-mod = %+v", out)
+	}
+	// Write-word invalidates other copies (short action).
+	if out := p.OnSnoop(SharedClean, BusWriteWord); out.Next != Invalid || out.WholeTransaction {
+		t.Errorf("snoop write-word = %+v", out)
+	}
+	// Invalid blocks ignore everything.
+	if out := p.OnSnoop(Invalid, BusRead); out.Next != Invalid || out.SupplyData {
+		t.Errorf("invalid snoop = %+v", out)
+	}
+	// Write-block from another cache leaves our clean copy alone.
+	if out := p.OnSnoop(SharedClean, BusWriteBlock); out.Next != SharedClean {
+		t.Errorf("snoop write-block = %+v", out)
+	}
+}
+
+// --- Modification-specific transitions ---
+
+func TestMod1ExclusiveFill(t *testing.T) {
+	p := Illinois // has mod 1
+	if got := p.FillState(BusRead, false); got != ExclusiveClean {
+		t.Errorf("mod1 unshared fill = %v, want ExclusiveClean", got)
+	}
+	if got := p.FillState(BusRead, true); got != SharedClean {
+		t.Errorf("mod1 shared fill = %v, want SharedClean", got)
+	}
+	// Base protocol ignores the line.
+	if got := WriteOnce.FillState(BusRead, false); got != SharedClean {
+		t.Errorf("WO fill = %v, want SharedClean", got)
+	}
+}
+
+func TestMod2DirectSupply(t *testing.T) {
+	p := Berkeley // has mod 2
+	// Dirty supplier keeps the data dirty and takes ownership; memory is
+	// NOT updated.
+	out := p.OnSnoop(Modified, BusRead)
+	if out.WriteMemory {
+		t.Error("mod2 must not write memory on supply")
+	}
+	if !out.SupplyData || out.Next != OwnedShared {
+		t.Errorf("mod2 supply = %+v, want supply -> OwnedShared", out)
+	}
+	// On read-mod the supplier invalidates but still supplies directly.
+	out = p.OnSnoop(Modified, BusReadMod)
+	if out.WriteMemory || !out.SupplyData || out.Next != Invalid {
+		t.Errorf("mod2 read-mod supply = %+v", out)
+	}
+	// Owner writing again must invalidate other copies (mod 3 present in
+	// Berkeley => invalidate op) and become Modified.
+	w := p.OnProcWrite(OwnedShared)
+	if w.Op != BusInvalidate || w.Next != Modified {
+		t.Errorf("owner write = %+v", w)
+	}
+	// Without mod 3 the owner write uses write-word.
+	m2only := Protocol{Name: "m2", Mods: Mods(Mod2)}
+	w = m2only.OnProcWrite(OwnedShared)
+	if w.Op != BusWriteWord || w.Next != Modified {
+		t.Errorf("mod2-only owner write = %+v", w)
+	}
+}
+
+func TestMod3InvalidateInsteadOfWriteWord(t *testing.T) {
+	p := Synapse // mod 3 only
+	out := p.OnProcWrite(SharedClean)
+	if out.Op != BusInvalidate {
+		t.Errorf("mod3 first write op = %v, want invalidate", out.Op)
+	}
+	// Memory is not updated, so the block must become dirty.
+	if out.Next != Modified {
+		t.Errorf("mod3 first write next = %v, want Modified", out.Next)
+	}
+}
+
+func TestMod4UpdateWrites(t *testing.T) {
+	dragon := Dragon // mods 1..4
+	out := dragon.OnProcWrite(SharedClean)
+	if out.Op != BusUpdateWrite {
+		t.Errorf("mod4 write op = %v, want update-write", out.Op)
+	}
+	// Dragon has mod 3 too: broadcast does not update memory, the writer
+	// takes ownership.
+	if out.Next != OwnedShared {
+		t.Errorf("mod3+4 write next = %v, want OwnedShared", out.Next)
+	}
+	// Mod 4 without mod 3 (mods 1+4): memory updated by broadcast, block
+	// stays clean and shared.
+	m14 := Protocol{Name: "m14", Mods: Mods(Mod1, Mod4)}
+	out = m14.OnProcWrite(SharedClean)
+	if out.Op != BusUpdateWrite || out.Next != SharedClean {
+		t.Errorf("mods1+4 write = %+v, want update-write -> SharedClean", out)
+	}
+	// An owner re-writing under mod 4 re-broadcasts and stays owner.
+	out = dragon.OnProcWrite(OwnedShared)
+	if out.Op != BusUpdateWrite || out.Next != OwnedShared {
+		t.Errorf("mod4 owner write = %+v", out)
+	}
+	// Snoopers holding the block update their copy and stay valid.
+	snoop := dragon.OnSnoop(SharedClean, BusUpdateWrite)
+	if snoop.Next != SharedClean || !snoop.WholeTransaction {
+		t.Errorf("mod4 snoop = %+v", snoop)
+	}
+}
+
+func TestWriteThroughDegenerate(t *testing.T) {
+	p := WriteThrough
+	out := p.OnProcWrite(SharedClean)
+	if out.Op != BusUpdateWrite || out.Next != SharedClean {
+		t.Errorf("write-through write = %+v", out)
+	}
+	out = p.OnProcWrite(Modified) // unreachable in practice, still total
+	if out.Op != BusUpdateWrite {
+		t.Errorf("write-through write from dirty = %+v", out)
+	}
+	if got := p.FillState(BusReadMod, true); got != SharedClean {
+		t.Errorf("write-through fill = %v, want SharedClean", got)
+	}
+}
+
+func TestOnReplace(t *testing.T) {
+	for _, p := range Named() {
+		if out := p.OnReplace(Modified); out.Op != BusWriteBlock {
+			t.Errorf("%s: replace Modified = %+v", p.Name, out)
+		}
+		if out := p.OnReplace(OwnedShared); out.Op != BusWriteBlock {
+			t.Errorf("%s: replace OwnedShared = %+v", p.Name, out)
+		}
+		if out := p.OnReplace(SharedClean); out.Op != BusNone {
+			t.Errorf("%s: replace SharedClean = %+v", p.Name, out)
+		}
+		if out := p.OnReplace(Invalid); out.Op != BusNone {
+			t.Errorf("%s: replace Invalid = %+v", p.Name, out)
+		}
+	}
+}
+
+// Property: the state machine is total and closed — every (protocol, state,
+// event) combination yields a defined outcome whose Next is a recognized
+// state, and snooped invalidations never leave dirty residue.
+func TestStateMachineTotalQuick(t *testing.T) {
+	known := map[State]bool{}
+	for _, s := range States() {
+		known[s] = true
+	}
+	ops := []BusOp{BusRead, BusReadMod, BusWriteWord, BusInvalidate, BusUpdateWrite, BusWriteBlock}
+	f := func(modBits uint8, stateIdx, opIdx uint8) bool {
+		ms := ModSet(modBits % 16)
+		p := Protocol{Name: "t", Mods: ms}
+		s := States()[int(stateIdx)%len(States())]
+		op := ops[int(opIdx)%len(ops)]
+		snoop := p.OnSnoop(s, op)
+		if !known[snoop.Next] {
+			return false
+		}
+		// Invalidation ops must leave the block invalid.
+		if s.Valid() && (op == BusWriteWord || op == BusInvalidate) && snoop.Next != Invalid {
+			return false
+		}
+		pr := p.OnProcRead(s)
+		pw := p.OnProcWrite(s)
+		if !known[pr.Next] || !known[pw.Next] {
+			return false
+		}
+		// A hit on a valid block must stay valid; a miss must request the bus.
+		if s.Valid() && (!pr.Hit || !pw.Hit) {
+			return false
+		}
+		if !s.Valid() && (pr.Op != BusRead || pw.Op != BusReadMod) {
+			return false
+		}
+		// Writes on valid blocks always end with permission to hold data.
+		if s.Valid() && !pw.Next.Valid() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after a processor write completes (hit), the block is only left
+// in a non-exclusive state if the protocol keeps other copies updated
+// (mod 4) — otherwise the writer must hold exclusivity.
+func TestWriteEndsExclusiveUnlessUpdating(t *testing.T) {
+	for _, msBits := range AllModSets() {
+		p := Protocol{Name: "t", Mods: msBits}
+		for _, s := range []State{SharedClean, OwnedShared, ExclusiveClean, Modified} {
+			out := p.OnProcWrite(s)
+			if out.Op == BusUpdateWrite {
+				continue // copies deliberately stay valid
+			}
+			if !out.Next.Exclusive() {
+				t.Errorf("%v: write in %v -> %v (not exclusive, no update broadcast)",
+					msBits, s, out.Next)
+			}
+		}
+	}
+}
+
+// Property: the dirty-data custodian is preserved — whenever a snoop
+// transition moves a block out of a Wback state without writing memory, the
+// data must be supplied to someone who becomes responsible.
+func TestDirtyDataNeverLost(t *testing.T) {
+	ops := []BusOp{BusRead, BusReadMod}
+	for _, msBits := range AllModSets() {
+		p := Protocol{Name: "t", Mods: msBits}
+		for _, s := range []State{OwnedShared, Modified} {
+			for _, op := range ops {
+				out := p.OnSnoop(s, op)
+				if out.Next.Wback() {
+					continue // still custodian
+				}
+				if out.WriteMemory {
+					continue // memory took custody
+				}
+				// Custody must transfer to the requester: only legal when
+				// the data was supplied and the requester installs a dirty
+				// state (read-mod fill) or takes ownership via mod 2.
+				if !out.SupplyData {
+					t.Errorf("%v: snoop %v in %v loses dirty data: %+v", msBits, op, s, out)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package protocol
+
+import "fmt"
+
+// State encodes the three bits of per-block cache state from Section 2.1:
+// valid/invalid, exclusive/non-exclusive, wback/no-wback. The wback bit is
+// equivalently "modified relative to main memory".
+type State uint8
+
+const (
+	// Invalid: the block is not present (or has been invalidated).
+	Invalid State = 0
+	// SharedClean: valid, non-exclusive, no-wback — loaded by a bus read.
+	SharedClean State = stValid
+	// OwnedShared: valid, non-exclusive, wback — this cache owns a dirty
+	// block that other caches may also hold. Reachable only with
+	// modification 2 (direct cache-to-cache supply) or modifications 3+4
+	// (broadcasting cache keeps responsibility).
+	OwnedShared State = stValid | stWback
+	// ExclusiveClean: valid, exclusive, no-wback — after a write-once
+	// write-through, or a fill with the shared line low (modification 1).
+	ExclusiveClean State = stValid | stExclusive
+	// Modified: valid, exclusive, wback — dirty sole copy.
+	Modified State = stValid | stExclusive | stWback
+)
+
+const (
+	stValid State = 1 << iota
+	stExclusive
+	stWback
+)
+
+// Valid reports whether the block is present.
+func (s State) Valid() bool { return s&stValid != 0 }
+
+// Exclusive reports whether the cache knows it holds the only copy.
+func (s State) Exclusive() bool { return s&stExclusive != 0 }
+
+// Wback reports whether the block must be written back on purge (i.e. it is
+// modified relative to main memory).
+func (s State) Wback() bool { return s&stWback != 0 }
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "Invalid"
+	case SharedClean:
+		return "SharedClean"
+	case OwnedShared:
+		return "OwnedShared"
+	case ExclusiveClean:
+		return "ExclusiveClean"
+	case Modified:
+		return "Modified"
+	default:
+		return fmt.Sprintf("State(%#x)", uint8(s))
+	}
+}
+
+// States lists every reachable block state.
+func States() []State {
+	return []State{Invalid, SharedClean, OwnedShared, ExclusiveClean, Modified}
+}
+
+// BusOp enumerates the bus transaction types of Section 2.1 plus the
+// modification-4 update write.
+type BusOp uint8
+
+const (
+	// BusNone: the access is satisfied locally without a bus transaction.
+	BusNone BusOp = iota
+	// BusRead: block read caused by a processor read miss.
+	BusRead
+	// BusReadMod: read-with-intent-to-modify caused by a write miss.
+	BusReadMod
+	// BusWriteWord: single-word write-through (Write-Once first write).
+	BusWriteWord
+	// BusInvalidate: one-cycle invalidation (modification 3).
+	BusInvalidate
+	// BusUpdateWrite: broadcast update write (modification 4); other
+	// copies and (unless modification 3 is present) memory are updated.
+	BusUpdateWrite
+	// BusWriteBlock: write a modified block back to main memory.
+	BusWriteBlock
+)
+
+// String implements fmt.Stringer.
+func (op BusOp) String() string {
+	switch op {
+	case BusNone:
+		return "none"
+	case BusRead:
+		return "read"
+	case BusReadMod:
+		return "read-mod"
+	case BusWriteWord:
+		return "write-word"
+	case BusInvalidate:
+		return "invalidate"
+	case BusUpdateWrite:
+		return "update-write"
+	case BusWriteBlock:
+		return "write-block"
+	default:
+		return fmt.Sprintf("BusOp(%d)", uint8(op))
+	}
+}
+
+// ProcOutcome describes the cache's handling of a processor request.
+type ProcOutcome struct {
+	Hit  bool  // satisfied without loading the block
+	Op   BusOp // bus transaction required (BusNone when local)
+	Next State // state after the access completes (for hits; fills use FillState)
+}
+
+// OnProcRead returns the outcome of a processor read against a block in
+// state s. Reads never change state on a hit.
+func (p Protocol) OnProcRead(s State) ProcOutcome {
+	if s.Valid() {
+		return ProcOutcome{Hit: true, Op: BusNone, Next: s}
+	}
+	return ProcOutcome{Hit: false, Op: BusRead, Next: Invalid}
+}
+
+// OnProcWrite returns the outcome of a processor write against a block in
+// state s under protocol p. For misses the resulting fill state comes from
+// FillState; Next is meaningful only for hits.
+func (p Protocol) OnProcWrite(s State) ProcOutcome {
+	if !s.Valid() {
+		return ProcOutcome{Hit: false, Op: BusReadMod, Next: Invalid}
+	}
+	if p.WriteThroughBase {
+		// Degenerate write-through: every write is broadcast; copies stay
+		// valid and clean.
+		return ProcOutcome{Hit: true, Op: BusUpdateWrite, Next: SharedClean}
+	}
+	switch s {
+	case Modified:
+		return ProcOutcome{Hit: true, Op: BusNone, Next: Modified}
+	case ExclusiveClean:
+		// Exclusive: write locally; now dirty.
+		return ProcOutcome{Hit: true, Op: BusNone, Next: Modified}
+	case OwnedShared:
+		// Dirty but possibly shared (mod 2 / mods 3+4 aftermath).
+		if p.Mods.Has(Mod4) {
+			return ProcOutcome{Hit: true, Op: BusUpdateWrite, Next: OwnedShared}
+		}
+		// Invalidate the other copies, keep the dirty data.
+		op := BusWriteWord
+		if p.Mods.Has(Mod3) {
+			op = BusInvalidate
+		}
+		return ProcOutcome{Hit: true, Op: op, Next: Modified}
+	case SharedClean:
+		if p.Mods.Has(Mod4) {
+			// Update write: copies stay valid. With mod 3 memory is not
+			// updated, so the broadcaster takes write-back responsibility
+			// (Section 2.2 "Summary").
+			next := SharedClean
+			if p.Mods.Has(Mod3) {
+				next = OwnedShared
+			}
+			return ProcOutcome{Hit: true, Op: BusUpdateWrite, Next: next}
+		}
+		if p.Mods.Has(Mod3) {
+			// Invalidate instead of write-word: memory not updated, so
+			// the block becomes dirty exclusive.
+			return ProcOutcome{Hit: true, Op: BusInvalidate, Next: Modified}
+		}
+		// Write-Once write-through: memory updated, block exclusive clean.
+		return ProcOutcome{Hit: true, Op: BusWriteWord, Next: ExclusiveClean}
+	default:
+		panic(fmt.Sprintf("protocol: unreachable state %v", s))
+	}
+}
+
+// FillState returns the state a requesting cache installs after a miss fill.
+// shared reports whether any other cache raised the shared line during the
+// fill (meaningful under modification 1); under base Write-Once the line
+// does not exist and fills are conservative.
+func (p Protocol) FillState(op BusOp, shared bool) State {
+	switch op {
+	case BusRead:
+		if p.Mods.Has(Mod1) && !shared {
+			return ExclusiveClean
+		}
+		return SharedClean
+	case BusReadMod:
+		if p.WriteThroughBase {
+			return SharedClean
+		}
+		// Read-mod invalidates all other copies and installs dirty.
+		return Modified
+	default:
+		panic(fmt.Sprintf("protocol: FillState on non-fill op %v", op))
+	}
+}
+
+// SnoopOutcome describes a snooping cache's response to a bus transaction
+// that addresses a block it holds.
+type SnoopOutcome struct {
+	Next State
+	// SupplyData: this cache supplies the block to the requester
+	// (modification 2, or the Write-Once dirty-interrupt path where the
+	// data flows through main memory).
+	SupplyData bool
+	// WriteMemory: the response includes writing the block to main memory
+	// (the Write-Once dirty-interrupt; suppressed by modification 2).
+	WriteMemory bool
+	// WholeTransaction: the cache is busy for the entire bus transaction
+	// (supplying data or updating a word), as opposed to a short
+	// invalidation — the distinction behind p vs p' in Appendix B.
+	WholeTransaction bool
+}
+
+// OnSnoop returns the state transition and required actions when a cache
+// holding a block in state s observes bus operation op for that block.
+// isSupplier selects this cache as the designated supplier when several
+// hold the block (at most one cache can hold a Wback state, so the flag
+// only disambiguates clean copies under modification 2's extensions; for
+// dirty states it is implied).
+func (p Protocol) OnSnoop(s State, op BusOp) SnoopOutcome {
+	if !s.Valid() {
+		return SnoopOutcome{Next: Invalid}
+	}
+	switch op {
+	case BusRead:
+		if s.Wback() {
+			// Dirty copy must act: Write-Once interrupts and updates
+			// memory; modification 2 supplies directly and keeps
+			// ownership.
+			if p.Mods.Has(Mod2) {
+				return SnoopOutcome{Next: OwnedShared, SupplyData: true, WholeTransaction: true}
+			}
+			return SnoopOutcome{Next: SharedClean, SupplyData: true, WriteMemory: true, WholeTransaction: true}
+		}
+		// Clean copy: lose exclusivity, raise shared line (mod 1).
+		return SnoopOutcome{Next: SharedClean}
+	case BusReadMod:
+		if s.Wback() {
+			if p.Mods.Has(Mod2) {
+				return SnoopOutcome{Next: Invalid, SupplyData: true, WholeTransaction: true}
+			}
+			return SnoopOutcome{Next: Invalid, SupplyData: true, WriteMemory: true, WholeTransaction: true}
+		}
+		return SnoopOutcome{Next: Invalid}
+	case BusWriteWord, BusInvalidate:
+		// First write by another cache: invalidate our copy (short action).
+		return SnoopOutcome{Next: Invalid}
+	case BusUpdateWrite:
+		// Modification 4: update our copy in place; it stays valid,
+		// non-exclusive and clean relative to the broadcasting owner.
+		next := SharedClean
+		if s == OwnedShared && !p.Mods.Has(Mod3) {
+			// Memory was updated by the broadcast, ownership dissolves.
+			next = SharedClean
+		}
+		return SnoopOutcome{Next: next, WholeTransaction: true}
+	case BusWriteBlock:
+		// Another cache writing back its (sole) dirty copy; we cannot
+		// hold the block dirty at the same time, and clean copies are
+		// unaffected.
+		return SnoopOutcome{Next: s}
+	default:
+		panic(fmt.Sprintf("protocol: OnSnoop unexpected op %v", op))
+	}
+}
+
+// ReplaceOutcome describes what a cache must do to evict a block.
+type ReplaceOutcome struct {
+	Op BusOp // BusWriteBlock if dirty, else BusNone
+}
+
+// OnReplace returns the eviction action for a block in state s.
+func (p Protocol) OnReplace(s State) ReplaceOutcome {
+	if s.Valid() && s.Wback() {
+		return ReplaceOutcome{Op: BusWriteBlock}
+	}
+	return ReplaceOutcome{Op: BusNone}
+}

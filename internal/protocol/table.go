@@ -1,0 +1,88 @@
+package protocol
+
+import "fmt"
+
+// TransitionRow is one line of a protocol's behavior table, suitable for
+// rendering with internal/tables or plain printing.
+type TransitionRow struct {
+	// Kind is "proc-read", "proc-write", "snoop", "fill" or "replace".
+	Kind string
+	// From is the block state before the event.
+	From State
+	// Event describes the trigger (bus operation or shared-line value).
+	Event string
+	// To is the resulting state.
+	To State
+	// Action summarizes side effects ("bus read-mod", "supply+memory",
+	// "write-back", ...), empty when none.
+	Action string
+}
+
+// TransitionTable enumerates the complete behavior of protocol p: processor
+// reads and writes from every state, fills under both shared-line values,
+// snoop responses to every bus operation, and replacement actions. The
+// table is what the Section 2.2 prose describes, made mechanical — and it
+// is exactly what the simulator executes.
+func (p Protocol) TransitionTable() []TransitionRow {
+	var rows []TransitionRow
+	states := States()
+
+	for _, s := range states {
+		out := p.OnProcRead(s)
+		action := ""
+		if out.Op != BusNone {
+			action = "bus " + out.Op.String()
+		}
+		to := out.Next
+		rows = append(rows, TransitionRow{Kind: "proc-read", From: s, Event: "read", To: to, Action: action})
+	}
+	for _, s := range states {
+		out := p.OnProcWrite(s)
+		action := ""
+		if out.Op != BusNone {
+			action = "bus " + out.Op.String()
+		}
+		rows = append(rows, TransitionRow{Kind: "proc-write", From: s, Event: "write", To: out.Next, Action: action})
+	}
+	for _, fillOp := range []BusOp{BusRead, BusReadMod} {
+		for _, shared := range []bool{false, true} {
+			ev := fmt.Sprintf("%s, shared=%v", fillOp, shared)
+			rows = append(rows, TransitionRow{
+				Kind: "fill", From: Invalid, Event: ev, To: p.FillState(fillOp, shared),
+			})
+		}
+	}
+	snoopOps := []BusOp{BusRead, BusReadMod, BusWriteWord, BusInvalidate, BusUpdateWrite}
+	for _, s := range states {
+		if !s.Valid() {
+			continue
+		}
+		for _, op := range snoopOps {
+			so := p.OnSnoop(s, op)
+			action := ""
+			switch {
+			case so.SupplyData && so.WriteMemory:
+				action = "supply + memory write-back"
+			case so.SupplyData:
+				action = "supply"
+			case so.WriteMemory:
+				action = "memory write-back"
+			case so.WholeTransaction:
+				action = "update copy"
+			}
+			rows = append(rows, TransitionRow{Kind: "snoop", From: s, Event: op.String(), To: so.Next, Action: action})
+		}
+	}
+	for _, s := range states {
+		if !s.Valid() {
+			continue
+		}
+		ro := p.OnReplace(s)
+		action := ""
+		if ro.Op != BusNone {
+			action = "bus " + ro.Op.String()
+		}
+		rows = append(rows, TransitionRow{Kind: "replace", From: s, Event: "evict", To: Invalid, Action: action})
+	}
+	return rows
+}

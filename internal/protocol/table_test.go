@@ -1,0 +1,58 @@
+package protocol
+
+import "testing"
+
+func TestTransitionTableComplete(t *testing.T) {
+	for _, p := range Named() {
+		rows := p.TransitionTable()
+		// 5 proc-read + 5 proc-write + 4 fill + 4 valid states × 5 snoop
+		// ops + 4 replace = 38 rows.
+		if len(rows) != 38 {
+			t.Errorf("%s: %d rows, want 38", p.Name, len(rows))
+		}
+		kinds := map[string]int{}
+		for _, r := range rows {
+			kinds[r.Kind]++
+			if r.Kind == "" || r.Event == "" {
+				t.Errorf("%s: incomplete row %+v", p.Name, r)
+			}
+		}
+		if kinds["proc-read"] != 5 || kinds["proc-write"] != 5 ||
+			kinds["fill"] != 4 || kinds["snoop"] != 20 || kinds["replace"] != 4 {
+			t.Errorf("%s: kind counts %v", p.Name, kinds)
+		}
+	}
+}
+
+func TestTransitionTableMatchesStateMachine(t *testing.T) {
+	// Spot-check that the table reflects the machine, not a copy of it:
+	// Write-Once's first-write row must show the write-word transition.
+	found := false
+	for _, r := range WriteOnce.TransitionTable() {
+		if r.Kind == "proc-write" && r.From == SharedClean {
+			found = true
+			if r.To != ExclusiveClean || r.Action != "bus write-word" {
+				t.Errorf("WO first-write row wrong: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("first-write row missing")
+	}
+	// Berkeley's dirty snoop on read must show supply without memory.
+	for _, r := range Berkeley.TransitionTable() {
+		if r.Kind == "snoop" && r.From == Modified && r.Event == "read" {
+			if r.To != OwnedShared || r.Action != "supply" {
+				t.Errorf("Berkeley dirty-snoop row wrong: %+v", r)
+			}
+		}
+	}
+	// Write-Once's dirty snoop must show the memory write-back.
+	for _, r := range WriteOnce.TransitionTable() {
+		if r.Kind == "snoop" && r.From == Modified && r.Event == "read" {
+			if r.Action != "supply + memory write-back" {
+				t.Errorf("WO dirty-snoop row wrong: %+v", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package protocol
+
+import (
+	"fmt"
+)
+
+// Machine is the behavioral surface the coherence checker exercises —
+// Protocol satisfies it; tests use it to inject deliberately broken
+// machines and prove the checker catches them.
+type Machine interface {
+	OnProcRead(s State) ProcOutcome
+	OnProcWrite(s State) ProcOutcome
+	FillState(op BusOp, shared bool) State
+	OnSnoop(s State, op BusOp) SnoopOutcome
+	OnReplace(s State) ReplaceOutcome
+}
+
+var _ Machine = Protocol{}
+
+// Violation describes a coherence failure found by VerifyCoherence, with
+// the global state and the event that reached it.
+type Violation struct {
+	Rule  string
+	Event string
+	State string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("protocol: coherence violation [%s] after %s in state %s", v.Rule, v.Event, v.State)
+}
+
+// global is the model checker's state: one block, n caches, with data-
+// freshness tracking. fresh[i] records whether cache i's copy holds the
+// latest value; memFresh whether main memory does.
+type global struct {
+	states   []State
+	fresh    []bool
+	memFresh bool
+}
+
+func (g global) key() string {
+	buf := make([]byte, 0, 2*len(g.states)+1)
+	for i, s := range g.states {
+		b := byte(s)
+		if g.fresh[i] {
+			b |= 0x40
+		}
+		buf = append(buf, b)
+	}
+	if g.memFresh {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+func (g global) clone() global {
+	out := global{
+		states:   append([]State(nil), g.states...),
+		fresh:    append([]bool(nil), g.fresh...),
+		memFresh: g.memFresh,
+	}
+	return out
+}
+
+func (g global) String() string {
+	s := "{"
+	for i, st := range g.states {
+		if i > 0 {
+			s += " "
+		}
+		s += st.String()
+		if st.Valid() {
+			if g.fresh[i] {
+				s += "(fresh)"
+			} else {
+				s += "(STALE)"
+			}
+		}
+	}
+	if g.memFresh {
+		s += " mem=fresh}"
+	} else {
+		s += " mem=stale}"
+	}
+	return s
+}
+
+// check validates the coherence invariants in g.
+func check(g global, event string) *Violation {
+	fail := func(rule string) *Violation {
+		return &Violation{Rule: rule, Event: event, State: g.String()}
+	}
+	dirty, valid := 0, 0
+	exclusive := false
+	anyFresh := false
+	for i, s := range g.states {
+		if !s.Valid() {
+			continue
+		}
+		valid++
+		if s.Wback() {
+			dirty++
+			if !g.fresh[i] {
+				return fail("dirty copy must hold the latest value")
+			}
+		}
+		if s.Exclusive() {
+			exclusive = true
+		}
+		if !g.fresh[i] {
+			return fail("valid copy holds stale data (silent stale read possible)")
+		}
+		anyFresh = anyFresh || g.fresh[i]
+	}
+	if dirty > 1 {
+		return fail("more than one dirty copy")
+	}
+	if exclusive && valid > 1 {
+		return fail("exclusive copy coexists with other copies")
+	}
+	if !g.memFresh && !anyFresh {
+		return fail("latest value lost (memory stale, no fresh copy)")
+	}
+	if dirty == 0 && !g.memFresh {
+		return fail("all copies clean but memory stale (write-back responsibility dropped)")
+	}
+	return nil
+}
+
+// VerifyCoherence exhaustively explores every reachable global state of a
+// single cache block under machine m with n processors, driving all
+// interleavings of processor reads, writes, misses and evictions through
+// the state machine, and checks the coherence invariants in every state:
+//
+//   - at most one dirty (wback) copy; exclusive means sole copy;
+//   - every valid copy holds the latest value (no stale reads);
+//   - the latest value is never lost (memory or some copy holds it);
+//   - if no copy is dirty, memory is current.
+//
+// It returns nil when the protocol is coherent, a *Violation otherwise.
+// State spaces are tiny (thousands of states for n ≤ 4), so this is a
+// complete proof over the abstraction, not a sampling test.
+func VerifyCoherence(m Machine, n int) error {
+	if n < 1 {
+		return fmt.Errorf("protocol: n=%d < 1", n)
+	}
+	init := global{
+		states:   make([]State, n),
+		fresh:    make([]bool, n),
+		memFresh: true,
+	}
+	seen := map[string]bool{init.key(): true}
+	queue := []global{init}
+	if v := check(init, "initial"); v != nil {
+		return v
+	}
+	push := func(g global, event string) *Violation {
+		if v := check(g, event); v != nil {
+			return v
+		}
+		k := g.key()
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, g)
+		}
+		return nil
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for i := 0; i < n; i++ {
+			si := cur.states[i]
+			if si.Valid() {
+				// Read hit: no state change (checked by construction).
+				out := m.OnProcRead(si)
+				if !out.Hit {
+					return &Violation{Rule: "read of a valid copy must hit", Event: fmt.Sprintf("read@%d", i), State: cur.String()}
+				}
+				// Write hit.
+				g := cur.clone()
+				if v := applyWrite(m, &g, i); v != nil {
+					return v
+				}
+				if v := push(g, fmt.Sprintf("write@%d", i)); v != nil {
+					return v
+				}
+				// Eviction.
+				g = cur.clone()
+				if ro := m.OnReplace(si); ro.Op == BusWriteBlock {
+					g.memFresh = true
+				}
+				g.states[i] = Invalid
+				g.fresh[i] = false
+				if v := push(g, fmt.Sprintf("evict@%d", i)); v != nil {
+					return v
+				}
+			} else {
+				// Read miss and write miss.
+				for _, write := range []bool{false, true} {
+					g := cur.clone()
+					if v := applyMiss(m, &g, i, write); v != nil {
+						return v
+					}
+					ev := fmt.Sprintf("read-miss@%d", i)
+					if write {
+						ev = fmt.Sprintf("write-miss@%d", i)
+					}
+					if v := push(g, ev); v != nil {
+						return v
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// applyWrite performs a processor write hit at cache i, updating states
+// and freshness per the machine's transitions.
+func applyWrite(m Machine, g *global, i int) *Violation {
+	out := m.OnProcWrite(g.states[i])
+	if !out.Hit {
+		return &Violation{Rule: "write of a valid copy must hit", Event: fmt.Sprintf("write@%d", i), State: g.String()}
+	}
+	op := out.Op
+	switch op {
+	case BusNone:
+		// Local write: requires exclusivity, otherwise remote copies go
+		// stale — which the invariant check will catch via freshness.
+		g.fresh[i] = true
+		g.memFresh = false
+		for j := range g.states {
+			if j != i && g.states[j].Valid() {
+				g.fresh[j] = false
+			}
+		}
+	case BusWriteWord, BusInvalidate, BusUpdateWrite:
+		for j := range g.states {
+			if j == i || !g.states[j].Valid() {
+				continue
+			}
+			so := m.OnSnoop(g.states[j], op)
+			g.states[j] = so.Next
+			if !so.Next.Valid() {
+				g.fresh[j] = false
+			} else if op == BusUpdateWrite {
+				g.fresh[j] = true // update writes propagate the value
+			} else {
+				g.fresh[j] = false // survived an invalidating op: stale
+			}
+		}
+		g.fresh[i] = true
+		switch op {
+		case BusWriteWord:
+			g.memFresh = true // write-through word
+		case BusUpdateWrite:
+			// Memory is updated only when the broadcast touches it; the
+			// writer's resulting state encodes that: staying clean means
+			// memory took the value, taking wback means it did not.
+			g.memFresh = !out.Next.Wback()
+		default:
+			g.memFresh = false
+		}
+	default:
+		return &Violation{Rule: fmt.Sprintf("unexpected bus op %v on write hit", op), Event: fmt.Sprintf("write@%d", i), State: g.String()}
+	}
+	g.states[i] = out.Next
+	if !out.Next.Valid() {
+		return &Violation{Rule: "write hit left the writer without a valid copy", Event: fmt.Sprintf("write@%d", i), State: g.String()}
+	}
+	return nil
+}
+
+// applyMiss performs a read or write miss at cache i: snoop everyone,
+// source the data, install the fill state.
+func applyMiss(m Machine, g *global, i int, write bool) *Violation {
+	op := BusRead
+	ev := fmt.Sprintf("read-miss@%d", i)
+	if write {
+		op = BusReadMod
+		ev = fmt.Sprintf("write-miss@%d", i)
+	}
+	shared := false
+	sourceFresh := g.memFresh
+	for j := range g.states {
+		if j == i || !g.states[j].Valid() {
+			continue
+		}
+		shared = true
+		wasFresh := g.fresh[j]
+		so := m.OnSnoop(g.states[j], op)
+		if so.WriteMemory {
+			if !wasFresh {
+				return &Violation{Rule: "stale copy written back to memory", Event: ev, State: g.String()}
+			}
+			g.memFresh = true
+			sourceFresh = true
+		}
+		if so.SupplyData {
+			if !wasFresh {
+				return &Violation{Rule: "stale copy supplied to a requester", Event: ev, State: g.String()}
+			}
+			sourceFresh = true
+		}
+		g.states[j] = so.Next
+		if !so.Next.Valid() {
+			g.fresh[j] = false
+		}
+	}
+	if !sourceFresh {
+		return &Violation{Rule: "miss serviced from a stale source", Event: ev, State: g.String()}
+	}
+	g.states[i] = m.FillState(op, shared)
+	if !g.states[i].Valid() {
+		return &Violation{Rule: "fill installed an invalid state", Event: ev, State: g.String()}
+	}
+	g.fresh[i] = true
+	if write {
+		// The write happens immediately after the fill.
+		return applyWrite(m, g, i)
+	}
+	return nil
+}

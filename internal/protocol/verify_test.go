@@ -1,0 +1,130 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every named protocol and every practical modification set must be
+// coherent: the checker exhaustively proves the invariants over all
+// reachable single-block global states.
+func TestAllProtocolsCoherent(t *testing.T) {
+	for _, p := range Named() {
+		for _, n := range []int{2, 3, 4} {
+			if err := VerifyCoherence(p, n); err != nil {
+				t.Errorf("%s (n=%d): %v", p.Name, n, err)
+			}
+		}
+	}
+	for _, ms := range AllModSets() {
+		p := Protocol{Name: ms.String(), Mods: ms}
+		if err := VerifyCoherence(p, 3); err != nil {
+			t.Errorf("%v: %v", ms, err)
+		}
+	}
+}
+
+func TestVerifyCoherenceRejectsBadN(t *testing.T) {
+	if err := VerifyCoherence(WriteOnce, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// --- deliberately broken machines: the checker must catch each ---
+
+// silentWriter writes to shared copies locally without any bus operation,
+// leaving remote copies stale.
+type silentWriter struct{ Protocol }
+
+func (m silentWriter) OnProcWrite(s State) ProcOutcome {
+	if s.Valid() {
+		return ProcOutcome{Hit: true, Op: BusNone, Next: Modified}
+	}
+	return m.Protocol.OnProcWrite(s)
+}
+
+func TestCheckerCatchesSilentWrites(t *testing.T) {
+	err := VerifyCoherence(silentWriter{WriteOnce}, 2)
+	if err == nil {
+		t.Fatal("silent-writer protocol accepted")
+	}
+	if !strings.Contains(err.Error(), "stale") && !strings.Contains(err.Error(), "dirty") {
+		t.Errorf("unexpected violation: %v", err)
+	}
+}
+
+// noWriteback drops dirty blocks on eviction without updating memory.
+type noWriteback struct{ Protocol }
+
+func (m noWriteback) OnReplace(s State) ReplaceOutcome {
+	return ReplaceOutcome{Op: BusNone}
+}
+
+func TestCheckerCatchesLostWritebacks(t *testing.T) {
+	err := VerifyCoherence(noWriteback{WriteOnce}, 2)
+	if err == nil {
+		t.Fatal("write-back-dropping protocol accepted")
+	}
+	if !strings.Contains(err.Error(), "lost") && !strings.Contains(err.Error(), "stale") {
+		t.Errorf("unexpected violation: %v", err)
+	}
+}
+
+// greedyFill installs exclusive state even when the shared line is raised.
+type greedyFill struct{ Protocol }
+
+func (m greedyFill) FillState(op BusOp, shared bool) State {
+	if op == BusRead {
+		return ExclusiveClean
+	}
+	return m.Protocol.FillState(op, shared)
+}
+
+func TestCheckerCatchesGreedyExclusiveFills(t *testing.T) {
+	err := VerifyCoherence(greedyFill{WriteOnce}, 2)
+	if err == nil {
+		t.Fatal("greedy-fill protocol accepted")
+	}
+	if !strings.Contains(err.Error(), "exclusive") && !strings.Contains(err.Error(), "stale") {
+		t.Errorf("unexpected violation: %v", err)
+	}
+}
+
+// forgetfulSupplier supplies dirty data without updating memory or keeping
+// ownership (the classic mod-2-done-wrong bug).
+type forgetfulSupplier struct{ Protocol }
+
+func (m forgetfulSupplier) OnSnoop(s State, op BusOp) SnoopOutcome {
+	if op == BusRead && s.Wback() {
+		// Supplies the block but demotes itself to a clean state: nobody
+		// is responsible for the dirty data anymore.
+		return SnoopOutcome{Next: SharedClean, SupplyData: true, WholeTransaction: true}
+	}
+	return m.Protocol.OnSnoop(s, op)
+}
+
+func TestCheckerCatchesDroppedOwnership(t *testing.T) {
+	err := VerifyCoherence(forgetfulSupplier{Berkeley}, 2)
+	if err == nil {
+		t.Fatal("ownership-dropping protocol accepted")
+	}
+	if !strings.Contains(err.Error(), "clean but memory stale") &&
+		!strings.Contains(err.Error(), "lost") {
+		t.Errorf("unexpected violation: %v", err)
+	}
+}
+
+// The violation error string must carry enough context to debug.
+func TestViolationMessageContent(t *testing.T) {
+	err := VerifyCoherence(silentWriter{WriteOnce}, 2)
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if v.Rule == "" || v.Event == "" || v.State == "" {
+		t.Errorf("violation incomplete: %+v", v)
+	}
+	if !strings.Contains(v.Error(), v.Rule) {
+		t.Error("Error() must include the rule")
+	}
+}

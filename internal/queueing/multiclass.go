@@ -1,0 +1,191 @@
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MultiNetwork is a closed multi-class product-form network. Demands[c][k]
+// is the service demand of class c at station k; Kinds[k] gives the station
+// type (shared across classes, as product-form requires).
+type MultiNetwork struct {
+	ClassNames   []string
+	StationNames []string
+	Kinds        []StationKind
+	Demands      [][]float64
+}
+
+// Validate checks dimensions and values.
+func (mn *MultiNetwork) Validate() error {
+	c := len(mn.Demands)
+	if c == 0 {
+		return errors.New("queueing: multiclass network has no classes")
+	}
+	k := len(mn.Kinds)
+	if k == 0 {
+		return errors.New("queueing: multiclass network has no stations")
+	}
+	for ci, row := range mn.Demands {
+		if len(row) != k {
+			return fmt.Errorf("queueing: class %d has %d demands, want %d", ci, len(row), k)
+		}
+		for ki, d := range row {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return fmt.Errorf("queueing: invalid demand[%d][%d] = %v", ci, ki, d)
+			}
+		}
+	}
+	return nil
+}
+
+// MultiResult holds the outputs of a multi-class MVA solution.
+type MultiResult struct {
+	Population  []int       // per-class population solved for
+	Throughput  []float64   // per-class X_c
+	Residence   [][]float64 // Residence[c][k]
+	QueueLength []float64   // total Q_k over classes
+	Utilization []float64   // total U_k over classes
+	Response    []float64   // per-class Σ_k R_ck
+}
+
+// SolveExact runs exact multi-class MVA over all population vectors
+// 0 <= m <= pop (component-wise). Complexity is O(K·Π(pop_c+1)); fine for
+// the small class counts used in tests and examples.
+func (mn *MultiNetwork) SolveExact(pop []int) (*MultiResult, error) {
+	if err := mn.Validate(); err != nil {
+		return nil, err
+	}
+	c := len(mn.Demands)
+	k := len(mn.Kinds)
+	if len(pop) != c {
+		return nil, fmt.Errorf("queueing: population vector length %d, want %d", len(pop), c)
+	}
+	dims := make([]int, c)
+	total := 1
+	for i, p := range pop {
+		if p < 0 {
+			return nil, fmt.Errorf("queueing: negative population for class %d", i)
+		}
+		dims[i] = p + 1
+		if total > 1<<22/dims[i] {
+			return nil, errors.New("queueing: population state space too large for exact multiclass MVA")
+		}
+		total *= dims[i]
+	}
+	// Q[idx][k]: total queue length at station k for population vector idx.
+	q := make([][]float64, total)
+	for i := range q {
+		q[i] = make([]float64, k)
+	}
+	idxOf := func(v []int) int {
+		idx := 0
+		for i := c - 1; i >= 0; i-- {
+			idx = idx*dims[i] + v[i]
+		}
+		return idx
+	}
+	// Iterate population vectors in lexicographic order: every vector's
+	// "one fewer class-c customer" predecessor has a smaller index.
+	v := make([]int, c)
+	r := make([][]float64, c)
+	for ci := range r {
+		r[ci] = make([]float64, k)
+	}
+	x := make([]float64, c)
+	for {
+		idx := idxOf(v)
+		nonzero := false
+		for ci := 0; ci < c; ci++ {
+			x[ci] = 0
+			if v[ci] == 0 {
+				continue
+			}
+			nonzero = true
+			v[ci]--
+			prev := q[idxOf(v)]
+			v[ci]++
+			var rtot float64
+			for ki := 0; ki < k; ki++ {
+				d := mn.Demands[ci][ki]
+				if mn.Kinds[ki] == Delay {
+					r[ci][ki] = d
+				} else {
+					r[ci][ki] = d * (1 + prev[ki])
+				}
+				rtot += r[ci][ki]
+			}
+			if rtot > 0 {
+				x[ci] = float64(v[ci]) / rtot
+			}
+		}
+		if nonzero {
+			for ki := 0; ki < k; ki++ {
+				var sum float64
+				for ci := 0; ci < c; ci++ {
+					if v[ci] > 0 {
+						sum += x[ci] * r[ci][ki]
+					}
+				}
+				q[idx][ki] = sum
+			}
+		}
+		// Advance v.
+		pos := 0
+		for pos < c {
+			v[pos]++
+			if v[pos] < dims[pos] {
+				break
+			}
+			v[pos] = 0
+			pos++
+		}
+		if pos == c {
+			break
+		}
+	}
+	// Final evaluation at full population.
+	copy(v, pop)
+	res := &MultiResult{
+		Population:  append([]int(nil), pop...),
+		Throughput:  make([]float64, c),
+		Residence:   make([][]float64, c),
+		QueueLength: make([]float64, k),
+		Utilization: make([]float64, k),
+		Response:    make([]float64, c),
+	}
+	for ci := 0; ci < c; ci++ {
+		res.Residence[ci] = make([]float64, k)
+		if pop[ci] == 0 {
+			continue
+		}
+		v[ci]--
+		prev := q[idxOf(v)]
+		v[ci]++
+		var rtot float64
+		for ki := 0; ki < k; ki++ {
+			d := mn.Demands[ci][ki]
+			var rr float64
+			if mn.Kinds[ki] == Delay {
+				rr = d
+			} else {
+				rr = d * (1 + prev[ki])
+			}
+			res.Residence[ci][ki] = rr
+			rtot += rr
+		}
+		if rtot > 0 {
+			res.Throughput[ci] = float64(pop[ci]) / rtot
+		}
+		res.Response[ci] = rtot
+	}
+	for ki := 0; ki < k; ki++ {
+		for ci := 0; ci < c; ci++ {
+			res.QueueLength[ki] += res.Throughput[ci] * res.Residence[ci][ki]
+			if mn.Kinds[ki] == Queueing {
+				res.Utilization[ki] += res.Throughput[ci] * mn.Demands[ci][ki]
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func twoClassNet() *MultiNetwork {
+	return &MultiNetwork{
+		ClassNames:   []string{"interactive", "batch"},
+		StationNames: []string{"cpu", "disk", "terminals"},
+		Kinds:        []StationKind{Queueing, Queueing, Delay},
+		Demands: [][]float64{
+			{0.2, 0.3, 5.0},
+			{0.5, 0.2, 0.0},
+		},
+	}
+}
+
+func TestMultiValidate(t *testing.T) {
+	if err := (&MultiNetwork{}).Validate(); err == nil {
+		t.Error("empty multiclass network should fail")
+	}
+	noStations := &MultiNetwork{Demands: [][]float64{{1}}}
+	if err := noStations.Validate(); err == nil {
+		t.Error("no stations should fail")
+	}
+	ragged := &MultiNetwork{
+		Kinds:   []StationKind{Queueing, Queueing},
+		Demands: [][]float64{{1}},
+	}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged demands should fail")
+	}
+	neg := &MultiNetwork{
+		Kinds:   []StationKind{Queueing},
+		Demands: [][]float64{{-1}},
+	}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if err := twoClassNet().Validate(); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+}
+
+func TestMultiMatchesSingleClassWhenOneClass(t *testing.T) {
+	// One class must exactly reproduce the single-class recursion.
+	mn := &MultiNetwork{
+		Kinds:   []StationKind{Queueing, Delay},
+		Demands: [][]float64{{1.0, 3.0}},
+	}
+	single := &Network{Stations: []Station{
+		{Kind: Queueing, Demand: 1.0},
+		{Kind: Delay, Demand: 3.0},
+	}}
+	for _, n := range []int{1, 2, 5, 9} {
+		mres, err := mn.SolveExact([]int{n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := single.SolveExact(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(mres.Throughput[0], sres.Throughput, 1e-10) {
+			t.Errorf("N=%d: multi X=%v, single X=%v", n, mres.Throughput[0], sres.Throughput)
+		}
+	}
+}
+
+func TestMultiLittlesLaw(t *testing.T) {
+	mn := twoClassNet()
+	res, err := mn.SolveExact([]int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per class: N_c = X_c · R_c.
+	for c, n := range res.Population {
+		if !approx(float64(n), res.Throughput[c]*res.Response[c], 1e-9) {
+			t.Errorf("class %d: X·R = %v, want %d", c, res.Throughput[c]*res.Response[c], n)
+		}
+	}
+	// Total queue lengths sum to total population.
+	var q float64
+	for _, v := range res.QueueLength {
+		q += v
+	}
+	if !approx(q, 5, 1e-9) {
+		t.Errorf("ΣQ = %v, want 5", q)
+	}
+	// Utilizations in [0,1).
+	for k, u := range res.Utilization {
+		if mn.Kinds[k] == Queueing && (u < 0 || u >= 1) {
+			t.Errorf("station %d utilization %v out of range", k, u)
+		}
+	}
+}
+
+func TestMultiZeroClassPopulation(t *testing.T) {
+	res, err := twoClassNet().SolveExact([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput[0] != 0 {
+		t.Errorf("empty class throughput = %v", res.Throughput[0])
+	}
+	if res.Throughput[1] <= 0 {
+		t.Errorf("non-empty class throughput = %v", res.Throughput[1])
+	}
+}
+
+func TestMultiErrors(t *testing.T) {
+	mn := twoClassNet()
+	if _, err := mn.SolveExact([]int{1}); err == nil {
+		t.Error("expected population-length error")
+	}
+	if _, err := mn.SolveExact([]int{-1, 2}); err == nil {
+		t.Error("expected negative-population error")
+	}
+	if _, err := mn.SolveExact([]int{1 << 12, 1 << 12}); err == nil {
+		t.Error("expected state-space-too-large error")
+	}
+}
+
+func TestMultiCompetitionRaisesResponse(t *testing.T) {
+	mn := twoClassNet()
+	alone, err := mn.SolveExact([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := mn.SolveExact([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Response[0] <= alone.Response[0] {
+		t.Errorf("adding batch work should slow interactive class: %v vs %v",
+			shared.Response[0], alone.Response[0])
+	}
+	if math.IsNaN(shared.Response[0]) {
+		t.Error("NaN response")
+	}
+}

@@ -1,0 +1,128 @@
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SolveSchweitzerMulti runs the multi-class Schweitzer/Bard approximate
+// MVA: the arrival theorem's Q_k(N − e_c) is approximated by removing an
+// average customer of class c from its own queue contribution,
+//
+//	Q_k(N − e_c) ≈ Σ_j Q_jk − Q_ck/N_c,
+//
+// and the fixed point is iterated. Cost is O(iterations·C·K) independent
+// of the population — the property that makes multi-class studies of large
+// systems affordable (the exact recursion is exponential in the class
+// count).
+func (mn *MultiNetwork) SolveSchweitzerMulti(pop []int, opts SchweitzerOptions) (*MultiResult, error) {
+	if err := mn.Validate(); err != nil {
+		return nil, err
+	}
+	c := len(mn.Demands)
+	k := len(mn.Kinds)
+	if len(pop) != c {
+		return nil, fmt.Errorf("queueing: population vector length %d, want %d", len(pop), c)
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 20000
+	}
+	total := 0
+	for i, p := range pop {
+		if p < 0 {
+			return nil, fmt.Errorf("queueing: negative population for class %d", i)
+		}
+		total += p
+	}
+	res := &MultiResult{
+		Population:  append([]int(nil), pop...),
+		Throughput:  make([]float64, c),
+		Residence:   make([][]float64, c),
+		QueueLength: make([]float64, k),
+		Utilization: make([]float64, k),
+		Response:    make([]float64, c),
+	}
+	for ci := range res.Residence {
+		res.Residence[ci] = make([]float64, k)
+	}
+	if total == 0 {
+		return res, nil
+	}
+	// Initialize queues evenly.
+	q := make([][]float64, c)
+	for ci := range q {
+		q[ci] = make([]float64, k)
+		for ki := range q[ci] {
+			q[ci][ki] = float64(pop[ci]) / float64(k)
+		}
+	}
+	r := make([][]float64, c)
+	for ci := range r {
+		r[ci] = make([]float64, k)
+	}
+	x := make([]float64, c)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		var diff float64
+		for ci := 0; ci < c; ci++ {
+			if pop[ci] == 0 {
+				x[ci] = 0
+				continue
+			}
+			var rtot float64
+			for ki := 0; ki < k; ki++ {
+				d := mn.Demands[ci][ki]
+				if mn.Kinds[ki] == Delay {
+					r[ci][ki] = d
+				} else {
+					var seen float64
+					for cj := 0; cj < c; cj++ {
+						seen += q[cj][ki]
+					}
+					seen -= q[ci][ki] / float64(pop[ci])
+					if seen < 0 {
+						seen = 0
+					}
+					r[ci][ki] = d * (1 + seen)
+				}
+				rtot += r[ci][ki]
+			}
+			if rtot <= 0 {
+				return nil, errors.New("queueing: zero total demand for a populated class")
+			}
+			x[ci] = float64(pop[ci]) / rtot
+		}
+		for ci := 0; ci < c; ci++ {
+			for ki := 0; ki < k; ki++ {
+				nq := x[ci] * r[ci][ki]
+				diff += math.Abs(nq - q[ci][ki])
+				q[ci][ki] = nq
+			}
+		}
+		if diff < opts.Tol {
+			break
+		}
+		if iter == opts.MaxIter {
+			return nil, fmt.Errorf("queueing: multiclass Schweitzer did not converge in %d iterations", opts.MaxIter)
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		res.Throughput[ci] = x[ci]
+		copy(res.Residence[ci], r[ci])
+		for ki := 0; ki < k; ki++ {
+			res.Response[ci] += r[ci][ki]
+		}
+	}
+	for ki := 0; ki < k; ki++ {
+		for ci := 0; ci < c; ci++ {
+			res.QueueLength[ki] += q[ci][ki]
+			if mn.Kinds[ki] == Queueing {
+				res.Utilization[ki] += x[ci] * mn.Demands[ci][ki]
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiSchweitzerCloseToExact(t *testing.T) {
+	mn := twoClassNet()
+	for _, pops := range [][]int{{1, 1}, {3, 2}, {5, 5}, {8, 3}} {
+		ex, err := mn.SolveExact(pops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := mn.SolveSchweitzerMulti(pops, SchweitzerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range pops {
+			if ex.Throughput[ci] == 0 {
+				continue
+			}
+			rel := math.Abs(ap.Throughput[ci]-ex.Throughput[ci]) / ex.Throughput[ci]
+			if rel > 0.08 {
+				t.Errorf("pop %v class %d: approx %v vs exact %v (rel %.1f%%)",
+					pops, ci, ap.Throughput[ci], ex.Throughput[ci], rel*100)
+			}
+		}
+	}
+}
+
+func TestMultiSchweitzerMatchesSingleClassVariant(t *testing.T) {
+	// One class: the multiclass approximation must equal the single-class
+	// Schweitzer solver.
+	mn := &MultiNetwork{
+		Kinds:   []StationKind{Queueing, Delay},
+		Demands: [][]float64{{1.0, 3.0}},
+	}
+	single := &Network{Stations: []Station{
+		{Kind: Queueing, Demand: 1.0},
+		{Kind: Delay, Demand: 3.0},
+	}}
+	for _, n := range []int{1, 4, 12} {
+		multi, err := mn.SolveSchweitzerMulti([]int{n}, SchweitzerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := single.SolveSchweitzer(n, SchweitzerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(multi.Throughput[0], one.Throughput, 1e-8) {
+			t.Errorf("N=%d: multi %v vs single %v", n, multi.Throughput[0], one.Throughput)
+		}
+	}
+}
+
+func TestMultiSchweitzerLittlesLaw(t *testing.T) {
+	mn := twoClassNet()
+	res, err := mn.SolveSchweitzerMulti([]int{4, 6}, SchweitzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, n := range res.Population {
+		if !approx(float64(n), res.Throughput[ci]*res.Response[ci], 1e-6) {
+			t.Errorf("class %d: X·R = %v, want %d", ci, res.Throughput[ci]*res.Response[ci], n)
+		}
+	}
+	var q float64
+	for _, v := range res.QueueLength {
+		q += v
+	}
+	if !approx(q, 10, 1e-6) {
+		t.Errorf("ΣQ = %v, want 10", q)
+	}
+}
+
+func TestMultiSchweitzerLargePopulationsCheap(t *testing.T) {
+	// The exact recursion at this population would need ~10^6 states per
+	// station; the approximation must handle it instantly.
+	mn := twoClassNet()
+	res, err := mn.SolveSchweitzerMulti([]int{500, 500}, SchweitzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both classes saturate their bottleneck: utilizations near 1.
+	maxU := 0.0
+	for ki, u := range res.Utilization {
+		if mn.Kinds[ki] == Queueing && u > maxU {
+			maxU = u
+		}
+	}
+	if maxU < 0.95 || maxU > 1.000001 {
+		t.Errorf("bottleneck utilization = %v, want ≈1", maxU)
+	}
+}
+
+func TestMultiSchweitzerEdgeCases(t *testing.T) {
+	mn := twoClassNet()
+	if _, err := mn.SolveSchweitzerMulti([]int{1}, SchweitzerOptions{}); err == nil {
+		t.Error("wrong population length accepted")
+	}
+	if _, err := mn.SolveSchweitzerMulti([]int{-1, 1}, SchweitzerOptions{}); err == nil {
+		t.Error("negative population accepted")
+	}
+	res, err := mn.SolveSchweitzerMulti([]int{0, 0}, SchweitzerOptions{})
+	if err != nil || res.Throughput[0] != 0 {
+		t.Errorf("zero population: %+v, %v", res, err)
+	}
+	// Empty class alongside a populated one.
+	res, err = mn.SolveSchweitzerMulti([]int{0, 4}, SchweitzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput[0] != 0 || res.Throughput[1] <= 0 {
+		t.Errorf("mixed empty class: %+v", res.Throughput)
+	}
+	// A populated class with zero demand everywhere must error.
+	zero := &MultiNetwork{
+		Kinds:   []StationKind{Queueing},
+		Demands: [][]float64{{0}},
+	}
+	if _, err := zero.SolveSchweitzerMulti([]int{2}, SchweitzerOptions{}); err == nil {
+		t.Error("zero-demand populated class accepted")
+	}
+}

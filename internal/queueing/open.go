@@ -1,0 +1,247 @@
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"snoopmva/internal/markov"
+)
+
+// OpenNetwork is a Jackson network: Poisson external arrivals, exponential
+// single-server stations, probabilistic routing. It complements the closed
+// networks used by the paper's models and rounds out the [LZGS84] substrate.
+type OpenNetwork struct {
+	// Names labels the stations (optional, for reporting).
+	Names []string
+	// Arrivals[i] is the external (Poisson) arrival rate into station i.
+	Arrivals []float64
+	// ServiceRates[i] is the exponential service rate μ_i of station i.
+	ServiceRates []float64
+	// Routing[i][j] is the probability a job leaving i goes to j; the
+	// remainder 1−Σ_j Routing[i][j] exits the network.
+	Routing [][]float64
+}
+
+// Validate checks dimensions and stochastic routing.
+func (on *OpenNetwork) Validate() error {
+	k := len(on.ServiceRates)
+	if k == 0 {
+		return errors.New("queueing: open network has no stations")
+	}
+	if len(on.Arrivals) != k || len(on.Routing) != k {
+		return fmt.Errorf("queueing: dimension mismatch (%d stations, %d arrivals, %d routing rows)",
+			k, len(on.Arrivals), len(on.Routing))
+	}
+	for i := 0; i < k; i++ {
+		if on.Arrivals[i] < 0 || math.IsNaN(on.Arrivals[i]) {
+			return fmt.Errorf("queueing: invalid arrival rate %v at station %d", on.Arrivals[i], i)
+		}
+		if on.ServiceRates[i] <= 0 || math.IsNaN(on.ServiceRates[i]) {
+			return fmt.Errorf("queueing: invalid service rate %v at station %d", on.ServiceRates[i], i)
+		}
+		if len(on.Routing[i]) != k {
+			return fmt.Errorf("queueing: routing row %d has %d entries, want %d", i, len(on.Routing[i]), k)
+		}
+		var sum float64
+		for j, p := range on.Routing[i] {
+			if p < 0 || math.IsNaN(p) {
+				return fmt.Errorf("queueing: invalid routing probability %v at (%d,%d)", p, i, j)
+			}
+			sum += p
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("queueing: routing row %d sums to %v > 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// OpenResult holds the product-form solution of a Jackson network.
+type OpenResult struct {
+	// Throughput[i] is the total arrival (and departure) rate λ_i at
+	// station i, from the traffic equations.
+	Throughput []float64
+	// Utilization[i] = λ_i/μ_i.
+	Utilization []float64
+	// QueueLength[i] = ρ_i/(1−ρ_i), the M/M/1 mean number in system.
+	QueueLength []float64
+	// Residence[i] is the mean time in station per visit.
+	Residence []float64
+	// SystemResponse is the mean end-to-end time per external arrival
+	// (Little's law over the whole network).
+	SystemResponse float64
+}
+
+// Solve computes the traffic equations λ = a + λR by direct linear solve
+// and then the per-station M/M/1 measures. Every station must be stable
+// (ρ < 1); saturated stations yield an error naming the first offender.
+func (on *OpenNetwork) Solve() (*OpenResult, error) {
+	if err := on.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(on.ServiceRates)
+	// Traffic equations: λ (I − Rᵀ) = a  ⇔ (I − Rᵀ)·λ = a as columns.
+	a := markov.NewDense(k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			v := 0.0
+			if i == j {
+				v = 1
+			}
+			v -= on.Routing[j][i] // transpose
+			a.Set(i, j, v)
+		}
+	}
+	lambda, err := markov.SolveLinear(a, on.Arrivals)
+	if err != nil {
+		return nil, fmt.Errorf("queueing: traffic equations: %w", err)
+	}
+	res := &OpenResult{
+		Throughput:  lambda,
+		Utilization: make([]float64, k),
+		QueueLength: make([]float64, k),
+		Residence:   make([]float64, k),
+	}
+	var totalExternal, totalQ float64
+	for i := 0; i < k; i++ {
+		if lambda[i] < -1e-9 {
+			return nil, fmt.Errorf("queueing: negative traffic solution at station %d (routing not substochastic?)", i)
+		}
+		rho := lambda[i] / on.ServiceRates[i]
+		if rho >= 1 {
+			name := fmt.Sprintf("station %d", i)
+			if i < len(on.Names) && on.Names[i] != "" {
+				name = on.Names[i]
+			}
+			return nil, fmt.Errorf("queueing: %s saturated (ρ = %.3f)", name, rho)
+		}
+		res.Utilization[i] = rho
+		res.QueueLength[i] = rho / (1 - rho)
+		res.Residence[i] = 1 / (on.ServiceRates[i] - lambda[i])
+		totalQ += res.QueueLength[i]
+		totalExternal += on.Arrivals[i]
+	}
+	if totalExternal > 0 {
+		res.SystemResponse = totalQ / totalExternal
+	}
+	return res, nil
+}
+
+// LoadDependentStation describes a station whose service rate depends on
+// the number of customers present: Rates[j] is the total service rate with
+// j+1 customers present. Lengths shorter than the population saturate at
+// the last entry (e.g. an m-server station lists 1μ, 2μ, ..., mμ).
+type LoadDependentStation struct {
+	Name string
+	// Demand is the per-visit service demand at base rate 1.
+	Demand float64
+	// Rates are the load-dependent rate multipliers; Rates[0] must be > 0.
+	Rates []float64
+}
+
+// rate returns the multiplier with j customers present (j >= 1).
+func (s LoadDependentStation) rate(j int) float64 {
+	if len(s.Rates) == 0 {
+		return 1
+	}
+	if j > len(s.Rates) {
+		j = len(s.Rates)
+	}
+	return s.Rates[j-1]
+}
+
+// SolveLoadDependent runs exact single-class MVA with one load-dependent
+// station (index ld) among ordinary queueing/delay stations. It uses the
+// classical marginal-probability recursion for the load-dependent center
+// [LZGS84 §8.2].
+func SolveLoadDependent(stations []Station, ld LoadDependentStation, n int) (*Result, float64, error) {
+	if n < 0 {
+		return nil, 0, fmt.Errorf("queueing: negative population %d", n)
+	}
+	if ld.Demand < 0 || math.IsNaN(ld.Demand) {
+		return nil, 0, fmt.Errorf("queueing: invalid load-dependent demand %v", ld.Demand)
+	}
+	for _, r := range ld.Rates {
+		if r <= 0 || math.IsNaN(r) {
+			return nil, 0, fmt.Errorf("queueing: invalid load-dependent rate %v", r)
+		}
+	}
+	nw := Network{Stations: stations}
+	if err := nw.Validate(); err != nil {
+		return nil, 0, err
+	}
+	k := len(stations)
+	q := make([]float64, k)
+	// Marginal queue-length distribution at the load-dependent station:
+	// pLD[j] = P(j customers at the LD station), for the current population.
+	pLD := make([]float64, n+1)
+	pLD[0] = 1
+	res := &Result{
+		N:           n,
+		Residence:   make([]float64, k),
+		QueueLength: make([]float64, k),
+		Utilization: make([]float64, k),
+	}
+	var x float64
+	var rLD float64
+	r := make([]float64, k)
+	for pop := 1; pop <= n; pop++ {
+		// Residence at ordinary stations.
+		var rtot float64
+		for i, s := range stations {
+			if s.Kind == Delay {
+				r[i] = s.Demand
+			} else {
+				r[i] = s.Demand * (1 + q[i])
+			}
+			rtot += r[i]
+		}
+		// Residence at the load-dependent station via the marginal
+		// distribution with one customer removed.
+		rLD = 0
+		for j := 1; j <= pop; j++ {
+			rLD += float64(j) / ld.rate(j) * pLD[j-1] * ld.Demand
+		}
+		rtot += rLD
+		if rtot <= 0 {
+			return nil, 0, errors.New("queueing: zero total demand")
+		}
+		x = float64(pop) / rtot
+		for i := range q {
+			q[i] = x * r[i]
+		}
+		// Update the marginal distribution for this population.
+		newP := make([]float64, n+1)
+		for j := 1; j <= pop; j++ {
+			newP[j] = x * ld.Demand / ld.rate(j) * pLD[j-1]
+		}
+		var sum float64
+		for j := 1; j <= pop; j++ {
+			sum += newP[j]
+		}
+		newP[0] = 1 - sum
+		if newP[0] < 0 {
+			// Numerical guard: renormalize.
+			total := sum
+			for j := 1; j <= pop; j++ {
+				newP[j] /= total
+			}
+			newP[0] = 0
+		}
+		pLD = newP
+	}
+	res.Throughput = x
+	copy(res.Residence, r)
+	copy(res.QueueLength, q)
+	for i, s := range stations {
+		if s.Kind == Queueing {
+			res.Utilization[i] = x * s.Demand
+		}
+	}
+	for _, ri := range r {
+		res.Response += ri
+	}
+	res.Response += rLD
+	return res, rLD, nil
+}

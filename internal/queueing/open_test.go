@@ -1,0 +1,211 @@
+package queueing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOpenValidate(t *testing.T) {
+	if err := (&OpenNetwork{}).Validate(); err == nil {
+		t.Error("empty network accepted")
+	}
+	bad := &OpenNetwork{
+		Arrivals:     []float64{1},
+		ServiceRates: []float64{2},
+		Routing:      [][]float64{{1.5}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("super-stochastic routing accepted")
+	}
+	bad.Routing = [][]float64{{-0.1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative routing accepted")
+	}
+	bad.Routing = [][]float64{{0.5}}
+	bad.ServiceRates = []float64{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero service rate accepted")
+	}
+	mismatch := &OpenNetwork{
+		Arrivals:     []float64{1, 2},
+		ServiceRates: []float64{2},
+		Routing:      [][]float64{{0}},
+	}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// A single station with no routing is an M/M/1 queue.
+func TestOpenSingleStationIsMM1(t *testing.T) {
+	on := &OpenNetwork{
+		Arrivals:     []float64{0.5},
+		ServiceRates: []float64{1},
+		Routing:      [][]float64{{0}},
+	}
+	res, err := on.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, l, w, _, _ := MM1(0.5, 1)
+	if !approx(res.QueueLength[0], l, 1e-12) {
+		t.Errorf("L = %v, want %v", res.QueueLength[0], l)
+	}
+	if !approx(res.Residence[0], w, 1e-12) {
+		t.Errorf("W = %v, want %v", res.Residence[0], w)
+	}
+	if !approx(res.SystemResponse, w, 1e-12) {
+		t.Errorf("system response = %v, want %v", res.SystemResponse, w)
+	}
+}
+
+// Tandem queue: λ flows through both stations.
+func TestOpenTandem(t *testing.T) {
+	on := &OpenNetwork{
+		Names:        []string{"cpu", "disk"},
+		Arrivals:     []float64{0.4, 0},
+		ServiceRates: []float64{1, 0.8},
+		Routing: [][]float64{
+			{0, 1}, // cpu -> disk
+			{0, 0}, // disk -> out
+		},
+	}
+	res, err := on.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Throughput[0], 0.4, 1e-12) || !approx(res.Throughput[1], 0.4, 1e-12) {
+		t.Errorf("throughputs = %v", res.Throughput)
+	}
+	// End-to-end: W1 + W2.
+	want := 1/(1-0.4) + 1/(0.8-0.4)
+	if !approx(res.SystemResponse, want, 1e-12) {
+		t.Errorf("system response = %v, want %v", res.SystemResponse, want)
+	}
+}
+
+// Feedback loop: a job revisits the CPU a geometric number of times.
+func TestOpenFeedback(t *testing.T) {
+	on := &OpenNetwork{
+		Arrivals:     []float64{0.2},
+		ServiceRates: []float64{1},
+		Routing:      [][]float64{{0.5}}, // half the departures loop back
+	}
+	res, err := on.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ = a/(1−0.5) = 0.4.
+	if !approx(res.Throughput[0], 0.4, 1e-12) {
+		t.Errorf("λ = %v, want 0.4", res.Throughput[0])
+	}
+}
+
+func TestOpenSaturationDetected(t *testing.T) {
+	on := &OpenNetwork{
+		Names:        []string{"bottleneck"},
+		Arrivals:     []float64{2},
+		ServiceRates: []float64{1},
+		Routing:      [][]float64{{0}},
+	}
+	_, err := on.Solve()
+	if err == nil || !strings.Contains(err.Error(), "bottleneck") {
+		t.Errorf("expected saturation error naming the station, got %v", err)
+	}
+}
+
+// Load-dependent MVA with a single fixed-rate "load-dependent" station must
+// reduce to ordinary exact MVA.
+func TestLoadDependentReducesToExact(t *testing.T) {
+	stations := []Station{{Name: "think", Kind: Delay, Demand: 4}}
+	ld := LoadDependentStation{Name: "server", Demand: 1, Rates: []float64{1}}
+	for _, n := range []int{1, 3, 8} {
+		res, rLD, err := SolveLoadDependent(stations, ld, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := &Network{Stations: []Station{
+			{Kind: Delay, Demand: 4},
+			{Kind: Queueing, Demand: 1},
+		}}
+		want, err := plain.SolveExact(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(res.Throughput, want.Throughput, 1e-9) {
+			t.Errorf("N=%d: X = %v, want %v", n, res.Throughput, want.Throughput)
+		}
+		if !approx(rLD, want.Residence[1], 1e-9) {
+			t.Errorf("N=%d: R_ld = %v, want %v", n, rLD, want.Residence[1])
+		}
+	}
+}
+
+// A two-server load-dependent station (rates μ, 2μ) must outperform one
+// server and match the closed-form machine-repair-with-two-repairmen chain.
+func TestLoadDependentMultiServer(t *testing.T) {
+	stations := []Station{{Name: "think", Kind: Delay, Demand: 2}}
+	oneServer := LoadDependentStation{Demand: 1, Rates: []float64{1}}
+	twoServers := LoadDependentStation{Demand: 1, Rates: []float64{1, 2}}
+	const n = 6
+	r1, _, err := SolveLoadDependent(stations, oneServer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := SolveLoadDependent(stations, twoServers, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Throughput <= r1.Throughput {
+		t.Errorf("two servers %v should beat one %v", r2.Throughput, r1.Throughput)
+	}
+	// Closed-form birth-death check for the two-server case:
+	// state k = customers at the station; think rate (n-k)/z, service
+	// rate min(k,2)·μ with z=2, μ=1.
+	pis := make([]float64, n+1)
+	pis[0] = 1
+	for k := 1; k <= n; k++ {
+		svc := math.Min(float64(k), 2)
+		pis[k] = pis[k-1] * (float64(n-k+1) / 2.0) / svc
+	}
+	var sum, util float64
+	for k := 0; k <= n; k++ {
+		sum += pis[k]
+	}
+	for k := 1; k <= n; k++ {
+		util += pis[k] / sum * math.Min(float64(k), 2)
+	}
+	// Throughput = E[min(k,2)]·μ.
+	if !approx(r2.Throughput, util, 1e-9) {
+		t.Errorf("two-server X = %v, closed form %v", r2.Throughput, util)
+	}
+}
+
+func TestLoadDependentErrors(t *testing.T) {
+	stations := []Station{{Kind: Delay, Demand: 1}}
+	ld := LoadDependentStation{Demand: 1, Rates: []float64{1}}
+	if _, _, err := SolveLoadDependent(stations, ld, -1); err == nil {
+		t.Error("negative population accepted")
+	}
+	if _, _, err := SolveLoadDependent(stations, LoadDependentStation{Demand: -1}, 2); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, _, err := SolveLoadDependent(stations, LoadDependentStation{Demand: 1, Rates: []float64{0}}, 2); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, _, err := SolveLoadDependent([]Station{{Demand: -1}}, ld, 2); err == nil {
+		t.Error("invalid station accepted")
+	}
+}
+
+func TestLoadDependentZeroPopulation(t *testing.T) {
+	res, rLD, err := SolveLoadDependent([]Station{{Kind: Delay, Demand: 1}},
+		LoadDependentStation{Demand: 1, Rates: []float64{1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != 0 || rLD != 0 {
+		t.Errorf("N=0: X=%v rLD=%v", res.Throughput, rLD)
+	}
+}

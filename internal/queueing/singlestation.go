@@ -1,0 +1,152 @@
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MM1 returns the standard M/M/1 steady-state measures for arrival rate
+// lambda and service rate mu (utilization, mean number in system, mean
+// response time, mean waiting time).
+func MM1(lambda, mu float64) (util, l, w, wq float64, err error) {
+	if lambda < 0 || mu <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("queueing: invalid M/M/1 rates lambda=%v mu=%v", lambda, mu)
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return rho, math.Inf(1), math.Inf(1), math.Inf(1), nil
+	}
+	l = rho / (1 - rho)
+	w = 1 / (mu - lambda)
+	wq = w - 1/mu
+	return rho, l, w, wq, nil
+}
+
+// MMc returns utilization per server, the Erlang-C probability of waiting,
+// and the mean waiting time in queue for an M/M/c system.
+func MMc(lambda, mu float64, c int) (rho, erlangC, wq float64, err error) {
+	if lambda < 0 || mu <= 0 || c < 1 {
+		return 0, 0, 0, fmt.Errorf("queueing: invalid M/M/c parameters lambda=%v mu=%v c=%d", lambda, mu, c)
+	}
+	a := lambda / mu // offered load in Erlangs
+	rho = a / float64(c)
+	if rho >= 1 {
+		return rho, 1, math.Inf(1), nil
+	}
+	// Erlang C via the numerically stable recurrence on Erlang B.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	erlangC = b / (1 - rho*(1-b))
+	wq = erlangC / (float64(c)*mu - lambda)
+	return rho, erlangC, wq, nil
+}
+
+// ServiceDist summarizes the first two moments of a service-time
+// distribution for Pollaczek–Khinchine analysis.
+type ServiceDist struct {
+	Mean          float64
+	SecondMoment  float64
+	SquaredCoeffV float64 // C² = Var/Mean²; derived if SecondMoment set
+}
+
+// Deterministic returns the moment summary of a constant service time.
+func Deterministic(d float64) ServiceDist {
+	return ServiceDist{Mean: d, SecondMoment: d * d, SquaredCoeffV: 0}
+}
+
+// Exponential returns the moment summary of an exponential service time.
+func Exponential(mean float64) ServiceDist {
+	return ServiceDist{Mean: mean, SecondMoment: 2 * mean * mean, SquaredCoeffV: 1}
+}
+
+// Mixture returns the moment summary of a finite mixture Σ p_i·dist_i.
+// Probabilities must be non-negative and sum to ~1.
+func Mixture(probs []float64, dists []ServiceDist) (ServiceDist, error) {
+	if len(probs) != len(dists) || len(probs) == 0 {
+		return ServiceDist{}, errors.New("queueing: mixture arity mismatch")
+	}
+	var psum, m1, m2 float64
+	for i, p := range probs {
+		if p < 0 {
+			return ServiceDist{}, fmt.Errorf("queueing: negative mixture weight %v", p)
+		}
+		psum += p
+		m1 += p * dists[i].Mean
+		m2 += p * dists[i].SecondMoment
+	}
+	if math.Abs(psum-1) > 1e-9 {
+		return ServiceDist{}, fmt.Errorf("queueing: mixture weights sum to %v", psum)
+	}
+	d := ServiceDist{Mean: m1, SecondMoment: m2}
+	if m1 > 0 {
+		d.SquaredCoeffV = (m2 - m1*m1) / (m1 * m1)
+	}
+	return d, nil
+}
+
+// ResidualLife returns the mean residual service time observed by a random
+// (PASTA) arrival that finds the server busy: E[S²]/(2·E[S]). For a
+// deterministic service time D this is D/2 — exactly the t_res terms the
+// paper uses in equations (10) and (11).
+func ResidualLife(s ServiceDist) (float64, error) {
+	if s.Mean <= 0 {
+		return 0, fmt.Errorf("queueing: non-positive mean service time %v", s.Mean)
+	}
+	if s.SecondMoment < s.Mean*s.Mean {
+		return 0, fmt.Errorf("queueing: second moment %v below mean² %v", s.SecondMoment, s.Mean*s.Mean)
+	}
+	return s.SecondMoment / (2 * s.Mean), nil
+}
+
+// MG1Wait returns the Pollaczek–Khinchine mean waiting time in queue for an
+// M/G/1 system: W_q = λ·E[S²] / (2(1−ρ)).
+func MG1Wait(lambda float64, s ServiceDist) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("queueing: negative arrival rate %v", lambda)
+	}
+	if s.Mean <= 0 {
+		return 0, fmt.Errorf("queueing: non-positive mean service time %v", s.Mean)
+	}
+	rho := lambda * s.Mean
+	if rho >= 1 {
+		return math.Inf(1), nil
+	}
+	return lambda * s.SecondMoment / (2 * (1 - rho)), nil
+}
+
+// BusyProbabilityFinite converts a utilization U of a station shared by N
+// symmetric customers into the probability that an arriving customer finds
+// the station busy, removing the arriving customer's own contribution:
+//
+//	p_busy = (U − U/N) / (1 − U/N)
+//
+// This is the paper's equation (8), and the memory-interference analogue
+// used with equation (11). It is exposed here because it is a generic
+// finite-population "arriving customer sees the system without itself"
+// correction, not something specific to buses.
+func BusyProbabilityFinite(util float64, n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("queueing: population %d < 1", n)
+	}
+	if util < 0 {
+		return 0, fmt.Errorf("queueing: negative utilization %v", util)
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	share := util / float64(n)
+	if share >= 1 {
+		return 1, nil
+	}
+	p := (util - share) / (1 - share)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}

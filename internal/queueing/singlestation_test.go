@@ -1,0 +1,223 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1(t *testing.T) {
+	util, l, w, wq, err := MM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(util, 0.5, 1e-12) || !approx(l, 1, 1e-12) || !approx(w, 2, 1e-12) || !approx(wq, 1, 1e-12) {
+		t.Errorf("MM1(0.5,1) = %v %v %v %v", util, l, w, wq)
+	}
+}
+
+func TestMM1Saturated(t *testing.T) {
+	_, l, w, wq, err := MM1(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(l, 1) || !math.IsInf(w, 1) || !math.IsInf(wq, 1) {
+		t.Error("saturated M/M/1 should report infinite congestion")
+	}
+	if _, _, _, _, err := MM1(-1, 1); err == nil {
+		t.Error("expected error for negative lambda")
+	}
+	if _, _, _, _, err := MM1(1, 0); err == nil {
+		t.Error("expected error for zero mu")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	_, _, wqC, err := MMc(0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, wq1, err := MM1(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(wqC, wq1, 1e-12) {
+		t.Errorf("M/M/1 via MMc = %v, direct = %v", wqC, wq1)
+	}
+}
+
+func TestMMcKnownValue(t *testing.T) {
+	// Classic example: lambda=2, mu=1, c=3 => a=2, rho=2/3.
+	// Erlang C = (a^c/c!)/( (1-rho)*sum + a^c/c! ) = (8/6)/( (1/3)*(1+2+2)+8/6 )
+	// sum_{k<3} a^k/k! = 1+2+2 = 5; P(wait) = (4/3)/( 5*(1/3) + 4/3 ) = (4/3)/3 = 4/9.
+	rho, pc, wq, err := MMc(2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rho, 2.0/3.0, 1e-12) {
+		t.Errorf("rho = %v", rho)
+	}
+	if !approx(pc, 4.0/9.0, 1e-10) {
+		t.Errorf("ErlangC = %v, want 4/9", pc)
+	}
+	if !approx(wq, (4.0/9.0)/(3-2), 1e-10) {
+		t.Errorf("Wq = %v", wq)
+	}
+}
+
+func TestMMcSaturatedAndErrors(t *testing.T) {
+	rho, pc, wq, err := MMc(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 1 || pc != 1 || !math.IsInf(wq, 1) {
+		t.Errorf("saturated MMc = %v %v %v", rho, pc, wq)
+	}
+	if _, _, _, err := MMc(1, 1, 0); err == nil {
+		t.Error("expected error for c=0")
+	}
+}
+
+func TestServiceDistConstructors(t *testing.T) {
+	d := Deterministic(4)
+	if d.Mean != 4 || d.SecondMoment != 16 || d.SquaredCoeffV != 0 {
+		t.Errorf("Deterministic(4) = %+v", d)
+	}
+	e := Exponential(2)
+	if e.Mean != 2 || e.SecondMoment != 8 || e.SquaredCoeffV != 1 {
+		t.Errorf("Exponential(2) = %+v", e)
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m, err := Mixture([]float64{0.5, 0.5}, []ServiceDist{Deterministic(2), Deterministic(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Mean, 3, 1e-12) || !approx(m.SecondMoment, 10, 1e-12) {
+		t.Errorf("mixture = %+v", m)
+	}
+	// variance = 10-9 = 1, C² = 1/9
+	if !approx(m.SquaredCoeffV, 1.0/9.0, 1e-12) {
+		t.Errorf("C² = %v", m.SquaredCoeffV)
+	}
+	if _, err := Mixture([]float64{0.5}, nil); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := Mixture([]float64{-1, 2}, []ServiceDist{{}, {}}); err == nil {
+		t.Error("expected negative-weight error")
+	}
+	if _, err := Mixture([]float64{0.4, 0.4}, []ServiceDist{Deterministic(1), Deterministic(1)}); err == nil {
+		t.Error("expected weight-sum error")
+	}
+}
+
+func TestResidualLife(t *testing.T) {
+	// Deterministic D: residual = D/2 — the paper's equation (10) terms.
+	r, err := ResidualLife(Deterministic(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r, 4, 1e-12) {
+		t.Errorf("deterministic residual = %v, want 4", r)
+	}
+	// Exponential: residual = mean (memorylessness).
+	r, err = ResidualLife(Exponential(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r, 3, 1e-12) {
+		t.Errorf("exponential residual = %v, want 3", r)
+	}
+	if _, err := ResidualLife(ServiceDist{Mean: 0}); err == nil {
+		t.Error("expected error for zero mean")
+	}
+	if _, err := ResidualLife(ServiceDist{Mean: 2, SecondMoment: 1}); err == nil {
+		t.Error("expected error for impossible moments")
+	}
+}
+
+func TestMG1WaitMatchesMM1(t *testing.T) {
+	wq, err := MG1Wait(0.5, Exponential(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, wqMM1, _ := MM1(0.5, 1)
+	if !approx(wq, wqMM1, 1e-12) {
+		t.Errorf("MG1(exp) = %v, MM1 = %v", wq, wqMM1)
+	}
+}
+
+func TestMG1DeterministicHalvesWait(t *testing.T) {
+	// M/D/1 waiting time is exactly half the M/M/1 waiting time.
+	wqD, err := MG1Wait(0.5, Deterministic(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wqM, _ := MG1Wait(0.5, Exponential(1))
+	if !approx(wqD, wqM/2, 1e-12) {
+		t.Errorf("M/D/1 = %v, M/M/1/2 = %v", wqD, wqM/2)
+	}
+}
+
+func TestMG1Errors(t *testing.T) {
+	if w, err := MG1Wait(2, Deterministic(1)); err != nil || !math.IsInf(w, 1) {
+		t.Errorf("saturated MG1 = %v, %v", w, err)
+	}
+	if _, err := MG1Wait(-1, Deterministic(1)); err == nil {
+		t.Error("expected error for negative lambda")
+	}
+	if _, err := MG1Wait(1, ServiceDist{}); err == nil {
+		t.Error("expected error for zero service")
+	}
+}
+
+func TestBusyProbabilityFinite(t *testing.T) {
+	// N=1: an arriving request can never find itself in service.
+	p, err := BusyProbabilityFinite(0.9, 1)
+	if err != nil || p != 0 {
+		t.Errorf("N=1: p = %v, %v", p, err)
+	}
+	// Equation (8) with U=0.6, N=3: (0.6-0.2)/(1-0.2) = 0.5.
+	p, err = BusyProbabilityFinite(0.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p, 0.5, 1e-12) {
+		t.Errorf("p = %v, want 0.5", p)
+	}
+	if _, err := BusyProbabilityFinite(-0.1, 2); err == nil {
+		t.Error("expected error for negative utilization")
+	}
+	if _, err := BusyProbabilityFinite(0.5, 0); err == nil {
+		t.Error("expected error for N=0")
+	}
+	// Degenerate: per-customer share >= 1 clamps to 1.
+	p, err = BusyProbabilityFinite(2.0, 2)
+	if err != nil || p != 1 {
+		t.Errorf("clamped p = %v, %v", p, err)
+	}
+}
+
+// Property: BusyProbabilityFinite stays in [0,1] and is monotone in U.
+func TestBusyProbabilityQuick(t *testing.T) {
+	f := func(u1000 uint16, nRaw uint8) bool {
+		u := float64(u1000%1000) / 1000 // [0,1)
+		n := 1 + int(nRaw%64)
+		p, err := BusyProbabilityFinite(u*float64(n), n) // utilization up to n
+		if err != nil {
+			return false
+		}
+		if p < 0 || p > 1 {
+			return false
+		}
+		p2, err := BusyProbabilityFinite(u*float64(n)*0.5, n)
+		if err != nil {
+			return false
+		}
+		return p2 <= p+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

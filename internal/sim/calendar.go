@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	Time   float64
+	Action func()
+	seq    uint64
+	index  int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	e.index = -1
+	return e
+}
+
+// Calendar is a discrete-event engine: schedule callbacks at future times
+// and run them in time order (FIFO among ties).
+type Calendar struct {
+	now  float64
+	heap eventHeap
+	seq  uint64
+}
+
+// NewCalendar returns an empty calendar at time 0.
+func NewCalendar() *Calendar { return &Calendar{} }
+
+// Now returns the current simulation time.
+func (c *Calendar) Now() float64 { return c.now }
+
+// Pending returns the number of scheduled events.
+func (c *Calendar) Pending() int { return len(c.heap) }
+
+// Schedule enqueues action to run delay time units from now. Negative or
+// NaN delays are rejected.
+func (c *Calendar) Schedule(delay float64, action func()) (*Event, error) {
+	if math.IsNaN(delay) || delay < 0 {
+		return nil, errors.New("sim: negative or NaN delay")
+	}
+	if action == nil {
+		return nil, errors.New("sim: nil action")
+	}
+	e := &Event{Time: c.now + delay, Action: action, seq: c.seq}
+	c.seq++
+	heap.Push(&c.heap, e)
+	return e, nil
+}
+
+// Cancel removes a scheduled event; it is a no-op if the event already ran
+// or was cancelled.
+func (c *Calendar) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(c.heap) || c.heap[e.index] != e {
+		return
+	}
+	heap.Remove(&c.heap, e.index)
+}
+
+// Step runs the next event; returns false if the calendar is empty.
+func (c *Calendar) Step() bool {
+	if len(c.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.heap).(*Event)
+	c.now = e.Time
+	e.Action()
+	return true
+}
+
+// RunUntil executes events in order until the calendar is empty or the
+// next event is after limit. Time ends at min(limit, last event time).
+func (c *Calendar) RunUntil(limit float64) {
+	for len(c.heap) > 0 && c.heap[0].Time <= limit {
+		c.Step()
+	}
+	if c.now < limit {
+		c.now = limit
+	}
+}
+
+// Run executes events until the calendar empties or maxEvents have run;
+// returns the number of events executed.
+func (c *Calendar) Run(maxEvents int) int {
+	n := 0
+	for n < maxEvents && c.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+// Package sim provides the discrete-event simulation substrate used by the
+// detailed multiprocessor simulator (internal/cachesim): deterministic
+// splittable pseudo-random streams and a time-ordered event calendar.
+//
+// Reproducibility is a design requirement — every simulator run is fully
+// determined by its seed, so experiments and tests can pin exact outputs.
+package sim
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random generator. It is small, fast, passes
+// BigCrush, and — unlike math/rand's global state — can be split into
+// independent streams for per-processor reproducibility.
+//
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split returns a new independent stream derived from this one.
+func (r *RNG) Split() *RNG {
+	// Advance the parent and use the output as the child's seed, xored
+	// with a distinct constant so parent and child sequences differ.
+	return &RNG{state: r.Uint64() ^ 0xa5a5a5a5deadbeef}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exponential returns an exponential variate with the given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Geometric returns a geometric variate counting the number of trials up to
+// and including the first success, with success probability p in (0,1].
+// The mean is 1/p. Panics for p outside (0,1].
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("sim: Geometric success probability outside (0,1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return 1 + int(math.Log(u)/math.Log(1-p))
+}
+
+// Choose returns an index in [0, len(weights)) with probability
+// proportional to the weights; negative weights are treated as zero.
+// Panics if all weights are zero or the slice is empty.
+func (r *RNG) Choose(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("sim: Choose with no positive weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	// Floating-point tail: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("sim: unreachable")
+}

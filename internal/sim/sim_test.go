@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("parent and child streams collided %d times", collisions)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(2)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(5) bucket %d count %d, want ~10000", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(4)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", frac)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exponential(2.5)
+		if v < 0 {
+			t.Fatalf("negative exponential %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exponential mean = %v, want ~2.5", mean)
+	}
+	if r.Exponential(0) != 0 || r.Exponential(-1) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(6)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Geometric(0.4)
+		if v < 1 {
+			t.Fatalf("geometric below 1: %d", v)
+		}
+		sum += float64(v)
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Geometric(0.4) mean = %v, want ~2.5", mean)
+	}
+	if r.Geometric(1) != 1 {
+		t.Error("Geometric(1) must be 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0) should panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestChoose(t *testing.T) {
+	r := NewRNG(7)
+	counts := make([]int, 3)
+	weights := []float64{1, 0, 3}
+	for i := 0; i < 40000; i++ {
+		counts[r.Choose(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight option chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Choose with no positive weights should panic")
+		}
+	}()
+	r.Choose([]float64{0, -1})
+}
+
+// Property: Choose always returns a positive-weight index.
+func TestChooseValidIndexQuick(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, w := range raw {
+			weights[i] = float64(w)
+			total += float64(w)
+		}
+		if total == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			idx := r.Choose(weights)
+			if idx < 0 || idx >= len(weights) || weights[idx] <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalendarOrdering(t *testing.T) {
+	c := NewCalendar()
+	var order []int
+	mustSchedule(t, c, 5, func() { order = append(order, 3) })
+	mustSchedule(t, c, 1, func() { order = append(order, 1) })
+	mustSchedule(t, c, 3, func() { order = append(order, 2) })
+	for c.Step() {
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if c.Now() != 5 {
+		t.Errorf("Now = %v, want 5", c.Now())
+	}
+}
+
+func TestCalendarFIFOTies(t *testing.T) {
+	c := NewCalendar()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, c, 2, func() { order = append(order, i) })
+	}
+	for c.Step() {
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCalendarNestedScheduling(t *testing.T) {
+	c := NewCalendar()
+	var hits int
+	var rec func()
+	rec = func() {
+		hits++
+		if hits < 5 {
+			mustSchedule(t, c, 1, rec)
+		}
+	}
+	mustSchedule(t, c, 0, rec)
+	c.RunUntil(100)
+	if hits != 5 {
+		t.Errorf("hits = %d, want 5", hits)
+	}
+	if c.Now() != 100 {
+		t.Errorf("RunUntil should advance to limit, Now = %v", c.Now())
+	}
+}
+
+func TestCalendarRunUntilStopsAtLimit(t *testing.T) {
+	c := NewCalendar()
+	ran := false
+	mustSchedule(t, c, 10, func() { ran = true })
+	c.RunUntil(5)
+	if ran {
+		t.Error("event after limit should not run")
+	}
+	if c.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", c.Pending())
+	}
+	c.RunUntil(15)
+	if !ran {
+		t.Error("event should run when limit passes it")
+	}
+}
+
+func TestCalendarCancel(t *testing.T) {
+	c := NewCalendar()
+	ran := false
+	e, err := c.Schedule(1, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Cancel(e)
+	c.RunUntil(10)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	c.Cancel(e) // double cancel is a no-op
+	c.Cancel(nil)
+}
+
+func TestCalendarScheduleErrors(t *testing.T) {
+	c := NewCalendar()
+	if _, err := c.Schedule(-1, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := c.Schedule(math.NaN(), func() {}); err == nil {
+		t.Error("NaN delay accepted")
+	}
+	if _, err := c.Schedule(1, nil); err == nil {
+		t.Error("nil action accepted")
+	}
+}
+
+func TestCalendarRunBudget(t *testing.T) {
+	c := NewCalendar()
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		mustSchedule(t, c, 1, loop)
+	}
+	mustSchedule(t, c, 1, loop)
+	n := c.Run(7)
+	if n != 7 || count != 7 {
+		t.Errorf("Run executed %d events, count %d; want 7", n, count)
+	}
+}
+
+func mustSchedule(t *testing.T, c *Calendar, d float64, f func()) {
+	t.Helper()
+	if _, err := c.Schedule(d, f); err != nil {
+		t.Fatal(err)
+	}
+}

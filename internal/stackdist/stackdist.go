@@ -1,0 +1,135 @@
+// Package stackdist computes LRU stack-distance profiles from memory-
+// reference traces (Mattson's one-pass algorithm): a single sweep yields
+// the hit rate of EVERY fully-associative LRU cache size simultaneously.
+//
+// This closes the cache-geometry gap in the paper's workload model: the
+// basic parameters take hit rates as given ("workload measurement
+// studies"), and the stack-distance profile is precisely how such studies
+// turn a trace into h(capacity) curves — see the cache literature the
+// paper builds on [Smit82]. Combined with the MVA, it answers design
+// questions the paper's parameters alone cannot: "how big must the cache
+// be before the bus, not the miss rate, limits speedup?"
+package stackdist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Profile accumulates a stack-distance histogram for one reference stream.
+//
+// The zero value is not usable; construct with New.
+type Profile struct {
+	// stack holds block ids in recency order, most recent last.
+	stack []uint64
+	// pos maps block id -> index in stack (maintained lazily; see touch).
+	pos map[uint64]int
+	// hist[d] counts references with stack distance d (0 = re-reference
+	// of the most recent block). Cold misses are counted separately.
+	hist []int64
+	cold int64
+	refs int64
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{pos: make(map[uint64]int)}
+}
+
+// Touch records a reference to block id and returns its stack distance
+// (-1 for a cold miss).
+//
+// The implementation is the straightforward O(stack depth) list update —
+// ample for the trace sizes this repository works with, and dependency-
+// free. (Tree-based O(log n) variants exist; see Mattson et al. 1970.)
+func (p *Profile) Touch(id uint64) int {
+	p.refs++
+	idx, seen := p.pos[id]
+	if !seen {
+		p.cold++
+		p.pos[id] = len(p.stack)
+		p.stack = append(p.stack, id)
+		return -1
+	}
+	// Distance = number of distinct blocks referenced since `id`.
+	d := len(p.stack) - 1 - idx
+	for d >= len(p.hist) {
+		p.hist = append(p.hist, 0)
+	}
+	p.hist[d]++
+	// Move to MRU position.
+	copy(p.stack[idx:], p.stack[idx+1:])
+	p.stack[len(p.stack)-1] = id
+	for i := idx; i < len(p.stack); i++ {
+		p.pos[p.stack[i]] = i
+	}
+	return d
+}
+
+// Refs returns the number of references recorded.
+func (p *Profile) Refs() int64 { return p.refs }
+
+// ColdMisses returns the number of first-touch references.
+func (p *Profile) ColdMisses() int64 { return p.cold }
+
+// Distinct returns the number of distinct blocks seen.
+func (p *Profile) Distinct() int { return len(p.stack) }
+
+// HitRate returns the hit rate of a fully-associative LRU cache holding
+// capacity blocks: the fraction of references with stack distance
+// < capacity. Capacity 0 yields 0.
+func (p *Profile) HitRate(capacity int) float64 {
+	if p.refs == 0 || capacity <= 0 {
+		return 0
+	}
+	var hits int64
+	for d := 0; d < capacity && d < len(p.hist); d++ {
+		hits += p.hist[d]
+	}
+	return float64(hits) / float64(p.refs)
+}
+
+// Curve returns (capacity, hit-rate) samples for each capacity in caps.
+func (p *Profile) Curve(caps []int) []CurvePoint {
+	out := make([]CurvePoint, 0, len(caps))
+	for _, c := range caps {
+		out = append(out, CurvePoint{Capacity: c, HitRate: p.HitRate(c)})
+	}
+	return out
+}
+
+// CurvePoint is one sample of a miss-ratio curve.
+type CurvePoint struct {
+	Capacity int
+	HitRate  float64
+}
+
+// CapacityFor returns the smallest capacity achieving the target hit rate,
+// or an error when the trace cannot reach it (compulsory misses bound the
+// achievable hit rate).
+func (p *Profile) CapacityFor(target float64) (int, error) {
+	if target < 0 || target > 1 {
+		return 0, fmt.Errorf("stackdist: target %v outside [0,1]", target)
+	}
+	if p.refs == 0 {
+		return 0, errors.New("stackdist: empty profile")
+	}
+	max := p.HitRate(len(p.hist) + 1)
+	if target > max+1e-12 {
+		return 0, fmt.Errorf("stackdist: target %.4f unreachable (compulsory-miss bound %.4f)", target, max)
+	}
+	// Binary search over the monotone hit-rate curve.
+	idx := sort.Search(len(p.hist)+1, func(c int) bool {
+		return p.HitRate(c) >= target-1e-12
+	})
+	return idx, nil
+}
+
+// Histogram returns a copy of the raw stack-distance counts (index =
+// distance).
+func (p *Profile) Histogram() []int64 {
+	out := make([]int64, len(p.hist))
+	copy(out, p.hist)
+	return out
+}

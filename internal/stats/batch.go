@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BatchMeans implements the classical method of batch means for estimating
+// steady-state simulation output: consecutive observations are grouped into
+// fixed-size batches, each batch contributes its mean, and a confidence
+// interval is formed over the (approximately independent) batch means.
+//
+// The zero value is not usable; construct with NewBatchMeans.
+type BatchMeans struct {
+	batchSize int64
+	current   Summary
+	batches   []float64
+}
+
+// NewBatchMeans creates a batch-means accumulator with the given batch size.
+func NewBatchMeans(batchSize int64) (*BatchMeans, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("stats: batch size %d must be positive", batchSize)
+	}
+	return &BatchMeans{batchSize: batchSize}, nil
+}
+
+// Add records one observation, closing the current batch if it is full.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.N() >= b.batchSize {
+		b.batches = append(b.batches, b.current.Mean())
+		b.current = Summary{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// BatchSize returns the configured batch size.
+func (b *BatchMeans) BatchSize() int64 { return b.batchSize }
+
+// GrandMean returns the mean over completed batches.
+func (b *BatchMeans) GrandMean() (float64, error) {
+	if len(b.batches) == 0 {
+		return 0, errors.New("stats: no completed batches")
+	}
+	var s Summary
+	for _, m := range b.batches {
+		s.Add(m)
+	}
+	return s.Mean(), nil
+}
+
+// ConfidenceInterval returns a Student-t interval over the batch means.
+// At least two completed batches are required.
+func (b *BatchMeans) ConfidenceInterval(conf float64) (Interval, error) {
+	if len(b.batches) < 2 {
+		return Interval{}, fmt.Errorf("stats: need >=2 batches, have %d", len(b.batches))
+	}
+	var s Summary
+	for _, m := range b.batches {
+		s.Add(m)
+	}
+	return s.ConfidenceInterval(conf)
+}
+
+// LagOneCorrelation estimates the lag-1 autocorrelation of the batch means.
+// Values near zero indicate the batches are large enough to be treated as
+// independent; strongly positive values suggest the batch size should grow.
+func (b *BatchMeans) LagOneCorrelation() (float64, error) {
+	n := len(b.batches)
+	if n < 3 {
+		return 0, fmt.Errorf("stats: need >=3 batches for lag-1 correlation, have %d", n)
+	}
+	var s Summary
+	for _, m := range b.batches {
+		s.Add(m)
+	}
+	mean, variance := s.Mean(), s.Variance()
+	if variance == 0 {
+		return 0, nil
+	}
+	var cov float64
+	for i := 0; i+1 < n; i++ {
+		cov += (b.batches[i] - mean) * (b.batches[i+1] - mean)
+	}
+	cov /= float64(n - 1)
+	return cov / variance, nil
+}
+
+// RelativeError returns the interval half-width divided by the grand mean,
+// a common stopping criterion for sequential simulation runs.
+func (b *BatchMeans) RelativeError(conf float64) (float64, error) {
+	iv, err := b.ConfidenceInterval(conf)
+	if err != nil {
+		return 0, err
+	}
+	if iv.Mean == 0 {
+		return math.Inf(1), nil
+	}
+	return iv.HalfWidth / math.Abs(iv.Mean), nil
+}
+
+// TimeWeighted accumulates a time-weighted average, e.g. average queue
+// length over simulated cycles: Observe(value, duration).
+//
+// The zero value is ready to use.
+type TimeWeighted struct {
+	area  float64
+	total float64
+	min   float64
+	max   float64
+	some  bool
+}
+
+// Observe records that the tracked quantity held value for duration units
+// of time. Negative durations are ignored.
+func (t *TimeWeighted) Observe(value, duration float64) {
+	if duration < 0 {
+		return
+	}
+	if !t.some {
+		t.min, t.max = value, value
+		t.some = true
+	} else {
+		if value < t.min {
+			t.min = value
+		}
+		if value > t.max {
+			t.max = value
+		}
+	}
+	t.area += value * duration
+	t.total += duration
+}
+
+// Mean returns the time-weighted mean (0 if no time observed).
+func (t *TimeWeighted) Mean() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return t.area / t.total
+}
+
+// Total returns the total observed time.
+func (t *TimeWeighted) Total() float64 { return t.total }
+
+// Min returns the smallest observed value.
+func (t *TimeWeighted) Min() float64 { return t.min }
+
+// Max returns the largest observed value.
+func (t *TimeWeighted) Max() float64 { return t.max }

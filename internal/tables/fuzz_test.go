@@ -1,0 +1,35 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCSVEscape checks that csvEscape output, when embedded in a CSV row,
+// never breaks the row structure (quotes are balanced, no bare newlines
+// outside quotes).
+func FuzzCSVEscape(f *testing.F) {
+	f.Add("plain")
+	f.Add(`with "quotes"`)
+	f.Add("comma, separated")
+	f.Add("line\nbreak")
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := csvEscape(s)
+		// Unquoted outputs must contain no specials.
+		if !strings.HasPrefix(esc, `"`) {
+			if strings.ContainsAny(esc, ",\"\n") {
+				t.Fatalf("unquoted escape with specials: %q", esc)
+			}
+			if esc != s {
+				t.Fatalf("unquoted escape altered content: %q -> %q", s, esc)
+			}
+			return
+		}
+		// Quoted outputs: strip the outer quotes, un-double inner ones,
+		// and require the original back.
+		body := esc[1 : len(esc)-1]
+		if strings.ReplaceAll(body, `""`, `"`) != s {
+			t.Fatalf("quoted escape not invertible: %q -> %q", s, esc)
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader ensures the binary trace decoder never panics and either
+// yields valid references or a clean error on arbitrary input.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid two-record trace.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Ref{Proc: 1, Class: SW, Write: true, Block: 42})
+	_ = w.Write(Ref{Proc: 0, Class: Private, Block: 7})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("STR1"))
+	f.Add([]byte("XXXX"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			ref, err := r.Read()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				return // clean error is fine
+			}
+			if ref.Class > SW {
+				t.Fatalf("decoder produced invalid class %d", ref.Class)
+			}
+		}
+	})
+}

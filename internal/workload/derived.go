@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"snoopmva/internal/protocol"
+)
+
+// Classes is the reference-class decomposition of the workload: every
+// memory reference falls in exactly one class (the twelve probabilities sum
+// to 1). Names follow DESIGN.md §4.
+type Classes struct {
+	PRHit   float64 // private read hit
+	PWHitM  float64 // private write hit, block already modified
+	PWHitU  float64 // private write hit, block unmodified
+	PRMiss  float64 // private read miss
+	PWMiss  float64 // private write miss
+	SRHit   float64 // shared read-only hit
+	SRMiss  float64 // shared read-only miss
+	SWRHit  float64 // shared-writable read hit
+	SWWHitM float64 // shared-writable write hit, modified
+	SWWHitU float64 // shared-writable write hit, unmodified
+	SWRMiss float64 // shared-writable read miss
+	SWWMiss float64 // shared-writable write miss
+}
+
+// Sum returns the total probability mass (should be 1).
+func (c Classes) Sum() float64 {
+	return c.PRHit + c.PWHitM + c.PWHitU + c.PRMiss + c.PWMiss +
+		c.SRHit + c.SRMiss +
+		c.SWRHit + c.SWWHitM + c.SWWHitU + c.SWRMiss + c.SWWMiss
+}
+
+// Misses returns the total miss probability.
+func (c Classes) Misses() float64 {
+	return c.PRMiss + c.PWMiss + c.SRMiss + c.SWRMiss + c.SWWMiss
+}
+
+// Classes computes the reference-class decomposition from the basic
+// parameters.
+func (p Params) Classes() Classes {
+	return Classes{
+		PRHit:   p.PPrivate * p.RPrivate * p.HPrivate,
+		PWHitM:  p.PPrivate * (1 - p.RPrivate) * p.HPrivate * p.AmodPrivate,
+		PWHitU:  p.PPrivate * (1 - p.RPrivate) * p.HPrivate * (1 - p.AmodPrivate),
+		PRMiss:  p.PPrivate * p.RPrivate * (1 - p.HPrivate),
+		PWMiss:  p.PPrivate * (1 - p.RPrivate) * (1 - p.HPrivate),
+		SRHit:   p.PSro * p.HSro,
+		SRMiss:  p.PSro * (1 - p.HSro),
+		SWRHit:  p.PSw * p.RSw * p.HSw,
+		SWWHitM: p.PSw * (1 - p.RSw) * p.HSw * p.AmodSw,
+		SWWHitU: p.PSw * (1 - p.RSw) * p.HSw * (1 - p.AmodSw),
+		SWRMiss: p.PSw * p.RSw * (1 - p.HSw),
+		SWWMiss: p.PSw * (1 - p.RSw) * (1 - p.HSw),
+	}
+}
+
+// Derived holds the model inputs of Section 2.3, computed from the basic
+// parameters per the [VeHo86] reconstruction of DESIGN.md §4, for a given
+// protocol (modification set) and timing.
+type Derived struct {
+	Params Params
+	Timing Timing
+	Mods   protocol.ModSet
+	Class  Classes
+
+	// PLocal is the probability a memory request is satisfied locally.
+	PLocal float64
+	// PBc is the probability a request needs a broadcast (write-word,
+	// invalidate, or update-write) bus operation.
+	PBc float64
+	// PRr is the probability a request needs a remote read or read-mod.
+	PRr float64
+	// TRead is the mean bus access time of a remote read, including the
+	// supplier's and/or the requester's block write-backs when needed.
+	TRead float64
+	// PCsupplyRR is the probability, given a remote read, that the block
+	// is supplied by another cache rather than by main memory (the
+	// csupply parameters name "the cache supplier" — a cached copy
+	// supplies the block, skipping the memory latency).
+	PCsupplyRR float64
+	// PCsupWbRR is the probability, given a remote read, that another
+	// cache must write the block to memory first (zero under mod 2).
+	PCsupWbRR float64
+	// PReqWbRR is the probability, given a remote read, that the
+	// requesting cache must write back the replaced block.
+	PReqWbRR float64
+	// BroadcastTouchesMemory reports whether broadcast operations update
+	// main memory (false under modification 3's invalidates).
+	BroadcastTouchesMemory bool
+
+	// SRMissFrac and SWMissFrac are the shared read-only and
+	// shared-writable shares of remote-read traffic (conditional on a
+	// remote read); BcSharedFrac is the share of all bus operations that
+	// are broadcasts addressing shared blocks. These feed Appendix B.
+	SRMissFrac   float64
+	SWMissFrac   float64
+	BcSharedFrac float64
+}
+
+// DeriveWriteThrough computes the model inputs for the degenerate
+// write-through protocol (Section 2.2: modification 4 without modification
+// 1): every write hit is broadcast, blocks are never dirty, and there are
+// no write-backs of any kind.
+func DeriveWriteThrough(p Params, t Timing) (Derived, error) {
+	if err := p.Validate(); err != nil {
+		return Derived{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Derived{}, err
+	}
+	// Blocks are never dirty under write-through; zero the write-back
+	// parameters so the Appendix B interference formulas see clean-block
+	// semantics.
+	p.WbCsupply, p.RepP, p.RepSw = 0, 0, 0
+	c := p.Classes()
+	d := Derived{Params: p, Timing: t, Mods: 1 << (protocol.Mod4 - 1), Class: c}
+	d.PLocal = c.PRHit + c.SRHit + c.SWRHit
+	d.PBc = c.PWHitM + c.PWHitU + c.SWWHitM + c.SWWHitU
+	d.PRr = c.Misses()
+	d.BroadcastTouchesMemory = true
+	if d.PRr > 0 {
+		swMiss := c.SWRMiss + c.SWWMiss
+		d.PCsupplyRR = (c.SRMiss*p.CsupplySro + swMiss*p.CsupplySw) / d.PRr
+		d.SRMissFrac = c.SRMiss / d.PRr
+		d.SWMissFrac = swMiss / d.PRr
+	}
+	// Clean blocks everywhere: no supplier or replacement write-backs.
+	d.TRead = d.PCsupplyRR*t.TReadCacheSupply() + (1-d.PCsupplyRR)*t.TReadBase()
+	if busTotal := d.PBc + d.PRr; busTotal > 0 {
+		// All shared-writable write hits are broadcasts hitting sharers.
+		d.BcSharedFrac = (c.SWWHitM + c.SWWHitU) / busTotal
+	}
+	return d, nil
+}
+
+// Derive computes the model inputs for workload p under modification set ms
+// with timing t. The Appendix A per-protocol parameter adjustments are NOT
+// applied here — call p.ForProtocol(ms) first when they are wanted.
+func Derive(p Params, t Timing, ms protocol.ModSet) (Derived, error) {
+	if err := p.Validate(); err != nil {
+		return Derived{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Derived{}, err
+	}
+	if err := ms.Valid(); err != nil {
+		return Derived{}, err
+	}
+	c := p.Classes()
+	d := Derived{Params: p, Timing: t, Mods: ms, Class: c}
+
+	// Request routing. The hit classes PRHit, PWHitM, SRHit, SWRHit and
+	// SWWHitM are always local. PWHitU broadcasts under Write-Once but is
+	// local under modification 1 (private blocks always fill exclusive —
+	// no other cache ever raises the shared line for them). SWWHitU
+	// broadcasts in every protocol (write-word, invalidate, or
+	// update-write depending on the modification set).
+	d.PLocal = c.PRHit + c.PWHitM + c.SRHit + c.SWRHit + c.SWWHitM
+	d.PBc = c.SWWHitU
+	if ms.Has(protocol.Mod1) {
+		d.PLocal += c.PWHitU
+	} else {
+		d.PBc += c.PWHitU
+	}
+	d.PRr = c.Misses()
+
+	// Supply and write-back probabilities conditioned on a remote read.
+	if d.PRr > 0 {
+		swMiss := c.SWRMiss + c.SWWMiss
+		d.PCsupplyRR = (c.SRMiss*p.CsupplySro + swMiss*p.CsupplySw) / d.PRr
+		if !ms.Has(protocol.Mod2) {
+			// A dirty cache supplier interrupts and writes the block to
+			// memory before the read completes. Only shared-writable
+			// blocks can be dirty in another cache.
+			d.PCsupWbRR = swMiss * p.CsupplySw * p.WbCsupply / d.PRr
+		}
+		d.PReqWbRR = ((c.PRMiss+c.PWMiss)*p.RepP + swMiss*p.RepSw) / d.PRr
+		d.SRMissFrac = c.SRMiss / d.PRr
+		d.SWMissFrac = swMiss / d.PRr
+	}
+	// Mean remote-read bus access time: cache-supplied transfers skip the
+	// memory latency; a possible second and third block transfer cover
+	// the supplier's memory update and the requester's replacement
+	// write-back ("one and possibly a second and third cache block
+	// transfer", Section 3.1).
+	d.TRead = d.PCsupplyRR*t.TReadCacheSupply() + (1-d.PCsupplyRR)*t.TReadBase() +
+		t.TBlock*d.PCsupWbRR + t.TBlock*d.PReqWbRR
+
+	// Modification 3 replaces write-word (which updates memory) with a
+	// one-cycle invalidate; together with modification 4 the broadcast
+	// updates caches but not memory.
+	d.BroadcastTouchesMemory = !ms.Has(protocol.Mod3)
+
+	if busTotal := d.PBc + d.PRr; busTotal > 0 {
+		d.BcSharedFrac = c.SWWHitU / busTotal
+	}
+	return d, nil
+}
+
+// TBc returns the bus access time of a broadcast operation given the
+// current mean memory wait: write-words hold the bus through the memory
+// write (T_write + w_mem, equation 3/9), invalidates and memory-bypassing
+// update-writes take a fixed cycle.
+func (d Derived) TBc(wmem float64) float64 {
+	if !d.BroadcastTouchesMemory {
+		return d.Timing.TInval
+	}
+	return d.Timing.TWrite + wmem
+}
+
+// MemOpsPerRequest returns the expected number of memory-module operations
+// per memory request — the bracketed factor of equation (12). Broadcasts
+// count only when they update memory.
+func (d Derived) MemOpsPerRequest() float64 {
+	m := d.PRr * (d.PCsupWbRR + d.PReqWbRR)
+	if d.BroadcastTouchesMemory {
+		m += d.PBc
+	}
+	return m
+}
+
+// Interference holds the Appendix B cache-interference quantities for a
+// given system size.
+type Interference struct {
+	// PA is the probability a bus request is a read/read-mod requiring
+	// action by a given other cache.
+	PA float64
+	// PB is the probability a bus request is a broadcast requiring
+	// full-duration action by a given other cache.
+	PB float64
+	// P = PA + PB is the probability a cache must service a bus request.
+	P float64
+	// PPrime <= P is the probability the cache is busy for the entire
+	// bus transaction.
+	PPrime float64
+	// TInterference is the mean cache-busy time per interfering request.
+	TInterference float64
+}
+
+// Interference computes the Appendix B quantities for an n-processor
+// system. For n <= 1 there are no other caches and everything is zero
+// except TInterference's base cycle.
+func (d Derived) Interference(n int) Interference {
+	iv := Interference{TInterference: 1}
+	if n <= 1 {
+		return iv
+	}
+	busTotal := d.PBc + d.PRr
+	if busTotal == 0 {
+		return iv
+	}
+	p := d.Params
+	// Probability that a random bus operation is a read/read-mod to a
+	// shared block held by this particular cache (the paper's literal 1/2
+	// per-cache copy probability).
+	readShare := d.PRr / busTotal
+	sharedMiss := d.SRMissFrac + d.SWMissFrac
+	iv.PA = readShare * sharedMiss * 0.5
+	// Broadcasts to shared blocks update/invalidate our copy for the whole
+	// transaction.
+	iv.PB = d.BcSharedFrac * 0.5
+	iv.P = iv.PA + iv.PB
+
+	// Of the read/read-mod interferences, only the designated supplier is
+	// held for the whole transaction; with copies in ~(n-1)/2 caches the
+	// per-holder supply probability is 1/((n-1)/2).
+	supplyWeight := 1.0 / (float64(n-1) / 2)
+	if supplyWeight > 1 {
+		supplyWeight = 1
+	}
+	csup := p.CsupplySro*d.SRMissFrac + p.CsupplySw*d.SWMissFrac
+	noRep := 1 - (p.RepP*p.PPrivate + p.RepSw*p.PSw)
+	iv.PPrime = iv.PB + iv.PA*supplyWeight*csup*noRep
+	if iv.PPrime > iv.P {
+		iv.PPrime = iv.P
+	}
+
+	// Mean cache-busy time per interfering request: one cycle for the
+	// directory action, plus the block-transfer work when this cache is
+	// the supplier; the supplier's memory write-back term (wb_csupply)
+	// disappears under modification 2.
+	wb := p.WbCsupply
+	if d.Mods.Has(protocol.Mod2) {
+		wb = 0
+	}
+	swCSup := p.CsupplySw * d.SWMissFrac
+	if iv.P > 0 {
+		t := d.Timing.TBlock
+		iv.TInterference = 1 + (iv.PA/iv.P)*supplyWeight*csup*(t+(wb+swCSup)*t)
+	}
+	return iv
+}
+
+// String summarizes the derived inputs.
+func (d Derived) String() string {
+	return fmt.Sprintf("%v: p_local=%.4f p_bc=%.4f p_rr=%.4f t_read=%.3f p_csupwb|rr=%.4f p_reqwb|rr=%.4f",
+		d.Mods, d.PLocal, d.PBc, d.PRr, d.TRead, d.PCsupWbRR, d.PReqWbRR)
+}
+
+// CheckPartition verifies p_local + p_bc + p_rr = 1 (tolerance tol); the
+// routing must conserve probability mass.
+func (d Derived) CheckPartition(tol float64) error {
+	if s := d.PLocal + d.PBc + d.PRr; math.Abs(s-1) > tol {
+		return fmt.Errorf("workload: request routing sums to %v, want 1", s)
+	}
+	return nil
+}

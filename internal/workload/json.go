@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// paramsJSON is the on-disk schema for Params, with the paper's parameter
+// names as field names.
+type paramsJSON struct {
+	Tau         *float64 `json:"tau,omitempty"`
+	PPrivate    *float64 `json:"p_private,omitempty"`
+	PSro        *float64 `json:"p_sro,omitempty"`
+	PSw         *float64 `json:"p_sw,omitempty"`
+	HPrivate    *float64 `json:"h_private,omitempty"`
+	HSro        *float64 `json:"h_sro,omitempty"`
+	HSw         *float64 `json:"h_sw,omitempty"`
+	RPrivate    *float64 `json:"r_private,omitempty"`
+	RSw         *float64 `json:"r_sw,omitempty"`
+	AmodPrivate *float64 `json:"amod_private,omitempty"`
+	AmodSw      *float64 `json:"amod_sw,omitempty"`
+	CsupplySro  *float64 `json:"csupply_sro,omitempty"`
+	CsupplySw   *float64 `json:"csupply_sw,omitempty"`
+	WbCsupply   *float64 `json:"wb_csupply,omitempty"`
+	RepP        *float64 `json:"rep_p,omitempty"`
+	RepSw       *float64 `json:"rep_sw,omitempty"`
+	// Base names an Appendix A sharing level ("1%", "5%", "20%") whose
+	// values seed any field not given explicitly.
+	Base string `json:"base,omitempty"`
+}
+
+// MarshalJSON encodes Params with the paper's parameter names.
+func (p Params) MarshalJSON() ([]byte, error) {
+	j := paramsJSON{
+		Tau:      &p.Tau,
+		PPrivate: &p.PPrivate, PSro: &p.PSro, PSw: &p.PSw,
+		HPrivate: &p.HPrivate, HSro: &p.HSro, HSw: &p.HSw,
+		RPrivate: &p.RPrivate, RSw: &p.RSw,
+		AmodPrivate: &p.AmodPrivate, AmodSw: &p.AmodSw,
+		CsupplySro: &p.CsupplySro, CsupplySw: &p.CsupplySw,
+		WbCsupply: &p.WbCsupply,
+		RepP:      &p.RepP, RepSw: &p.RepSw,
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes Params. A "base" field seeds the values from an
+// Appendix A sharing level before explicit fields override them; without
+// it, absent fields stay zero.
+func (p *Params) UnmarshalJSON(data []byte) error {
+	var j paramsJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	var out Params
+	switch j.Base {
+	case "":
+	case "1%", "1":
+		out = AppendixA(Sharing1)
+	case "5%", "5":
+		out = AppendixA(Sharing5)
+	case "20%", "20":
+		out = AppendixA(Sharing20)
+	default:
+		return fmt.Errorf("workload: unknown base %q (use \"1%%\", \"5%%\" or \"20%%\")", j.Base)
+	}
+	set := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	set(&out.Tau, j.Tau)
+	set(&out.PPrivate, j.PPrivate)
+	set(&out.PSro, j.PSro)
+	set(&out.PSw, j.PSw)
+	set(&out.HPrivate, j.HPrivate)
+	set(&out.HSro, j.HSro)
+	set(&out.HSw, j.HSw)
+	set(&out.RPrivate, j.RPrivate)
+	set(&out.RSw, j.RSw)
+	set(&out.AmodPrivate, j.AmodPrivate)
+	set(&out.AmodSw, j.AmodSw)
+	set(&out.CsupplySro, j.CsupplySro)
+	set(&out.CsupplySw, j.CsupplySw)
+	set(&out.WbCsupply, j.WbCsupply)
+	set(&out.RepP, j.RepP)
+	set(&out.RepSw, j.RepSw)
+	*p = out
+	return nil
+}
+
+// LoadParams reads and validates a Params JSON file.
+func LoadParams(path string) (Params, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Params{}, err
+	}
+	var p Params
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Params{}, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// SaveParams writes Params as indented JSON.
+func SaveParams(path string, p Params) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	p := AppendixA(Sharing20)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"p_private"`) || !strings.Contains(string(data), `"amod_sw"`) {
+		t.Errorf("unexpected JSON: %s", data)
+	}
+	var back Params
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", p, back)
+	}
+}
+
+func TestParamsJSONBase(t *testing.T) {
+	var p Params
+	if err := json.Unmarshal([]byte(`{"base":"5%","h_sw":0.8}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	want := AppendixA(Sharing5)
+	want.HSw = 0.8
+	if p != want {
+		t.Errorf("base+override mismatch:\n%+v\n%+v", p, want)
+	}
+	if err := json.Unmarshal([]byte(`{"base":"50%"}`), &p); err == nil {
+		t.Error("unknown base accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"base":"20"}`), &p); err != nil {
+		t.Errorf("numeric base rejected: %v", err)
+	}
+	if err := json.Unmarshal([]byte(`not json`), &p); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadSaveParams(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	p := AppendixA(Sharing1)
+	p.Tau = 4
+	if err := SaveParams(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("load/save mismatch:\n%+v\n%+v", got, p)
+	}
+	if _, err := LoadParams(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// An invalid workload must be rejected at load time.
+	bad := filepath.Join(dir, "bad.json")
+	if err := SaveParams(bad, Params{Tau: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadParams(bad); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}

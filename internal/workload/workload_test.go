@@ -1,0 +1,437 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snoopmva/internal/protocol"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAppendixAValues(t *testing.T) {
+	p := AppendixA(Sharing5)
+	if p.Tau != 2.5 || p.PPrivate != 0.95 || p.PSro != 0.03 || p.PSw != 0.02 {
+		t.Errorf("5%% column wrong: %+v", p)
+	}
+	if p.HPrivate != 0.95 || p.HSro != 0.95 || p.HSw != 0.5 {
+		t.Errorf("hit rates wrong: %+v", p)
+	}
+	if p.RPrivate != 0.7 || p.RSw != 0.5 || p.AmodPrivate != 0.7 || p.AmodSw != 0.3 {
+		t.Errorf("read/amod wrong: %+v", p)
+	}
+	if p.CsupplySro != 0.95 || p.CsupplySw != 0.5 || p.WbCsupply != 0.3 {
+		t.Errorf("supply params wrong: %+v", p)
+	}
+	if p.RepP != 0.2 || p.RepSw != 0.5 {
+		t.Errorf("replacement params wrong: %+v", p)
+	}
+	one := AppendixA(Sharing1)
+	if one.PPrivate != 0.99 || one.PSro != 0.01 || one.PSw != 0 {
+		t.Errorf("1%% column wrong: %+v", one)
+	}
+	twenty := AppendixA(Sharing20)
+	if twenty.PPrivate != 0.80 || twenty.PSro != 0.15 || twenty.PSw != 0.05 {
+		t.Errorf("20%% column wrong: %+v", twenty)
+	}
+	for _, s := range Sharings() {
+		if err := AppendixA(s).Validate(); err != nil {
+			t.Errorf("Appendix A %v invalid: %v", s, err)
+		}
+	}
+}
+
+func TestAppendixAPanicsOnBadSharing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AppendixA(Sharing(42))
+}
+
+func TestSharingAccessors(t *testing.T) {
+	if Sharing1.String() != "1%" || Sharing5.String() != "5%" || Sharing20.String() != "20%" {
+		t.Error("sharing strings wrong")
+	}
+	if Sharing(9).String() != "Sharing(9)" {
+		t.Error("unknown sharing string wrong")
+	}
+	if Sharing1.Percent() != 1 || Sharing5.Percent() != 5 || Sharing20.Percent() != 20 || Sharing(9).Percent() != -1 {
+		t.Error("percents wrong")
+	}
+	if len(Sharings()) != 3 {
+		t.Error("Sharings() wrong")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	good := AppendixA(Sharing5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+	bad := good
+	bad.Tau = -1
+	if bad.Validate() == nil {
+		t.Error("negative tau accepted")
+	}
+	bad = good
+	bad.HSw = 1.5
+	if bad.Validate() == nil {
+		t.Error("h_sw > 1 accepted")
+	}
+	bad = good
+	bad.PPrivate = 0.5 // breaks partition
+	if bad.Validate() == nil {
+		t.Error("broken stream partition accepted")
+	}
+	bad = good
+	bad.RepP = math.NaN()
+	if bad.Validate() == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestStressTestParams(t *testing.T) {
+	p := StressTest()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("stress params invalid: %v", err)
+	}
+	if p.RepP != 0 || p.RepSw != 0 || p.AmodSw != 0 {
+		t.Errorf("stress rep/amod wrong: %+v", p)
+	}
+	if p.CsupplySro != 1 || p.CsupplySw != 1 {
+		t.Errorf("stress csupply wrong: %+v", p)
+	}
+	if p.PSw != 0.2 || p.HSw != 0.1 {
+		t.Errorf("stress sw stream wrong: %+v", p)
+	}
+}
+
+func TestForProtocolAdjustments(t *testing.T) {
+	base := AppendixA(Sharing5)
+	// Mod 1: rep_p 0.2 -> 0.3.
+	m1 := base.ForProtocol(protocol.Mods(protocol.Mod1))
+	if !approx(m1.RepP, 0.3, 1e-12) {
+		t.Errorf("mod1 rep_p = %v, want 0.3", m1.RepP)
+	}
+	if m1.RepSw != base.RepSw || m1.HSw != base.HSw {
+		t.Error("mod1 must not change rep_sw or h_sw")
+	}
+	// Mod 2 or 3 alone: rep_sw 0.5 -> 0.6.
+	for _, m := range []protocol.Mod{protocol.Mod2, protocol.Mod3} {
+		q := base.ForProtocol(protocol.Mods(m))
+		if !approx(q.RepSw, 0.6, 1e-12) {
+			t.Errorf("%v rep_sw = %v, want 0.6", m, q.RepSw)
+		}
+	}
+	// Mods 2+3: rep_sw -> 0.7.
+	m23 := base.ForProtocol(protocol.Mods(protocol.Mod2, protocol.Mod3))
+	if !approx(m23.RepSw, 0.7, 1e-12) {
+		t.Errorf("mods2+3 rep_sw = %v, want 0.7", m23.RepSw)
+	}
+	// Mods 1+4: h_sw -> 0.95.
+	m14 := base.ForProtocol(protocol.Mods(protocol.Mod1, protocol.Mod4))
+	if m14.HSw != 0.95 {
+		t.Errorf("mods1+4 h_sw = %v, want 0.95", m14.HSw)
+	}
+	if !approx(m14.RepP, 0.3, 1e-12) {
+		t.Errorf("mods1+4 rep_p = %v, want 0.3", m14.RepP)
+	}
+	// Baseline untouched.
+	if base.ForProtocol(0) != base {
+		t.Error("WO adjustment must be identity")
+	}
+}
+
+func TestForProtocolClamps(t *testing.T) {
+	p := AppendixA(Sharing5)
+	p.RepSw = 0.95
+	q := p.ForProtocol(protocol.Mods(protocol.Mod2, protocol.Mod3))
+	if q.RepSw > 1 {
+		t.Errorf("rep_sw not clamped: %v", q.RepSw)
+	}
+}
+
+func TestClassesPartition(t *testing.T) {
+	for _, s := range Sharings() {
+		c := AppendixA(s).Classes()
+		if !approx(c.Sum(), 1, 1e-12) {
+			t.Errorf("%v: classes sum to %v", s, c.Sum())
+		}
+	}
+}
+
+// Property: the class decomposition partitions unity for any valid params.
+func TestClassesPartitionQuick(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h, i uint16) bool {
+		frac := func(v uint16) float64 { return float64(v%1001) / 1000 }
+		p := AppendixA(Sharing5)
+		// Random stream split.
+		x, y := frac(a), frac(b)
+		if x+y > 1 {
+			x, y = x/2, y/2
+		}
+		p.PPrivate, p.PSro, p.PSw = 1-x-y, x, y
+		p.HPrivate, p.HSro, p.HSw = frac(c), frac(d), frac(e)
+		p.RPrivate, p.RSw = frac(f2), frac(g)
+		p.AmodPrivate, p.AmodSw = frac(h), frac(i)
+		if p.Validate() != nil {
+			return true // skip invalid corners
+		}
+		return approx(p.Classes().Sum(), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultTiming(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.TSupply != 1 || tm.TWrite != 1 || tm.TInval != 1 || tm.DMem != 3 || tm.BlockSize != 4 || tm.TBlock != 4 {
+		t.Errorf("default timing wrong: %+v", tm)
+	}
+	if err := tm.Validate(); err != nil {
+		t.Errorf("default timing invalid: %v", err)
+	}
+	if !approx(tm.TReadBase(), 8, 1e-12) {
+		t.Errorf("TReadBase = %v, want 8", tm.TReadBase())
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	tm := DefaultTiming()
+	tm.DMem = -1
+	if tm.Validate() == nil {
+		t.Error("negative d_mem accepted")
+	}
+	tm = DefaultTiming()
+	tm.BlockSize = 0
+	if tm.Validate() == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestDeriveRoutingWriteOnce(t *testing.T) {
+	p := AppendixA(Sharing5)
+	d, err := Derive(p, DefaultTiming(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckPartition(1e-12); err != nil {
+		t.Error(err)
+	}
+	c := p.Classes()
+	// Write-Once broadcasts both private and sw unmodified write hits.
+	if !approx(d.PBc, c.PWHitU+c.SWWHitU, 1e-12) {
+		t.Errorf("p_bc = %v, want %v", d.PBc, c.PWHitU+c.SWWHitU)
+	}
+	if !approx(d.PRr, c.Misses(), 1e-12) {
+		t.Errorf("p_rr = %v, want %v", d.PRr, c.Misses())
+	}
+	// Hand-checked values for the 5% column (DESIGN.md §4).
+	if !approx(d.PBc, 0.0847, 5e-4) {
+		t.Errorf("p_bc = %v, want ≈0.0847", d.PBc)
+	}
+	if !approx(d.PRr, 0.059, 5e-4) {
+		t.Errorf("p_rr = %v, want ≈0.059", d.PRr)
+	}
+	// t_read = 8 + 4·p_csupwb + 4·p_reqwb.
+	if !approx(d.PCsupWbRR, 0.01*0.5*0.3/0.059, 1e-6) {
+		t.Errorf("p_csupwb|rr = %v", d.PCsupWbRR)
+	}
+	wantReq := (0.0475*0.2 + 0.01*0.5) / 0.059
+	if !approx(d.PReqWbRR, wantReq, 1e-6) {
+		t.Errorf("p_reqwb|rr = %v, want %v", d.PReqWbRR, wantReq)
+	}
+	if !d.BroadcastTouchesMemory {
+		t.Error("WO broadcasts must touch memory")
+	}
+}
+
+func TestDeriveMod1MovesPrivateWrites(t *testing.T) {
+	p := AppendixA(Sharing5)
+	base, err := Derive(p, DefaultTiming(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Derive(p, DefaultTiming(), protocol.Mods(protocol.Mod1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Classes()
+	if !approx(m1.PBc, base.PBc-c.PWHitU, 1e-12) {
+		t.Errorf("mod1 p_bc = %v, want %v", m1.PBc, base.PBc-c.PWHitU)
+	}
+	if !approx(m1.PLocal, base.PLocal+c.PWHitU, 1e-12) {
+		t.Errorf("mod1 p_local = %v", m1.PLocal)
+	}
+	if err := m1.CheckPartition(1e-12); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveMod2DropsSupplierWriteback(t *testing.T) {
+	p := AppendixA(Sharing5)
+	base, _ := Derive(p, DefaultTiming(), 0)
+	m2, err := Derive(p, DefaultTiming(), protocol.Mods(protocol.Mod2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.PCsupWbRR != 0 {
+		t.Errorf("mod2 p_csupwb|rr = %v, want 0", m2.PCsupWbRR)
+	}
+	if m2.TRead >= base.TRead {
+		t.Errorf("mod2 t_read %v should drop below %v", m2.TRead, base.TRead)
+	}
+}
+
+func TestDeriveMod3BypassesMemory(t *testing.T) {
+	p := AppendixA(Sharing5)
+	m3, err := Derive(p, DefaultTiming(), protocol.Mods(protocol.Mod3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.BroadcastTouchesMemory {
+		t.Error("mod3 broadcasts must bypass memory")
+	}
+	// TBc is a fixed invalidate cycle regardless of memory wait.
+	if m3.TBc(5) != 1 {
+		t.Errorf("mod3 TBc = %v, want 1", m3.TBc(5))
+	}
+	base, _ := Derive(p, DefaultTiming(), 0)
+	if base.TBc(0.5) != 1.5 {
+		t.Errorf("WO TBc = %v, want 1.5", base.TBc(0.5))
+	}
+	// Memory ops per request exclude broadcasts under mod 3.
+	if m3.MemOpsPerRequest() >= base.MemOpsPerRequest() {
+		t.Errorf("mod3 memory traffic %v should be below WO %v",
+			m3.MemOpsPerRequest(), base.MemOpsPerRequest())
+	}
+}
+
+func TestDeriveMod4WithHighHitRateCutsMisses(t *testing.T) {
+	p := AppendixA(Sharing20)
+	ms := protocol.Mods(protocol.Mod1, protocol.Mod4)
+	adj := p.ForProtocol(ms)
+	d, err := Derive(adj, DefaultTiming(), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := Derive(p.ForProtocol(protocol.Mods(protocol.Mod1)), DefaultTiming(), protocol.Mods(protocol.Mod1))
+	if d.PRr >= base.PRr {
+		t.Errorf("mods1+4 p_rr %v should be below mod1 %v (h_sw 0.95)", d.PRr, base.PRr)
+	}
+}
+
+func TestDeriveRejectsInvalid(t *testing.T) {
+	bad := AppendixA(Sharing5)
+	bad.Tau = -2
+	if _, err := Derive(bad, DefaultTiming(), 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+	tm := DefaultTiming()
+	tm.TBlock = -1
+	if _, err := Derive(AppendixA(Sharing5), tm, 0); err == nil {
+		t.Error("invalid timing accepted")
+	}
+	if _, err := Derive(AppendixA(Sharing5), DefaultTiming(), protocol.Mods(protocol.Mod4)); err == nil {
+		t.Error("impractical mod set accepted")
+	}
+}
+
+func TestInterferenceSingleProcessor(t *testing.T) {
+	d, _ := Derive(AppendixA(Sharing5), DefaultTiming(), 0)
+	iv := d.Interference(1)
+	if iv.P != 0 || iv.PPrime != 0 || iv.TInterference != 1 {
+		t.Errorf("N=1 interference = %+v", iv)
+	}
+}
+
+func TestInterferenceBasicShape(t *testing.T) {
+	d, _ := Derive(AppendixA(Sharing20), DefaultTiming(), 0)
+	for _, n := range []int{2, 4, 10, 100} {
+		iv := d.Interference(n)
+		if iv.P < 0 || iv.P > 1 {
+			t.Errorf("N=%d: p = %v out of range", n, iv.P)
+		}
+		if iv.PPrime < 0 || iv.PPrime > iv.P {
+			t.Errorf("N=%d: p' = %v not in [0, p=%v]", n, iv.PPrime, iv.P)
+		}
+		if iv.TInterference < 1 {
+			t.Errorf("N=%d: t_interference = %v < 1", n, iv.TInterference)
+		}
+		if !approx(iv.P, iv.PA+iv.PB, 1e-12) {
+			t.Errorf("N=%d: p != p_a+p_b", n)
+		}
+	}
+}
+
+func TestInterferenceMod2ReducesSupplierTime(t *testing.T) {
+	p := AppendixA(Sharing20)
+	base, _ := Derive(p, DefaultTiming(), 0)
+	m2, _ := Derive(p, DefaultTiming(), protocol.Mods(protocol.Mod2))
+	b, m := base.Interference(10), m2.Interference(10)
+	if m.TInterference >= b.TInterference {
+		t.Errorf("mod2 t_interference %v should drop below %v", m.TInterference, b.TInterference)
+	}
+}
+
+func TestInterferenceZeroBusTraffic(t *testing.T) {
+	p := AppendixA(Sharing1)
+	// Perfect hit rates and all-read => no bus traffic at all.
+	p.HPrivate, p.HSro, p.HSw = 1, 1, 1
+	p.RPrivate, p.RSw = 1, 1
+	d, err := Derive(p, DefaultTiming(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := d.Interference(8)
+	if iv.P != 0 || iv.TInterference != 1 {
+		t.Errorf("no-traffic interference = %+v", iv)
+	}
+}
+
+// Property: for random valid workloads, routing conserves probability and
+// interference quantities stay in range across protocols and system sizes.
+func TestDeriveInvariantsQuick(t *testing.T) {
+	mods := protocol.AllModSets()
+	f := func(sh, msIdx, nRaw uint8, hsw1000, psw1000 uint16) bool {
+		p := AppendixA(Sharings()[int(sh)%3])
+		p.HSw = float64(hsw1000%1001) / 1000
+		sw := float64(psw1000%300) / 1000 // up to 0.3
+		p.PSw = sw
+		p.PPrivate = 1 - p.PSro - sw
+		if p.Validate() != nil {
+			return true
+		}
+		ms := mods[int(msIdx)%len(mods)]
+		d, err := Derive(p.ForProtocol(ms), DefaultTiming(), ms)
+		if err != nil {
+			return false
+		}
+		if d.CheckPartition(1e-9) != nil {
+			return false
+		}
+		if d.PCsupWbRR < 0 || d.PCsupWbRR > 1 || d.PReqWbRR < 0 || d.PReqWbRR > 1 {
+			return false
+		}
+		if d.TRead < d.Timing.TReadCacheSupply()-1e-12 {
+			return false
+		}
+		n := 1 + int(nRaw%64)
+		iv := d.Interference(n)
+		return iv.P >= 0 && iv.P <= 1 && iv.PPrime >= 0 && iv.PPrime <= iv.P+1e-12 && iv.TInterference >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerivedString(t *testing.T) {
+	d, _ := Derive(AppendixA(Sharing5), DefaultTiming(), 0)
+	if d.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,68 @@
+package snoopmva
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepParallel solves the MVA for each system size in ns concurrently
+// (the solves are independent, microsecond-scale computations — this
+// matters for wide design-space scans from interactive tools). Results are
+// returned in input order; the first error cancels the rest of the report
+// but workers run to completion.
+func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
+	results := make([]Result, len(ns))
+	errs := make([]error, len(ns))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ns) {
+		workers = len(ns)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				results[idx], errs[idx] = Solve(p, w, ns[idx])
+			}
+		}()
+	}
+	for idx := range ns {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", ns[idx], err)
+		}
+	}
+	return results, nil
+}
+
+// CompareParallel solves several protocols concurrently at the same
+// workload and system size, returned in input order.
+func CompareParallel(ps []Protocol, w Workload, n int) ([]Result, error) {
+	results := make([]Result, len(ps))
+	errs := make([]error, len(ps))
+	var wg sync.WaitGroup
+	for i := range ps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Solve(ps[i], w, n)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("snoopmva: %v: %w", ps[i], err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,54 @@
+package snoopmva
+
+import (
+	"testing"
+)
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	w := AppendixA(Sharing5)
+	ns := []int{1, 2, 4, 8, 16, 32, 64, 100}
+	seq, err := Sweep(WriteOnce(), w, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepParallel(WriteOnce(), w, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ns {
+		if seq[i] != par[i] {
+			t.Errorf("N=%d: parallel %+v != sequential %+v", ns[i], par[i], seq[i])
+		}
+	}
+}
+
+func TestSweepParallelPropagatesErrors(t *testing.T) {
+	if _, err := SweepParallel(WriteOnce(), AppendixA(Sharing5), []int{4, 0, 8}); err == nil {
+		t.Error("invalid N accepted")
+	}
+	empty, err := SweepParallel(WriteOnce(), AppendixA(Sharing5), nil)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty sweep: %v, %v", empty, err)
+	}
+}
+
+func TestCompareParallelMatchesSequential(t *testing.T) {
+	w := AppendixA(Sharing20)
+	ps := Protocols()
+	seq, err := Compare(ps, w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompareParallel(ps, w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if seq[i] != par[i] {
+			t.Errorf("%v: parallel %+v != sequential %+v", ps[i], par[i], seq[i])
+		}
+	}
+	if _, err := CompareParallel([]Protocol{WithMods(9)}, w, 4); err == nil {
+		t.Error("invalid protocol accepted")
+	}
+}

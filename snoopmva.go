@@ -1,0 +1,262 @@
+// Package snoopmva is the public API of this repository: an accurate and
+// efficient performance-analysis toolkit for multiprocessor snooping
+// cache-consistency protocols, reproducing Vernon, Lazowska & Zahorjan
+// (ISCA 1988).
+//
+// Three models of the same machine are provided, in increasing cost:
+//
+//   - Solve — the paper's customized mean-value-analysis (MVA) model:
+//     closed-form equations iterated to a fixed point, microseconds per
+//     configuration, any system size;
+//   - SolveDetailed — a Generalized Timed Petri Net model solved exactly
+//     over its reachability graph (the paper's expensive comparator;
+//     small systems only);
+//   - Simulate — a cycle-level discrete-event simulation executing the
+//     real per-block protocol state machines (the independent check).
+//
+// Protocols are expressed as Goodman's Write-Once protocol plus any
+// combination of the paper's four modifications; the classic named
+// protocols (Illinois, Berkeley, Dragon, RWB, Synapse, write-through) are
+// provided as presets.
+//
+// Quick start:
+//
+//	w := snoopmva.AppendixA(snoopmva.Sharing5)
+//	res, err := snoopmva.Solve(snoopmva.WriteOnce(), w, 10)
+//	if err != nil { ... }
+//	fmt.Println(res.Speedup)
+package snoopmva
+
+import (
+	"fmt"
+
+	"snoopmva/internal/protocol"
+	"snoopmva/internal/workload"
+)
+
+// Sharing selects one of the paper's three Appendix A sharing levels.
+type Sharing int
+
+// The paper's sharing levels: the fractions of references to shared
+// (read-only + writable) data.
+const (
+	Sharing1  Sharing = 1
+	Sharing5  Sharing = 5
+	Sharing20 Sharing = 20
+)
+
+func (s Sharing) internal() (workload.Sharing, error) {
+	switch s {
+	case Sharing1:
+		return workload.Sharing1, nil
+	case Sharing5:
+		return workload.Sharing5, nil
+	case Sharing20:
+		return workload.Sharing20, nil
+	default:
+		return 0, fmt.Errorf("snoopmva: unknown sharing level %d%% (use 1, 5 or 20)", int(s))
+	}
+}
+
+// Workload holds the paper's basic workload parameters (Section 2.3).
+// Construct with AppendixA and adjust fields, or fill it directly; all
+// probabilities are in [0,1] and the three stream probabilities must sum
+// to one.
+type Workload struct {
+	// Tau is the mean processor execution time between memory requests,
+	// in cycles.
+	Tau float64
+	// PPrivate, PSro, PSw partition references into private, shared
+	// read-only and shared-writable streams.
+	PPrivate, PSro, PSw float64
+	// HPrivate, HSro, HSw are per-stream cache hit rates.
+	HPrivate, HSro, HSw float64
+	// RPrivate, RSw are per-stream read probabilities (sro is read-only).
+	RPrivate, RSw float64
+	// AmodPrivate, AmodSw are the probabilities that a write hit finds
+	// the block already modified.
+	AmodPrivate, AmodSw float64
+	// CsupplySro, CsupplySw are the probabilities that another cache
+	// holds a requested block.
+	CsupplySro, CsupplySw float64
+	// WbCsupply is the probability the cache supplier holds the block
+	// dirty.
+	WbCsupply float64
+	// RepP, RepSw are the probabilities that a replaced block is dirty.
+	RepP, RepSw float64
+	// FixedParams suppresses the paper's automatic per-protocol
+	// parameter adjustments (rep_p, rep_sw, h_sw; Appendix A notes).
+	FixedParams bool
+}
+
+// AppendixA returns the workload of the paper's experiments at the given
+// sharing level. It panics on an unknown level; use Validate for runtime
+// checking of custom workloads.
+func AppendixA(s Sharing) Workload {
+	is, err := s.internal()
+	if err != nil {
+		panic(err)
+	}
+	return fromInternalParams(workload.AppendixA(is))
+}
+
+// StressWorkload returns the Section 4.3 stress-test parameters
+// (deliberately unrealistic, maximal cache interference). Stress runs
+// should set FixedParams since the values are meant verbatim.
+func StressWorkload() Workload {
+	w := fromInternalParams(workload.StressTest())
+	w.FixedParams = true
+	return w
+}
+
+// Validate checks ranges and the stream partition.
+func (w Workload) Validate() error { return w.internal().Validate() }
+
+func (w Workload) internal() workload.Params {
+	return workload.Params{
+		Tau:      w.Tau,
+		PPrivate: w.PPrivate, PSro: w.PSro, PSw: w.PSw,
+		HPrivate: w.HPrivate, HSro: w.HSro, HSw: w.HSw,
+		RPrivate: w.RPrivate, RSw: w.RSw,
+		AmodPrivate: w.AmodPrivate, AmodSw: w.AmodSw,
+		CsupplySro: w.CsupplySro, CsupplySw: w.CsupplySw,
+		WbCsupply: w.WbCsupply,
+		RepP:      w.RepP, RepSw: w.RepSw,
+	}
+}
+
+func fromInternalParams(p workload.Params) Workload {
+	return Workload{
+		Tau:      p.Tau,
+		PPrivate: p.PPrivate, PSro: p.PSro, PSw: p.PSw,
+		HPrivate: p.HPrivate, HSro: p.HSro, HSw: p.HSw,
+		RPrivate: p.RPrivate, RSw: p.RSw,
+		AmodPrivate: p.AmodPrivate, AmodSw: p.AmodSw,
+		CsupplySro: p.CsupplySro, CsupplySw: p.CsupplySw,
+		WbCsupply: p.WbCsupply,
+		RepP:      p.RepP, RepSw: p.RepSw,
+	}
+}
+
+// Timing holds the architectural constants (cycles). The zero value means
+// the paper's defaults: T_supply = T_write = T_inval = 1, d_mem = 3,
+// block size 4 words, T_block = 4.
+type Timing struct {
+	TSupply   float64
+	TWrite    float64
+	TInval    float64
+	DMem      float64
+	BlockSize int
+	TBlock    float64
+}
+
+// DefaultTiming returns the paper's timing constants.
+func DefaultTiming() Timing {
+	t := workload.DefaultTiming()
+	return Timing{
+		TSupply: t.TSupply, TWrite: t.TWrite, TInval: t.TInval,
+		DMem: t.DMem, BlockSize: t.BlockSize, TBlock: t.TBlock,
+	}
+}
+
+func (t Timing) internal() workload.Timing {
+	if t == (Timing{}) {
+		return workload.DefaultTiming()
+	}
+	return workload.Timing{
+		TSupply: t.TSupply, TWrite: t.TWrite, TInval: t.TInval,
+		DMem: t.DMem, BlockSize: t.BlockSize, TBlock: t.TBlock,
+	}
+}
+
+// Protocol identifies a snooping cache-consistency protocol: Write-Once
+// plus a set of the paper's four modifications. The zero value is
+// Write-Once.
+type Protocol struct {
+	inner protocol.Protocol
+}
+
+// WriteOnce returns Goodman's base protocol.
+func WriteOnce() Protocol { return Protocol{inner: protocol.WriteOnce} }
+
+// WithMods returns Write-Once extended with the given modifications
+// (values 1–4, Section 2.2). Invalid numbers or the impractical
+// mod-4-without-mod-1 combination yield an error from the solvers.
+func WithMods(mods ...int) Protocol {
+	var ms protocol.ModSet
+	for _, m := range mods {
+		if m >= 1 && m <= 4 {
+			ms = ms.With(protocol.Mod(m))
+		} else {
+			// Mark invalid by an impossible combination detected later.
+			ms |= 1 << 7
+		}
+	}
+	return Protocol{inner: protocol.Protocol{Name: "", Mods: ms}}
+}
+
+// Synapse returns the Synapse protocol preset (modification 3).
+func Synapse() Protocol { return Protocol{inner: protocol.Synapse} }
+
+// Berkeley returns the Berkeley protocol preset (modifications 2+3).
+func Berkeley() Protocol { return Protocol{inner: protocol.Berkeley} }
+
+// Illinois returns the Illinois protocol preset (modifications 1+2+3).
+func Illinois() Protocol { return Protocol{inner: protocol.Illinois} }
+
+// Dragon returns the Dragon protocol preset (all four modifications).
+func Dragon() Protocol { return Protocol{inner: protocol.Dragon} }
+
+// RWB returns the RWB protocol preset (modifications 1+3+4).
+func RWB() Protocol { return Protocol{inner: protocol.RWB} }
+
+// WriteThrough returns the degenerate all-write-through protocol.
+func WriteThrough() Protocol { return Protocol{inner: protocol.WriteThrough} }
+
+// ProtocolByName resolves a named protocol (case-insensitive):
+// "Write-Once", "Synapse", "Berkeley", "Illinois", "Dragon", "RWB",
+// "Write-Through".
+func ProtocolByName(name string) (Protocol, bool) {
+	p, ok := protocol.ByName(name)
+	return Protocol{inner: p}, ok
+}
+
+// Protocols returns all named presets.
+func Protocols() []Protocol {
+	named := protocol.Named()
+	out := make([]Protocol, len(named))
+	for i, p := range named {
+		out[i] = Protocol{inner: p}
+	}
+	return out
+}
+
+// Name returns the protocol's name ("" for anonymous modification sets).
+func (p Protocol) Name() string { return p.inner.Name }
+
+// Mods returns the modification numbers the protocol includes.
+func (p Protocol) Mods() []int {
+	var out []int
+	for _, m := range p.inner.Mods.Mods() {
+		out = append(out, int(m))
+	}
+	return out
+}
+
+// HasMod reports whether the protocol includes modification m.
+func (p Protocol) HasMod(m int) bool {
+	return m >= 1 && m <= 4 && p.inner.Mods.Has(protocol.Mod(m))
+}
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string { return p.inner.String() }
+
+func (p Protocol) validate() error {
+	if p.inner.Mods&(1<<7) != 0 {
+		return fmt.Errorf("snoopmva: protocol has invalid modification numbers (use 1-4)")
+	}
+	if p.inner.WriteThroughBase {
+		return nil
+	}
+	return p.inner.Mods.Valid()
+}

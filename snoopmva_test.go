@@ -1,0 +1,243 @@
+package snoopmva
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartPath(t *testing.T) {
+	w := AppendixA(Sharing5)
+	res, err := Solve(WriteOnce(), w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 4.5 || res.Speedup > 6 {
+		t.Errorf("WO 5%% N=10 speedup = %v, expected ~5.2", res.Speedup)
+	}
+	if res.N != 10 || res.Iterations == 0 || res.R <= 3.5 {
+		t.Errorf("result incomplete: %+v", res)
+	}
+}
+
+func TestAppendixAPanicsOnBadSharing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AppendixA(Sharing(3))
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := AppendixA(Sharing1)
+	if err := w.Validate(); err != nil {
+		t.Errorf("Appendix A invalid: %v", err)
+	}
+	w.HSw = 2
+	if err := w.Validate(); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestStressWorkload(t *testing.T) {
+	w := StressWorkload()
+	if !w.FixedParams {
+		t.Error("stress workload must pin its parameters")
+	}
+	if w.CsupplySro != 1 || w.PSw != 0.2 {
+		t.Errorf("stress values wrong: %+v", w)
+	}
+	if _, err := Solve(WriteOnce(), w, 8); err != nil {
+		t.Errorf("stress workload should solve: %v", err)
+	}
+}
+
+func TestProtocolConstructors(t *testing.T) {
+	cases := []struct {
+		p    Protocol
+		name string
+		mods []int
+	}{
+		{WriteOnce(), "Write-Once", nil},
+		{Synapse(), "Synapse", []int{3}},
+		{Berkeley(), "Berkeley", []int{2, 3}},
+		{Illinois(), "Illinois", []int{1, 2, 3}},
+		{Dragon(), "Dragon", []int{1, 2, 3, 4}},
+		{RWB(), "RWB", []int{1, 3, 4}},
+		{WriteThrough(), "Write-Through", []int{4}},
+	}
+	for _, c := range cases {
+		if c.p.Name() != c.name {
+			t.Errorf("name = %q, want %q", c.p.Name(), c.name)
+		}
+		got := c.p.Mods()
+		if len(got) != len(c.mods) {
+			t.Errorf("%s mods = %v, want %v", c.name, got, c.mods)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.mods[i] {
+				t.Errorf("%s mods = %v, want %v", c.name, got, c.mods)
+			}
+		}
+	}
+	if !Dragon().HasMod(4) || Dragon().HasMod(9) || WriteOnce().HasMod(1) {
+		t.Error("HasMod wrong")
+	}
+	if WriteOnce().String() == "" {
+		t.Error("empty protocol string")
+	}
+}
+
+func TestWithMods(t *testing.T) {
+	p := WithMods(1, 4)
+	if !p.HasMod(1) || !p.HasMod(4) || p.HasMod(2) {
+		t.Errorf("WithMods(1,4) = %v", p.Mods())
+	}
+	if _, err := Solve(p, AppendixA(Sharing5), 4); err != nil {
+		t.Errorf("mods 1+4 should solve: %v", err)
+	}
+	if _, err := Solve(WithMods(4), AppendixA(Sharing5), 4); err == nil {
+		t.Error("mod 4 alone should be rejected")
+	}
+	if _, err := Solve(WithMods(7), AppendixA(Sharing5), 4); err == nil {
+		t.Error("invalid mod number should be rejected")
+	}
+}
+
+func TestProtocolByNameAndList(t *testing.T) {
+	p, ok := ProtocolByName("dragon")
+	if !ok || p.Name() != "Dragon" {
+		t.Errorf("ProtocolByName = %v, %v", p, ok)
+	}
+	if _, ok := ProtocolByName("zzz"); ok {
+		t.Error("unknown name resolved")
+	}
+	if len(Protocols()) != 7 {
+		t.Errorf("Protocols() = %d entries", len(Protocols()))
+	}
+}
+
+func TestSweepAndCompare(t *testing.T) {
+	w := AppendixA(Sharing5)
+	rs, err := Sweep(WriteOnce(), w, []int{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || !(rs[0].Speedup < rs[1].Speedup && rs[1].Speedup < rs[2].Speedup) {
+		t.Errorf("sweep not increasing: %+v", rs)
+	}
+	if _, err := Sweep(WriteOnce(), w, []int{0}); err == nil {
+		t.Error("sweep should propagate errors")
+	}
+	cs, err := Compare([]Protocol{WriteOnce(), Illinois(), Dragon()}, w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cs[0].Speedup <= cs[1].Speedup && cs[1].Speedup <= cs[2].Speedup) {
+		t.Errorf("protocol ordering broken: %v %v %v", cs[0].Speedup, cs[1].Speedup, cs[2].Speedup)
+	}
+	if _, err := Compare([]Protocol{WithMods(9)}, w, 4); err == nil {
+		t.Error("compare should propagate errors")
+	}
+}
+
+func TestSolveWithOptionsAndTiming(t *testing.T) {
+	w := AppendixA(Sharing20)
+	base, err := SolveWith(WriteOnce(), w, Timing{}, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := SolveWith(WriteOnce(), w, Timing{}, 10, Options{
+		NoCacheInterference: true, NoMemoryInterference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.Speedup < base.Speedup {
+		t.Error("ablations should not reduce speedup")
+	}
+	slow := DefaultTiming()
+	slow.DMem = 12
+	slowRes, err := SolveWith(WriteOnce(), w, slow, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRes.Speedup >= base.Speedup {
+		t.Error("slower memory should reduce speedup")
+	}
+}
+
+func TestSolveDetailedAgreesWithSolve(t *testing.T) {
+	w := AppendixA(Sharing5)
+	g, err := SolveDetailed(WriteOnce(), w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := SolveWith(WriteOnce(), w, Timing{}, 4, Options{
+		NoCacheInterference: true, NoMemoryInterference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(m.Speedup-g.Speedup) / g.Speedup; rel > 0.035 {
+		t.Errorf("MVA %.3f vs detailed %.3f (rel %.1f%%)", m.Speedup, g.Speedup, rel*100)
+	}
+	if g.States == 0 {
+		t.Error("detailed result missing state count")
+	}
+	if _, err := SolveDetailed(WithMods(4), w, 2); err == nil {
+		t.Error("invalid protocol accepted")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	w := AppendixA(Sharing5)
+	r, err := Simulate(Illinois(), w, 6, SimOptions{Seed: 9, MeasureCycles: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup <= 0 || r.Speedup > 6 {
+		t.Errorf("sim speedup %v out of range", r.Speedup)
+	}
+	if !(r.SpeedupLow <= r.Speedup && r.Speedup <= r.SpeedupHigh) {
+		t.Errorf("CI [%v, %v] does not bracket %v", r.SpeedupLow, r.SpeedupHigh, r.Speedup)
+	}
+	if r.ObservedAmod < 0 || r.ObservedAmod > 1 || r.ObservedCsupply < 0 || r.ObservedCsupply > 1 {
+		t.Errorf("observed quantities out of range: %+v", r)
+	}
+	if _, err := Simulate(WithMods(4), w, 2, SimOptions{}); err == nil {
+		t.Error("invalid protocol accepted")
+	}
+}
+
+func TestExperimentRegistryAccess(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 11 {
+		t.Errorf("Experiments() = %d ids", len(ids))
+	}
+	var sb strings.Builder
+	if err := RunExperiment("power", &sb, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "4.32") {
+		t.Errorf("power report missing paper value:\n%s", sb.String())
+	}
+	if err := RunExperiment("nope", &sb, 0, -1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestSharingInternalError(t *testing.T) {
+	if _, err := Sharing(7).internal(); err == nil {
+		t.Error("bad sharing accepted")
+	}
+}
+
+func TestDefaultTimingValues(t *testing.T) {
+	d := DefaultTiming()
+	if d.TSupply != 1 || d.DMem != 3 || d.BlockSize != 4 || d.TBlock != 4 {
+		t.Errorf("defaults wrong: %+v", d)
+	}
+}

@@ -1,0 +1,273 @@
+package snoopmva
+
+import (
+	"fmt"
+	"io"
+
+	"snoopmva/internal/cachesim"
+	"snoopmva/internal/exp"
+	"snoopmva/internal/gtpnmodel"
+	"snoopmva/internal/mva"
+	"snoopmva/internal/petri"
+)
+
+// Result holds the MVA model's outputs for one configuration.
+type Result struct {
+	// N is the number of processors solved for.
+	N int
+	// Speedup is N·(τ+T_supply)/R, the paper's Section 4 metric.
+	Speedup float64
+	// ProcessingPower is the sum of processor utilizations, N·τ/R.
+	ProcessingPower float64
+	// R is the mean total time between memory requests (equation 1).
+	R float64
+	// BusUtilization and BusWait are the equation (7)/(5) bus measures.
+	BusUtilization float64
+	BusWait        float64
+	// MemUtilization and MemWait are the equation (12)/(11) memory
+	// measures.
+	MemUtilization float64
+	MemWait        float64
+	// Iterations is the fixed-point iteration count (Section 3.2).
+	Iterations int
+}
+
+// Options tunes the MVA solution; the zero value uses the paper's scheme
+// (plain substitution from zero waits, tight tolerance).
+type Options struct {
+	// Tolerance for the fixed point; 0 means 1e-10.
+	Tolerance float64
+	// MaxIterations bounds the iteration count; 0 means 10000.
+	MaxIterations int
+
+	// Ablation switches (see the bench harness): disable individual
+	// submodels to quantify their contribution.
+	NoCacheInterference  bool
+	NoMemoryInterference bool
+	NoResidualLife       bool
+	ExponentialBus       bool
+	NoArrivalCorrection  bool
+	// SplitTransactionBus models a split-transaction bus: memory-supplied
+	// reads release the bus during the memory latency.
+	SplitTransactionBus bool
+}
+
+func (o Options) internal() mva.Options {
+	return mva.Options{
+		Tol:                  o.Tolerance,
+		MaxIter:              o.MaxIterations,
+		NoCacheInterference:  o.NoCacheInterference,
+		NoMemoryInterference: o.NoMemoryInterference,
+		NoResidualLife:       o.NoResidualLife,
+		ExponentialBus:       o.ExponentialBus,
+		NoArrivalCorrection:  o.NoArrivalCorrection,
+		SplitTransactionBus:  o.SplitTransactionBus,
+	}
+}
+
+func model(p Protocol, w Workload, t Timing) (mva.Model, error) {
+	if err := p.validate(); err != nil {
+		return mva.Model{}, err
+	}
+	return mva.Model{
+		Workload:         w.internal(),
+		Timing:           t.internal(),
+		Mods:             p.inner.Mods,
+		RawParams:        w.FixedParams,
+		WriteThroughBase: p.inner.WriteThroughBase,
+	}, nil
+}
+
+// Solve runs the paper's MVA model for protocol p, workload w, and n
+// processors with default timing and options.
+func Solve(p Protocol, w Workload, n int) (Result, error) {
+	return SolveWith(p, w, Timing{}, n, Options{})
+}
+
+// SolveWith runs the MVA model with explicit timing and options.
+func SolveWith(p Protocol, w Workload, t Timing, n int, opts Options) (Result, error) {
+	m, err := model(p, w, t)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := m.Solve(n, opts.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		N:               r.N,
+		Speedup:         r.Speedup,
+		ProcessingPower: r.ProcessingPower,
+		R:               r.R,
+		BusUtilization:  r.UBus,
+		BusWait:         r.WBus,
+		MemUtilization:  r.UMem,
+		MemWait:         r.WMem,
+		Iterations:      r.Iterations,
+	}, nil
+}
+
+// Sweep solves the MVA model for each system size in ns.
+func Sweep(p Protocol, w Workload, ns []int) ([]Result, error) {
+	out := make([]Result, 0, len(ns))
+	for _, n := range ns {
+		r, err := Solve(p, w, n)
+		if err != nil {
+			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Compare solves several protocols at the same workload and system size,
+// returned in input order.
+func Compare(ps []Protocol, w Workload, n int) ([]Result, error) {
+	out := make([]Result, 0, len(ps))
+	for _, p := range ps {
+		r, err := Solve(p, w, n)
+		if err != nil {
+			return nil, fmt.Errorf("snoopmva: %v: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// DetailedResult holds the GTPN (detailed-model) outputs.
+type DetailedResult struct {
+	N              int
+	Speedup        float64
+	R              float64
+	BusUtilization float64
+	// States is the reachability-graph size — the quantity that limits
+	// this model to small systems.
+	States int
+}
+
+// SolveDetailed runs the Generalized Timed Petri Net model — the paper's
+// expensive comparator. Cost grows quickly with n; sizes beyond ~10 are
+// rejected by maxStates.
+func SolveDetailed(p Protocol, w Workload, n int) (DetailedResult, error) {
+	if err := p.validate(); err != nil {
+		return DetailedResult{}, err
+	}
+	g, err := gtpnmodel.Solve(gtpnmodel.Config{
+		Workload:         w.internal(),
+		Mods:             p.inner.Mods,
+		RawParams:        w.FixedParams,
+		WriteThroughBase: p.inner.WriteThroughBase,
+		N:                n,
+	}, petri.Options{})
+	if err != nil {
+		return DetailedResult{}, err
+	}
+	return DetailedResult{
+		N: g.N, Speedup: g.Speedup, R: g.R, BusUtilization: g.UBus, States: g.States,
+	}, nil
+}
+
+// SimOptions tunes the detailed simulator.
+type SimOptions struct {
+	// Seed fixes the random streams (0 means 1).
+	Seed uint64
+	// WarmupCycles and MeasureCycles size the run; zero values use the
+	// simulator defaults (30k / 300k), negative warmup means none.
+	WarmupCycles  int64
+	MeasureCycles int64
+	// AdaptiveThreshold enables RWB-style competitive update/invalidate
+	// switching for update protocols: a cache that absorbs this many
+	// consecutive updates of a block without referencing it drops its
+	// copy. Zero disables.
+	AdaptiveThreshold int
+	// SplitTransactions models a split-transaction bus in the simulator.
+	SplitTransactions bool
+}
+
+// SimResult holds the simulator's outputs.
+type SimResult struct {
+	N              int
+	Speedup        float64
+	SpeedupLow     float64 // 95% confidence interval
+	SpeedupHigh    float64
+	R              float64
+	BusUtilization float64
+	MemUtilization float64
+	// Emergent workload quantities (parameters to the models, measured
+	// outcomes here).
+	ObservedAmod    float64
+	ObservedCsupply float64
+	// Per-class response times in cycles (private, shared read-only,
+	// shared-writable): mean and 95th percentile.
+	MeanResponse [3]float64
+	P95Response  [3]float64
+}
+
+// Simulate runs the cycle-level simulator: real protocol state machines
+// over identified blocks, FCFS bus, interleaved memory.
+func Simulate(p Protocol, w Workload, n int, opts SimOptions) (SimResult, error) {
+	if err := p.validate(); err != nil {
+		return SimResult{}, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r, err := cachesim.Run(cachesim.Config{
+		N:                 n,
+		Protocol:          p.inner,
+		Workload:          w.internal(),
+		RawParams:         w.FixedParams,
+		Seed:              seed,
+		WarmupCycles:      opts.WarmupCycles,
+		MeasureCycles:     opts.MeasureCycles,
+		AdaptiveThreshold: opts.AdaptiveThreshold,
+		SplitTransactions: opts.SplitTransactions,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		N:               r.N,
+		Speedup:         r.Speedup,
+		SpeedupLow:      r.SpeedupCI.Lo(),
+		SpeedupHigh:     r.SpeedupCI.Hi(),
+		R:               r.R,
+		BusUtilization:  r.UBus,
+		MemUtilization:  r.UMem,
+		ObservedAmod:    r.Observed.Amod,
+		ObservedCsupply: r.Observed.Csupply,
+		MeanResponse:    r.MeanResponse,
+		P95Response:     r.P95Response,
+	}, nil
+}
+
+// Experiments lists the IDs of the paper-reproduction experiments
+// (DESIGN.md §5).
+func Experiments() []string {
+	all := exp.All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunExperiment regenerates one paper artifact (table or figure) by ID and
+// writes its report to w. gtpnMaxN bounds the detailed comparator (<=0
+// disables it; 6 is a good default), simCycles sizes the simulator columns
+// (<0 disables).
+func RunExperiment(id string, w io.Writer, gtpnMaxN int, simCycles int64) error {
+	e, ok := exp.ByID(id)
+	if !ok {
+		return fmt.Errorf("snoopmva: unknown experiment %q (have %v)", id, Experiments())
+	}
+	if gtpnMaxN <= 0 {
+		gtpnMaxN = -1
+	}
+	rep, err := e.Run(exp.RunConfig{GTPNMaxN: gtpnMaxN, SimCycles: simCycles})
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(w)
+}
