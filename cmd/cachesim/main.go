@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +30,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		all       = flag.Bool("all", false, "simulate every named protocol and rank them")
 		compare   = flag.Bool("compare", false, "add an MVA column")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 1m; 0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *sharing != 1 && *sharing != 5 && *sharing != 20 {
 		fatal(fmt.Errorf("sharing must be 1, 5 or 20 (got %d)", *sharing))
@@ -56,7 +65,7 @@ func main() {
 	tb := tables.New(fmt.Sprintf("Simulation — N=%d, %d%% sharing, %d cycles, seed %d",
 		*n, *sharing, *cycles, *seed), cols...)
 	for _, p := range protos {
-		r, err := snoopmva.Simulate(p, w, *n, opts)
+		r, err := snoopmva.SimulateContext(ctx, p, w, *n, opts)
 		if err != nil {
 			fatal(fmt.Errorf("%v: %w", p, err))
 		}

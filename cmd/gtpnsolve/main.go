@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,8 +36,16 @@ func main() {
 		perProc   = flag.Bool("perproc", false, "also count the per-processor (exploded) state space")
 		maxStates = flag.Int("maxstates", 500000, "state-space cap")
 		memory    = flag.Bool("memory", false, "model main-memory module contention (posted writes)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 1m; 0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	ws, err := sharingParams(*sharing)
 	if err != nil {
@@ -66,13 +75,13 @@ func main() {
 	for _, size := range ns {
 		cfg := gtpnmodel.Config{Workload: ws, Mods: ms, N: size, ModelMemory: *memory}
 		t0 := time.Now()
-		g, err := gtpnmodel.Solve(cfg, petri.Options{MaxStates: *maxStates})
+		g, err := gtpnmodel.SolveContext(ctx, cfg, petri.Options{MaxStates: *maxStates})
 		if err != nil {
 			fatal(fmt.Errorf("N=%d: %w", size, err))
 		}
 		row := []any{size, g.States, g.Speedup, g.R, g.UBus, time.Since(t0).Round(time.Millisecond).String()}
 		if *perProc {
-			pp, err := gtpnmodel.StateCount(cfg, true, petri.Options{MaxStates: *maxStates})
+			pp, err := gtpnmodel.StateCountContext(ctx, cfg, true, petri.Options{MaxStates: *maxStates})
 			if err != nil {
 				row = append(row, "> cap")
 			} else {

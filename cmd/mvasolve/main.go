@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +37,16 @@ func main() {
 		stress    = flag.Bool("stress", false, "use the Section 4.3 stress-test workload")
 		explain   = flag.Bool("explain", false, "print an equation-by-equation breakdown (single -n only)")
 		paramFile = flag.String("params", "", "load workload parameters from a JSON file (fields named as in the paper; optional \"base\" seeds an Appendix A level)")
+		timeout   = flag.Duration("timeout", 0, "abort the solve after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	proto, err := pickProtocol(*protoName, *mods)
 	if err != nil {
@@ -71,7 +80,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	results, err := snoopmva.Sweep(proto, w, ns)
+	results, err := snoopmva.SweepContext(ctx, proto, w, ns)
 	if err != nil {
 		fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +29,16 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit Markdown instead of plain text")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (paper-vs-measured cells) instead of text")
 		csvDir    = flag.String("csvdir", "", "also write each experiment's tables/series as CSV files into this directory")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 10m; 0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -37,7 +46,7 @@ func main() {
 		}
 		return
 	}
-	cfg := exp.RunConfig{GTPNMaxN: *gtpnMaxN, SimCycles: *simCycles, Seed: *seed}
+	cfg := exp.RunConfig{Ctx: ctx, GTPNMaxN: *gtpnMaxN, SimCycles: *simCycles, Seed: *seed}
 	if cfg.GTPNMaxN == 0 {
 		cfg.GTPNMaxN = -1
 	}

@@ -1,0 +1,144 @@
+package snoopmva
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"snoopmva/internal/cachesim"
+	"snoopmva/internal/exp"
+	"snoopmva/internal/gtpnmodel"
+	"snoopmva/internal/petri"
+)
+
+// This file holds the context-aware variants of the solver entry points.
+// Each threads ctx into the underlying engine's hot loop (the MVA fixed
+// point, the GTPN reachability BFS, the simulator cycle loop), which checks
+// it periodically and abandons the computation when it fires; the returned
+// error then satisfies errors.Is(err, ErrCanceled). Every variant also
+// recovers internal panics into *PanicError and maps errors onto the public
+// taxonomy (see errors.go).
+
+// SolveContext is Solve with cancellation.
+func SolveContext(ctx context.Context, p Protocol, w Workload, n int) (Result, error) {
+	return SolveWithContext(ctx, p, w, Timing{}, n, Options{})
+}
+
+// SolveWithContext is SolveWith with cancellation.
+func SolveWithContext(ctx context.Context, p Protocol, w Workload, t Timing, n int, opts Options) (res Result, err error) {
+	defer guard(&err)
+	m, err := model(p, w, t)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := m.SolveContext(ctx, n, opts.internal())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		N:               r.N,
+		Speedup:         r.Speedup,
+		ProcessingPower: r.ProcessingPower,
+		R:               r.R,
+		BusUtilization:  r.UBus,
+		BusWait:         r.WBus,
+		MemUtilization:  r.UMem,
+		MemWait:         r.WMem,
+		Iterations:      r.Iterations,
+	}, nil
+}
+
+// SweepContext is Sweep with cancellation: the sweep stops at the first
+// size whose solve fails or is canceled.
+func SweepContext(ctx context.Context, p Protocol, w Workload, ns []int) (out []Result, err error) {
+	defer guard(&err)
+	out = make([]Result, 0, len(ns))
+	for _, n := range ns {
+		r, err := SolveContext(ctx, p, w, n)
+		if err != nil {
+			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SolveDetailedContext is SolveDetailed with cancellation: the reachability
+// analysis checks ctx every ~1k expanded states.
+func SolveDetailedContext(ctx context.Context, p Protocol, w Workload, n int) (res DetailedResult, err error) {
+	defer guard(&err)
+	if err := p.validate(); err != nil {
+		return DetailedResult{}, err
+	}
+	g, err := gtpnmodel.SolveContext(ctx, gtpnmodel.Config{
+		Workload:         w.internal(),
+		Mods:             p.inner.Mods,
+		RawParams:        w.FixedParams,
+		WriteThroughBase: p.inner.WriteThroughBase,
+		N:                n,
+	}, petri.Options{})
+	if err != nil {
+		return DetailedResult{}, err
+	}
+	return DetailedResult{
+		N: g.N, Speedup: g.Speedup, R: g.R, BusUtilization: g.UBus, States: g.States,
+	}, nil
+}
+
+// SimulateContext is Simulate with cancellation: the cycle loop checks ctx
+// every ~10k simulated cycles.
+func SimulateContext(ctx context.Context, p Protocol, w Workload, n int, opts SimOptions) (res SimResult, err error) {
+	defer guard(&err)
+	if err := p.validate(); err != nil {
+		return SimResult{}, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r, err := cachesim.RunContext(ctx, cachesim.Config{
+		N:                 n,
+		Protocol:          p.inner,
+		Workload:          w.internal(),
+		RawParams:         w.FixedParams,
+		Seed:              seed,
+		WarmupCycles:      opts.WarmupCycles,
+		MeasureCycles:     opts.MeasureCycles,
+		AdaptiveThreshold: opts.AdaptiveThreshold,
+		SplitTransactions: opts.SplitTransactions,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		N:               r.N,
+		Speedup:         r.Speedup,
+		SpeedupLow:      r.SpeedupCI.Lo(),
+		SpeedupHigh:     r.SpeedupCI.Hi(),
+		R:               r.R,
+		BusUtilization:  r.UBus,
+		MemUtilization:  r.UMem,
+		ObservedAmod:    r.Observed.Amod,
+		ObservedCsupply: r.Observed.Csupply,
+		MeanResponse:    r.MeanResponse,
+		P95Response:     r.P95Response,
+	}, nil
+}
+
+// RunExperimentContext is RunExperiment with cancellation: the GTPN and
+// simulator stages inside the experiment check ctx periodically.
+func RunExperimentContext(ctx context.Context, id string, w io.Writer, gtpnMaxN int, simCycles int64) (err error) {
+	defer guard(&err)
+	e, ok := exp.ByID(id)
+	if !ok {
+		return fmt.Errorf("snoopmva: unknown experiment %q (have %v)", id, Experiments())
+	}
+	if gtpnMaxN <= 0 {
+		gtpnMaxN = -1
+	}
+	rep, err := e.Run(exp.RunConfig{Ctx: ctx, GTPNMaxN: gtpnMaxN, SimCycles: simCycles})
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(w)
+}

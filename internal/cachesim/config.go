@@ -121,10 +121,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. All validation failures wrap
+// workload.ErrInvalid.
 func (c Config) Validate() error {
 	if c.N < 1 {
-		return fmt.Errorf("cachesim: N=%d < 1", c.N)
+		return fmt.Errorf("cachesim: N=%d < 1: %w", c.N, workload.ErrInvalid)
 	}
 	p := c.params()
 	if err := p.Validate(); err != nil {
@@ -139,10 +140,10 @@ func (c Config) Validate() error {
 		}
 	}
 	if c.AdaptiveThreshold < 0 {
-		return fmt.Errorf("cachesim: negative adaptive threshold %d", c.AdaptiveThreshold)
+		return fmt.Errorf("cachesim: negative adaptive threshold %d: %w", c.AdaptiveThreshold, workload.ErrInvalid)
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles < 1 {
-		return fmt.Errorf("cachesim: bad cycle budget warmup=%d measure=%d", c.WarmupCycles, c.MeasureCycles)
+		return fmt.Errorf("cachesim: bad cycle budget warmup=%d measure=%d: %w", c.WarmupCycles, c.MeasureCycles, workload.ErrInvalid)
 	}
 	for _, v := range []struct {
 		name string
@@ -152,7 +153,7 @@ func (c Config) Validate() error {
 		{"SWCapacity", c.SWCapacity}, {"SROCapacity", c.SROCapacity}, {"PrivCapacity", c.PrivCapacity},
 	} {
 		if v.n < 1 {
-			return fmt.Errorf("cachesim: %s = %d < 1", v.name, v.n)
+			return fmt.Errorf("cachesim: %s = %d < 1: %w", v.name, v.n, workload.ErrInvalid)
 		}
 	}
 	return nil

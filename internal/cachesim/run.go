@@ -1,12 +1,18 @@
 package cachesim
 
 import (
+	"context"
 	"fmt"
 
+	"snoopmva/internal/faultinject"
 	"snoopmva/internal/protocol"
 	"snoopmva/internal/stats"
 	"snoopmva/internal/trace"
 )
+
+// ctxCheckInterval is how many simulated cycles run between cancellation
+// checks (one atomic load plus a comparison per check).
+const ctxCheckInterval = 10_000
 
 // generate draws the next memory reference for processor p and stores it in
 // the processor's pending request.
@@ -448,8 +454,31 @@ func (s *Simulator) step() {
 // Run executes the configured warmup and measurement windows and returns
 // the collected results.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// checkpoint is the per-~10k-cycle cancellation and fault-injection point
+// of the simulation loops.
+func (s *Simulator) checkpoint(ctx context.Context) error {
+	if h := faultinject.Hooks(); h != nil && h.SimSlowCycle != nil {
+		h.SimSlowCycle(s.cycle)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cachesim: run interrupted at cycle %d (N=%d): %w", s.cycle, s.cfg.N, err)
+	}
+	return nil
+}
+
+// RunContext is Run with cancellation: the cycle loops check ctx every
+// ~10k simulated cycles and return ctx.Err() (wrapped) when it fires.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	cfg := s.cfg
 	for s.cycle < cfg.WarmupCycles {
+		if s.cycle%ctxCheckInterval == 0 {
+			if err := s.checkpoint(ctx); err != nil {
+				return nil, err
+			}
+		}
 		s.step()
 	}
 	s.measuring = true
@@ -462,6 +491,11 @@ func (s *Simulator) Run() (*Result, error) {
 		if s.traceSrc != nil && s.allHalted() {
 			end = s.cycle
 			break
+		}
+		if s.cycle%ctxCheckInterval == 0 {
+			if err := s.checkpoint(ctx); err != nil {
+				return nil, err
+			}
 		}
 		s.step()
 		if s.cycle-s.batchStart >= cfg.BatchCycles {
@@ -639,9 +673,14 @@ func (r *Result) String() string {
 
 // Run is the one-call convenience: build a simulator for cfg and run it.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }

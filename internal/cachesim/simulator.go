@@ -8,6 +8,7 @@ import (
 	"snoopmva/internal/sim"
 	"snoopmva/internal/stats"
 	"snoopmva/internal/trace"
+	"snoopmva/internal/workload"
 )
 
 // blk is one cache block identity with its full coherence state vector.
@@ -142,7 +143,7 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	p := cfg.params()
 	if p.Tau < 1 {
-		return nil, fmt.Errorf("cachesim: τ=%v < 1 cycle cannot be generated at cycle granularity", p.Tau)
+		return nil, fmt.Errorf("cachesim: τ=%v < 1 cycle cannot be generated at cycle granularity: %w", p.Tau, workload.ErrInvalid)
 	}
 	s := &Simulator{cfg: cfg}
 	s.par = parCache{

@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -18,6 +19,10 @@ import (
 
 // RunConfig tunes how much of the expensive machinery each experiment runs.
 type RunConfig struct {
+	// Ctx cancels a run in flight: the GTPN reachability analyses and
+	// simulator cycle loops inside an experiment check it periodically.
+	// Nil means context.Background().
+	Ctx context.Context
 	// GTPNMaxN bounds the detailed GTPN comparator (its cost grows
 	// rapidly with N). Zero means 6; negative disables GTPN columns.
 	GTPNMaxN int
@@ -29,6 +34,9 @@ type RunConfig struct {
 }
 
 func (c RunConfig) withDefaults() RunConfig {
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	if c.GTPNMaxN == 0 {
 		c.GTPNMaxN = 6
 	}

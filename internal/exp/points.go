@@ -54,7 +54,7 @@ func runBusUtil(cfg RunConfig) (*Report, error) {
 	rep.Comparisons = append(rep.Comparisons,
 		Comparison{Label: "MVA U_bus (N=6, WO, 5%)", Paper: paperdata.BusUtilMVA6, Measured: m.UBus})
 	if cfg.GTPNMaxN >= 6 {
-		g, err := gtpnmodel.Solve(gtpnmodel.Config{Workload: workload.AppendixA(workload.Sharing5), N: 6}, petri.Options{})
+		g, err := gtpnmodel.SolveContext(cfg.Ctx, gtpnmodel.Config{Workload: workload.AppendixA(workload.Sharing5), N: 6}, petri.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +70,7 @@ func runBusUtil(cfg RunConfig) (*Report, error) {
 		}
 	}
 	if cfg.SimCycles > 0 {
-		sr, err := cachesim.Run(cachesim.Config{
+		sr, err := cachesim.RunContext(cfg.Ctx, cachesim.Config{
 			N: 6, Protocol: protocol.WriteOnce,
 			Workload: workload.AppendixA(workload.Sharing5),
 			Seed:     cfg.Seed, MeasureCycles: cfg.SimCycles,

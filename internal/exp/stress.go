@@ -57,7 +57,7 @@ func runStress(cfg RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := gtpnmodel.Solve(gtpnmodel.Config{Workload: w, RawParams: true, N: n}, petri.Options{})
+		g, err := gtpnmodel.SolveContext(cfg.Ctx, gtpnmodel.Config{Workload: w, RawParams: true, N: n}, petri.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -143,14 +143,14 @@ func runSolveCost(cfg RunConfig) (*Report, error) {
 		if n <= cfg.GTPNMaxN {
 			c := gtpnmodel.Config{Workload: w, N: n}
 			t1 := time.Now()
-			g, err := gtpnmodel.Solve(c, petri.Options{})
+			g, err := gtpnmodel.SolveContext(cfg.Ctx, c, petri.Options{})
 			if err != nil {
 				return nil, err
 			}
 			gtpnTime = time.Since(t1).Round(time.Millisecond).String()
 			lumped = fmt.Sprintf("%d", g.States)
 			if n <= 4 {
-				pp, err := gtpnmodel.StateCount(c, true, petri.Options{MaxStates: 2000000})
+				pp, err := gtpnmodel.StateCountContext(cfg.Ctx, c, true, petri.Options{MaxStates: 2000000})
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,50 @@
+// Package faultinject provides deterministic fault hooks for exercising
+// the robustness layer — the graceful-degradation ladder, cancellation
+// paths, numerical guardrails and panic recovery — without depending on
+// timing, load, or pathological inputs to trigger the failures naturally.
+//
+// The hooks are a test-only interface: production code never installs a
+// Set, and each instrumentation point costs a single atomic pointer load
+// when no hooks are active. Tests install hooks with Activate and must
+// restore the previous state (usually via defer) before finishing, since
+// the registry is process-global. Tests that activate hooks must not run
+// in parallel with other tests of the same package.
+package faultinject
+
+import "sync/atomic"
+
+// Set is one collection of fault hooks. A nil member leaves the
+// corresponding instrumentation point inactive.
+type Set struct {
+	// MVAEnter is called once at the start of every MVA fixed-point
+	// solve attempt with the system size (used to observe scheduling,
+	// e.g. that a failed sweep stops issuing work).
+	MVAEnter func(n int)
+	// MVAStall returns true to suppress convergence of the MVA fixed
+	// point at the given iteration, forcing an iteration-stall
+	// (ErrNoConvergence) failure.
+	MVAStall func(iter int) bool
+	// MVAForceNaN returns true to poison the MVA iterate with NaN at the
+	// given iteration, exercising the ErrDiverged guardrail.
+	MVAForceNaN func(iter int) bool
+	// PetriExplode returns true to force a state-explosion error from the
+	// reachability BFS once it has reached the given number of states.
+	PetriExplode func(states int) bool
+	// SimSlowCycle is called at every cancellation checkpoint of the
+	// cycle simulator (every ~10k cycles) with the current cycle; tests
+	// use it to slow the simulator down deterministically so budgets and
+	// deadlines trip.
+	SimSlowCycle func(cycle int64)
+}
+
+var active atomic.Pointer[Set]
+
+// Activate installs s as the process-wide hook set and returns a function
+// restoring the previous set.
+func Activate(s *Set) (restore func()) {
+	old := active.Swap(s)
+	return func() { active.Store(old) }
+}
+
+// Hooks returns the active hook set, or nil when fault injection is off.
+func Hooks() *Set { return active.Load() }

@@ -1,0 +1,41 @@
+package faultinject
+
+import "testing"
+
+func TestActivateRestoreNesting(t *testing.T) {
+	if Hooks() != nil {
+		t.Fatal("hooks active at test start")
+	}
+	a := &Set{MVAStall: func(int) bool { return true }}
+	b := &Set{PetriExplode: func(int) bool { return true }}
+
+	restoreA := Activate(a)
+	if Hooks() != a {
+		t.Fatal("first Activate not visible")
+	}
+	restoreB := Activate(b)
+	if Hooks() != b {
+		t.Fatal("nested Activate not visible")
+	}
+	restoreB()
+	if Hooks() != a {
+		t.Fatal("restore did not reinstate the previous set")
+	}
+	restoreA()
+	if Hooks() != nil {
+		t.Fatal("restore did not clear the registry")
+	}
+}
+
+func TestNilMembersAreInactive(t *testing.T) {
+	restore := Activate(&Set{})
+	defer restore()
+	h := Hooks()
+	if h == nil {
+		t.Fatal("empty set should still be active")
+	}
+	if h.MVAEnter != nil || h.MVAStall != nil || h.MVAForceNaN != nil ||
+		h.PetriExplode != nil || h.SimSlowCycle != nil {
+		t.Fatal("zero Set has non-nil hooks")
+	}
+}

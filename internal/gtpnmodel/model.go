@@ -24,6 +24,7 @@
 package gtpnmodel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -131,11 +132,11 @@ func Build(cfg Config) (*petri.Net, Handles, error) {
 		return nil, Handles{}, err
 	}
 	if cfg.N < 1 {
-		return nil, Handles{}, fmt.Errorf("gtpnmodel: N=%d < 1", cfg.N)
+		return nil, Handles{}, fmt.Errorf("gtpnmodel: N=%d < 1: %w", cfg.N, workload.ErrInvalid)
 	}
 	tau := d.Params.Tau
 	if tau < 1 {
-		return nil, Handles{}, fmt.Errorf("gtpnmodel: τ=%v < 1 cycle cannot be modeled by a geometric think loop", tau)
+		return nil, Handles{}, fmt.Errorf("gtpnmodel: τ=%v < 1 cycle cannot be modeled by a geometric think loop: %w", tau, workload.ErrInvalid)
 	}
 	n := petri.NewNet()
 	h := Handles{}
@@ -261,11 +262,11 @@ func BuildPerProcessor(cfg Config) (*petri.Net, Handles, error) {
 		return nil, Handles{}, err
 	}
 	if cfg.N < 1 {
-		return nil, Handles{}, fmt.Errorf("gtpnmodel: N=%d < 1", cfg.N)
+		return nil, Handles{}, fmt.Errorf("gtpnmodel: N=%d < 1: %w", cfg.N, workload.ErrInvalid)
 	}
 	tau := d.Params.Tau
 	if tau < 1 {
-		return nil, Handles{}, fmt.Errorf("gtpnmodel: τ=%v < 1 cycle cannot be modeled by a geometric think loop", tau)
+		return nil, Handles{}, fmt.Errorf("gtpnmodel: τ=%v < 1 cycle cannot be modeled by a geometric think loop: %w", tau, workload.ErrInvalid)
 	}
 	n := petri.NewNet()
 	h := Handles{}
@@ -362,11 +363,17 @@ func (r Result) String() string {
 // Solve builds the lumped net and computes speedup, R and bus utilization
 // from the steady-state analysis.
 func Solve(cfg Config, opts petri.Options) (Result, error) {
+	return SolveContext(context.Background(), cfg, opts)
+}
+
+// SolveContext is Solve with cancellation: the reachability analysis checks
+// ctx periodically and returns ctx.Err() (wrapped) when it fires.
+func SolveContext(ctx context.Context, cfg Config, opts petri.Options) (Result, error) {
 	n, h, err := Build(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	ar, err := n.Analyze(opts)
+	ar, err := n.AnalyzeContext(ctx, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -399,6 +406,11 @@ func Solve(cfg Config, opts petri.Options) (Result, error) {
 // StateCount returns the reachability-graph size of the chosen variant
 // without solving it.
 func StateCount(cfg Config, perProcessor bool, opts petri.Options) (int, error) {
+	return StateCountContext(context.Background(), cfg, perProcessor, opts)
+}
+
+// StateCountContext is StateCount with cancellation.
+func StateCountContext(ctx context.Context, cfg Config, perProcessor bool, opts petri.Options) (int, error) {
 	var n *petri.Net
 	var err error
 	if perProcessor {
@@ -409,5 +421,5 @@ func StateCount(cfg Config, perProcessor bool, opts petri.Options) (int, error) 
 	if err != nil {
 		return 0, err
 	}
-	return n.StateCount(opts)
+	return n.StateCountContext(ctx, opts)
 }

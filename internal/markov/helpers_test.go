@@ -1,0 +1,11 @@
+package markov
+
+// mustSparse is a test convenience: construct a SparseBuilder for a
+// dimension known to be valid at the call site.
+func mustSparse(n int) *SparseBuilder {
+	b, err := NewSparseBuilder(n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

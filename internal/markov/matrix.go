@@ -26,12 +26,25 @@ type Dense struct {
 	data []float64
 }
 
-// NewDense allocates an n×n zero matrix.
-func NewDense(n int) *Dense {
+// NewDense allocates an n×n zero matrix. A non-positive dimension is a
+// validated constructor error (it is reachable from caller-supplied sizes,
+// e.g. an empty queueing network), not a panic.
+func NewDense(n int) (*Dense, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("markov: invalid dense dimension %d", n))
+		return nil, fmt.Errorf("markov: dense dimension %d < 1", n)
 	}
-	return &Dense{n: n, data: make([]float64, n*n)}
+	return &Dense{n: n, data: make([]float64, n*n)}, nil
+}
+
+// newDense is the unchecked constructor for call sites whose dimension is a
+// provable internal invariant (derived from an already-constructed matrix).
+func newDense(n int) *Dense {
+	m, err := NewDense(n)
+	if err != nil {
+		// Unreachable by construction: n comes from an existing matrix.
+		panic("markov: internal invariant violated: " + err.Error())
+	}
+	return m
 }
 
 // N returns the dimension.
@@ -48,7 +61,7 @@ func (m *Dense) Add(i, j int, v float64) { m.data[i*m.n+j] += v }
 
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
-	c := NewDense(m.n)
+	c := newDense(m.n)
 	copy(c.data, m.data)
 	return c
 }
@@ -85,18 +98,21 @@ type SparseBuilder struct {
 	entries []coo
 }
 
-// NewSparseBuilder creates a builder for an n×n matrix.
-func NewSparseBuilder(n int) *SparseBuilder {
+// NewSparseBuilder creates a builder for an n×n matrix. A non-positive
+// dimension is a validated constructor error, not a panic.
+func NewSparseBuilder(n int) (*SparseBuilder, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("markov: invalid sparse dimension %d", n))
+		return nil, fmt.Errorf("markov: sparse dimension %d < 1", n)
 	}
-	return &SparseBuilder{n: n}
+	return &SparseBuilder{n: n}, nil
 }
 
-// Add accumulates v into entry (i,j).
+// Add accumulates v into entry (i,j). An out-of-range index panics: every
+// caller derives indices from a state enumeration bounded by the builder's
+// dimension, so this is a provable internal invariant, not a caller input.
 func (b *SparseBuilder) Add(i, j int, v float64) {
 	if i < 0 || i >= b.n || j < 0 || j >= b.n {
-		panic(fmt.Sprintf("markov: sparse index (%d,%d) out of range for n=%d", i, j, b.n))
+		panic(fmt.Sprintf("markov: internal invariant violated: sparse index (%d,%d) out of range for n=%d", i, j, b.n))
 	}
 	if v == 0 {
 		return

@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,6 +26,12 @@ const stochTol = 1e-8
 //
 // P is modified in place; pass P.Clone() to preserve it.
 func SteadyStateGTH(p *Dense) ([]float64, error) {
+	return SteadyStateGTHContext(context.Background(), p)
+}
+
+// SteadyStateGTHContext is SteadyStateGTH with cancellation: the O(n³)
+// elimination sweep checks ctx once per eliminated state.
+func SteadyStateGTHContext(ctx context.Context, p *Dense) ([]float64, error) {
 	n := p.N()
 	for i := 0; i < n; i++ {
 		if math.Abs(p.RowSum(i)-1) > stochTol {
@@ -38,6 +45,9 @@ func SteadyStateGTH(p *Dense) ([]float64, error) {
 	// formulation: column k is normalized by the row-k escape mass so the
 	// back substitution can use it directly).
 	for k := n - 1; k > 0; k-- {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("markov: GTH interrupted at state %d of %d: %w", n-k, n, err)
+		}
 		// s = total rate out of k to states below it.
 		var s float64
 		for j := 0; j < k; j++ {
@@ -104,6 +114,12 @@ func (o PowerOptions) withDefaults() PowerOptions {
 // DTMC with sparse row-stochastic transition matrix P by damped power
 // iteration.
 func SteadyStatePower(p *Sparse, opts PowerOptions) ([]float64, error) {
+	return SteadyStatePowerContext(context.Background(), p, opts)
+}
+
+// SteadyStatePowerContext is SteadyStatePower with cancellation: the
+// iteration checks ctx every few hundred sweeps.
+func SteadyStatePowerContext(ctx context.Context, p *Sparse, opts PowerOptions) ([]float64, error) {
 	o := opts.withDefaults()
 	if o.Damping <= 0 || o.Damping > 1 {
 		return nil, fmt.Errorf("markov: damping %v outside (0,1]", o.Damping)
@@ -120,6 +136,11 @@ func SteadyStatePower(p *Sparse, opts PowerOptions) ([]float64, error) {
 		x[i] = 1 / float64(n)
 	}
 	for iter := 0; iter < o.MaxIter; iter++ {
+		if iter%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("markov: power iteration interrupted at iteration %d: %w", iter, err)
+			}
+		}
 		p.VecMul(next, x)
 		var diff float64
 		for i := range next {
@@ -169,7 +190,7 @@ func SteadyStateCTMC(q *Dense) ([]float64, error) {
 		return nil, errors.New("markov: generator has no transitions")
 	}
 	lambda *= 1.05 // keep self-loop probability strictly positive (aperiodicity)
-	p := NewDense(n)
+	p := newDense(n) // n = q.N() ≥ 1 by construction
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {

@@ -13,7 +13,7 @@ func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 // twoState builds the classic 2-state chain with P01=a, P10=b whose
 // stationary distribution is (b/(a+b), a/(a+b)).
 func twoState(a, b float64) *Dense {
-	p := NewDense(2)
+	p := newDense(2)
 	p.Set(0, 0, 1-a)
 	p.Set(0, 1, a)
 	p.Set(1, 0, b)
@@ -32,7 +32,7 @@ func TestGTHTwoState(t *testing.T) {
 }
 
 func TestGTHSingleState(t *testing.T) {
-	p := NewDense(1)
+	p := newDense(1)
 	p.Set(0, 0, 1)
 	pi, err := SteadyStateGTH(p)
 	if err != nil {
@@ -44,7 +44,7 @@ func TestGTHSingleState(t *testing.T) {
 }
 
 func TestGTHRejectsNonStochastic(t *testing.T) {
-	p := NewDense(2)
+	p := newDense(2)
 	p.Set(0, 0, 0.5) // row sums to 0.5
 	p.Set(1, 1, 1)
 	if _, err := SteadyStateGTH(p); !errors.Is(err, ErrNotStochastic) {
@@ -54,7 +54,7 @@ func TestGTHRejectsNonStochastic(t *testing.T) {
 
 func TestGTHReducibleChain(t *testing.T) {
 	// State 1 never reaches state 0: elimination should fail.
-	p := NewDense(2)
+	p := newDense(2)
 	p.Set(0, 0, 0.5)
 	p.Set(0, 1, 0.5)
 	p.Set(1, 1, 1)
@@ -66,7 +66,7 @@ func TestGTHReducibleChain(t *testing.T) {
 // randomStochastic builds a random irreducible stochastic matrix by mixing a
 // random matrix with a small uniform component.
 func randomStochastic(rng *rand.Rand, n int) *Dense {
-	p := NewDense(n)
+	p := newDense(n)
 	for i := 0; i < n; i++ {
 		row := make([]float64, n)
 		var sum float64
@@ -119,7 +119,7 @@ func TestPowerMatchesGTH(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		n := 2 + rng.Intn(10)
 		d := randomStochastic(rng, n)
-		b := NewSparseBuilder(n)
+		b := mustSparse(n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				b.Add(i, j, d.At(i, j))
@@ -145,7 +145,7 @@ func TestPowerMatchesGTH(t *testing.T) {
 func TestPowerPeriodicChainWithDamping(t *testing.T) {
 	// A strictly periodic 2-cycle: undamped iteration never converges, the
 	// default damping must handle it.
-	b := NewSparseBuilder(2)
+	b := mustSparse(2)
 	b.Add(0, 1, 1)
 	b.Add(1, 0, 1)
 	pi, err := SteadyStatePower(b.Build(), PowerOptions{})
@@ -158,13 +158,13 @@ func TestPowerPeriodicChainWithDamping(t *testing.T) {
 }
 
 func TestPowerRejectsBadInput(t *testing.T) {
-	b := NewSparseBuilder(2)
+	b := mustSparse(2)
 	b.Add(0, 0, 0.7) // row 0 sums to 0.7; row 1 sums to 0
 	s := b.Build()
 	if _, err := SteadyStatePower(s, PowerOptions{}); !errors.Is(err, ErrNotStochastic) {
 		t.Errorf("expected ErrNotStochastic, got %v", err)
 	}
-	good := NewSparseBuilder(1)
+	good := mustSparse(1)
 	good.Add(0, 0, 1)
 	if _, err := SteadyStatePower(good.Build(), PowerOptions{Damping: 2}); err == nil {
 		t.Error("expected error for damping > 1")
@@ -174,7 +174,7 @@ func TestPowerRejectsBadInput(t *testing.T) {
 func TestPowerNoConvergence(t *testing.T) {
 	// Slowly mixing asymmetric chain: two iterations cannot reach 1e-12
 	// from the uniform start (whose stationary point is [2/3 1/3]).
-	b := NewSparseBuilder(2)
+	b := mustSparse(2)
 	b.Add(0, 0, 0.999)
 	b.Add(0, 1, 0.001)
 	b.Add(1, 0, 0.002)
@@ -188,7 +188,7 @@ func TestPowerNoConvergence(t *testing.T) {
 func TestCTMCBirthDeath(t *testing.T) {
 	// M/M/1/3 queue: lambda=1, mu=2 => pi_i ∝ (1/2)^i.
 	const lambda, mu = 1.0, 2.0
-	q := NewDense(4)
+	q := newDense(4)
 	for i := 0; i < 3; i++ {
 		q.Add(i, i+1, lambda)
 		q.Add(i, i, -lambda)
@@ -209,18 +209,18 @@ func TestCTMCBirthDeath(t *testing.T) {
 }
 
 func TestCTMCValidation(t *testing.T) {
-	q := NewDense(2)
+	q := newDense(2)
 	q.Set(0, 1, -1) // negative rate
 	q.Set(0, 0, 1)
 	if _, err := SteadyStateCTMC(q); err == nil {
 		t.Error("expected error for negative rate")
 	}
-	q2 := NewDense(2)
+	q2 := newDense(2)
 	q2.Set(0, 1, 1) // row doesn't sum to zero
 	if _, err := SteadyStateCTMC(q2); err == nil {
 		t.Error("expected error for bad generator row")
 	}
-	q3 := NewDense(2) // all-zero generator
+	q3 := newDense(2) // all-zero generator
 	if _, err := SteadyStateCTMC(q3); err == nil {
 		t.Error("expected error for empty generator")
 	}
@@ -244,7 +244,7 @@ func TestExpectedReward(t *testing.T) {
 }
 
 func TestSolveLinear(t *testing.T) {
-	a := NewDense(3)
+	a := newDense(3)
 	//  2x + y - z = 8 ;  -3x - y + 2z = -11 ;  -2x + y + 2z = -3
 	// solution x=2, y=3, z=-1
 	vals := [3][3]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
@@ -266,18 +266,18 @@ func TestSolveLinear(t *testing.T) {
 }
 
 func TestSolveLinearSingularAndMismatch(t *testing.T) {
-	a := NewDense(2) // zero matrix: singular
+	a := newDense(2) // zero matrix: singular
 	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
 		t.Error("expected singular-matrix error")
 	}
-	if _, err := SolveLinear(NewDense(2), []float64{1}); err == nil {
+	if _, err := SolveLinear(newDense(2), []float64{1}); err == nil {
 		t.Error("expected dimension-mismatch error")
 	}
 }
 
 func TestSolveLinearNeedsPivoting(t *testing.T) {
 	// Leading zero forces a row swap.
-	a := NewDense(2)
+	a := newDense(2)
 	a.Set(0, 0, 0)
 	a.Set(0, 1, 1)
 	a.Set(1, 0, 1)
@@ -292,7 +292,7 @@ func TestSolveLinearNeedsPivoting(t *testing.T) {
 }
 
 func TestSparseBuilderDuplicatesSummed(t *testing.T) {
-	b := NewSparseBuilder(2)
+	b := mustSparse(2)
 	b.Add(0, 1, 0.25)
 	b.Add(0, 1, 0.75)
 	b.Add(1, 0, 1)
@@ -306,7 +306,7 @@ func TestSparseBuilderDuplicatesSummed(t *testing.T) {
 }
 
 func TestSparseVecMul(t *testing.T) {
-	b := NewSparseBuilder(3)
+	b := mustSparse(3)
 	b.Add(0, 1, 2)
 	b.Add(1, 2, 3)
 	b.Add(2, 0, 4)
@@ -324,7 +324,7 @@ func TestSparseVecMul(t *testing.T) {
 }
 
 func TestSparseEmptyRowsHandled(t *testing.T) {
-	b := NewSparseBuilder(4)
+	b := mustSparse(4)
 	b.Add(3, 0, 1) // rows 0..2 empty
 	s := b.Build()
 	for i := 0; i < 3; i++ {
@@ -375,20 +375,25 @@ func TestGTHPropertyQuick(t *testing.T) {
 	}
 }
 
-func TestDensePanicsOnBadDimension(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for n=0")
-		}
-	}()
-	NewDense(0)
+func TestDenseRejectsBadDimension(t *testing.T) {
+	if _, err := NewDense(0); err == nil {
+		t.Error("NewDense(0): expected error")
+	}
+	if _, err := NewDense(-3); err == nil {
+		t.Error("NewDense(-3): expected error")
+	}
+	if _, err := NewSparseBuilder(0); err == nil {
+		t.Error("NewSparseBuilder(0): expected error")
+	}
 }
 
 func TestSparseBuilderPanicsOutOfRange(t *testing.T) {
+	// Out-of-range Add remains a panic: indices come from internal state
+	// enumerations, so a bad index is an invariant violation, not input.
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for out-of-range index")
 		}
 	}()
-	NewSparseBuilder(2).Add(2, 0, 1)
+	mustSparse(2).Add(2, 0, 1)
 }

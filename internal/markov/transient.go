@@ -58,7 +58,7 @@ func TransientCTMC(q *Dense, initial []float64, t, eps float64) ([]float64, erro
 		copy(out, initial)
 		return out, nil
 	}
-	p := NewDense(n)
+	p := newDense(n) // n = q.N() ≥ 1 by construction
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -152,7 +152,7 @@ func AbsorptionDTMC(p *Dense, absorbing []int) (steps []float64, hit [][]float64
 		idx[s] = k
 	}
 	// M = I − Q over transient states.
-	m := NewDense(tN)
+	m := newDense(tN) // tN ≥ 1: the tN == 0 case returned above
 	for a, s := range transient {
 		for b, u := range transient {
 			v := 0.0

@@ -8,7 +8,7 @@ import (
 // Two-state CTMC with rates a (0→1) and b (1→0): the transient solution is
 // known in closed form.
 func twoStateCTMC(a, b float64) *Dense {
-	q := NewDense(2)
+	q := newDense(2)
 	q.Set(0, 0, -a)
 	q.Set(0, 1, a)
 	q.Set(1, 0, b)
@@ -63,14 +63,14 @@ func TestTransientValidation(t *testing.T) {
 	if _, err := TransientCTMC(q, []float64{1, 0}, -1, 0); err == nil {
 		t.Error("negative time accepted")
 	}
-	bad := NewDense(2)
+	bad := newDense(2)
 	bad.Set(0, 1, -1)
 	bad.Set(0, 0, 1)
 	if _, err := TransientCTMC(bad, []float64{1, 0}, 1, 0); err == nil {
 		t.Error("negative rate accepted")
 	}
 	// Zero generator: distribution unchanged.
-	zero := NewDense(2)
+	zero := newDense(2)
 	got, err := TransientCTMC(zero, []float64{0.3, 0.7}, 5, 0)
 	if err != nil || !approx(got[0], 0.3, 1e-12) {
 		t.Errorf("zero generator: %v, %v", got, err)
@@ -80,7 +80,7 @@ func TestTransientValidation(t *testing.T) {
 // Gambler's-ruin style chain: states 0..3 with 0 and 3 absorbing, fair
 // coin moves between 1 and 2.
 func gambler() *Dense {
-	p := NewDense(4)
+	p := newDense(4)
 	p.Set(0, 0, 1)
 	p.Set(3, 3, 1)
 	p.Set(1, 0, 0.5)
@@ -116,14 +116,14 @@ func TestAbsorptionValidation(t *testing.T) {
 	if _, _, err := AbsorptionDTMC(gambler(), []int{9}); err == nil {
 		t.Error("out-of-range index accepted")
 	}
-	bad := NewDense(2)
+	bad := newDense(2)
 	bad.Set(0, 0, 0.5)
 	bad.Set(1, 1, 1)
 	if _, _, err := AbsorptionDTMC(bad, []int{1}); err == nil {
 		t.Error("non-stochastic matrix accepted")
 	}
 	// All states absorbing: trivially empty result.
-	iden := NewDense(2)
+	iden := newDense(2)
 	iden.Set(0, 0, 1)
 	iden.Set(1, 1, 1)
 	steps, hit, err := AbsorptionDTMC(iden, []int{0, 1})
@@ -131,7 +131,7 @@ func TestAbsorptionValidation(t *testing.T) {
 		t.Errorf("all-absorbing: %v %v %v", steps, hit, err)
 	}
 	// Chain that never absorbs from some state: singular fundamental matrix.
-	stuck := NewDense(3)
+	stuck := newDense(3)
 	stuck.Set(0, 0, 1) // absorbing
 	stuck.Set(1, 2, 1) // 1 <-> 2 closed loop
 	stuck.Set(2, 1, 1)
@@ -144,7 +144,7 @@ func TestMeanFirstPassage(t *testing.T) {
 	// Symmetric random walk on a triangle: from any state, mean first
 	// passage to another state is 2 steps? Compute: P(i→j)=0.5 for the two
 	// neighbors. By symmetry m = 1 + 0.5·0 + 0.5·m → m = 2.
-	p := NewDense(3)
+	p := newDense(3)
 	for i := 0; i < 3; i++ {
 		p.Set(i, (i+1)%3, 0.5)
 		p.Set(i, (i+2)%3, 0.5)

@@ -1,16 +1,47 @@
 package mva
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"snoopmva/internal/faultinject"
 	"snoopmva/internal/queueing"
+	"snoopmva/internal/workload"
 )
 
 // ErrNoConvergence indicates the fixed point did not reach tolerance within
 // the iteration budget.
 var ErrNoConvergence = errors.New("mva: fixed point did not converge")
+
+// ErrDiverged indicates the fixed-point iteration produced a non-finite
+// iterate (NaN or Inf) — a silent numerical blow-up converted into a typed,
+// recoverable error. The returned error is a *DivergenceError carrying the
+// offending iterate.
+var ErrDiverged = errors.New("mva: fixed point diverged to a non-finite iterate")
+
+// DivergenceError records the offending iterate of a diverged fixed point.
+// It wraps ErrDiverged.
+type DivergenceError struct {
+	N         int
+	Iteration int
+	R         float64
+	WBus      float64
+	WMem      float64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("mva: fixed point diverged to a non-finite iterate at iteration %d (N=%d, R=%v, w_bus=%v, w_mem=%v)",
+		e.Iteration, e.N, e.R, e.WBus, e.WMem)
+}
+
+// Unwrap makes errors.Is(err, ErrDiverged) hold.
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }
+
+// ctxCheckInterval is how many fixed-point iterations run between
+// cancellation checks (one atomic load per check).
+const ctxCheckInterval = 64
 
 // Solve computes the steady-state performance measures for n processors.
 // The equations are iterated from zero waiting times (Section 3.2). With
@@ -20,12 +51,18 @@ var ErrNoConvergence = errors.New("mva: fixed point did not converge")
 // beyond the paper's configurations). An explicitly set Damping disables
 // the fallback.
 func (m Model) Solve(n int, opts Options) (Result, error) {
+	return m.SolveContext(context.Background(), n, opts)
+}
+
+// SolveContext is Solve with cancellation: the fixed-point loop checks ctx
+// every few iterations and returns ctx.Err() (wrapped) when it fires.
+func (m Model) SolveContext(ctx context.Context, n int, opts Options) (Result, error) {
 	if opts.Damping == 0 {
 		var lastErr error
 		for _, d := range []float64{1, 0.5, 0.2} {
 			o := opts
 			o.Damping = d
-			res, err := m.solveOnce(n, o)
+			res, err := m.solveOnce(ctx, n, o)
 			if err == nil {
 				return res, nil
 			}
@@ -36,16 +73,19 @@ func (m Model) Solve(n int, opts Options) (Result, error) {
 		}
 		return Result{}, lastErr
 	}
-	return m.solveOnce(n, opts)
+	return m.solveOnce(ctx, n, opts)
 }
 
-func (m Model) solveOnce(n int, opts Options) (Result, error) {
+func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, error) {
 	o := opts.withDefaults()
+	if h := faultinject.Hooks(); h != nil && h.MVAEnter != nil {
+		h.MVAEnter(n)
+	}
 	if n < 1 {
-		return Result{}, fmt.Errorf("mva: system size %d < 1", n)
+		return Result{}, fmt.Errorf("mva: system size %d < 1: %w", n, workload.ErrInvalid)
 	}
 	if o.Damping <= 0 || o.Damping > 1 {
-		return Result{}, fmt.Errorf("mva: damping %v outside (0,1]", o.Damping)
+		return Result{}, fmt.Errorf("mva: damping %v outside (0,1]: %w", o.Damping, workload.ErrInvalid)
 	}
 	d, err := m.Derive()
 	if err != nil {
@@ -73,7 +113,13 @@ func (m Model) solveOnce(n int, opts Options) (Result, error) {
 	// Initial R with zero waits.
 	r := tau + t.TSupply + d.PBc*d.TBc(0) + d.PRr*d.TRead
 
+	hooks := faultinject.Hooks()
 	for iter := 1; iter <= o.MaxIter; iter++ {
+		if iter%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("mva: solve interrupted at iteration %d (N=%d): %w", iter, n, err)
+			}
+		}
 		tBc := d.TBc(wMem) // broadcast bus occupancy (T_write + w_mem, or T_inval)
 
 		// Equations (3) and (4): weighted response-time components.
@@ -169,6 +215,23 @@ func (m Model) solveOnce(n int, opts Options) (Result, error) {
 		// Equation (1).
 		newR := tau + rLocal + rBroadcast + rRemoteRead + t.TSupply
 
+		stalled := false
+		if hooks != nil {
+			if hooks.MVAForceNaN != nil && hooks.MVAForceNaN(iter) {
+				newR = math.NaN()
+			}
+			if hooks.MVAStall != nil && hooks.MVAStall(iter) {
+				stalled = true
+			}
+		}
+
+		// Numerical guardrail: a NaN or Inf iterate would otherwise
+		// propagate silently through the damped update and either
+		// "converge" to garbage or spin out the iteration budget.
+		if !isFinite(newR) || !isFinite(newWBus) || !isFinite(newWMem) {
+			return res, &DivergenceError{N: n, Iteration: iter, R: newR, WBus: newWBus, WMem: newWMem}
+		}
+
 		// Damped update and joint convergence check on the fixed-point
 		// state (R, w_bus, w_mem) — checking R alone can declare false
 		// convergence on the first iteration, before the waiting times
@@ -182,7 +245,7 @@ func (m Model) solveOnce(n int, opts Options) (Result, error) {
 		delta := math.Max(math.Abs(r-prevR),
 			math.Max(math.Abs(wBus-prevWBus), math.Abs(wMem-prevWMem)))
 
-		if delta < o.Tol*(1+math.Abs(r)) {
+		if delta < o.Tol*(1+math.Abs(r)) && !stalled {
 			res.R = r
 			res.RLocal = rLocal
 			res.RBroadcast = rBroadcast
@@ -203,11 +266,21 @@ func (m Model) solveOnce(n int, opts Options) (Result, error) {
 	return res, fmt.Errorf("%w within %d iterations (N=%d, %v)", ErrNoConvergence, o.MaxIter, n, m.Mods)
 }
 
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // Sweep solves the model for each system size in ns, in order.
 func (m Model) Sweep(ns []int, opts Options) ([]Result, error) {
+	return m.SweepContext(context.Background(), ns, opts)
+}
+
+// SweepContext is Sweep with cancellation.
+func (m Model) SweepContext(ctx context.Context, ns []int, opts Options) ([]Result, error) {
 	out := make([]Result, 0, len(ns))
 	for _, n := range ns {
-		r, err := m.Solve(n, opts)
+		r, err := m.SolveContext(ctx, n, opts)
 		if err != nil {
 			return nil, fmt.Errorf("mva: sweep at N=%d: %w", n, err)
 		}

@@ -1,12 +1,49 @@
 package petri
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"snoopmva/internal/faultinject"
 	"snoopmva/internal/markov"
 )
+
+// ErrStateExplosion indicates the reachability graph exceeded the MaxStates
+// budget — the failure mode that limits the detailed GTPN model to small
+// systems (Section 3.2 of the paper) and that the graceful-degradation
+// ladder falls back from.
+var ErrStateExplosion = errors.New("petri: state space exceeded budget")
+
+// ctxCheckInterval is how many BFS state expansions run between
+// cancellation checks. Expansions are comparatively expensive (each runs a
+// zero-time resolution), so the interval is short to keep worst-case
+// cancellation latency well under 100ms.
+const ctxCheckInterval = 128
+
+// explosionErr builds the typed state-explosion error.
+func explosionErr(states, max int) error {
+	return fmt.Errorf("%w: %d states reached (MaxStates=%d)", ErrStateExplosion, states, max)
+}
+
+// checkBudget enforces cancellation, the state budget, and the injected
+// explosion fault at one BFS checkpoint. processed counts expanded states
+// (for the periodic ctx check); total is the current graph size.
+func checkBudget(ctx context.Context, processed, total, max int) error {
+	if processed%ctxCheckInterval == 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("petri: reachability analysis interrupted at %d states: %w", total, err)
+		}
+	}
+	if h := faultinject.Hooks(); h != nil && h.PetriExplode != nil && h.PetriExplode(total) {
+		return explosionErr(total, max)
+	}
+	if total > max {
+		return explosionErr(total, max)
+	}
+	return nil
+}
 
 // inflight is one scheduled firing: transition t completes after remaining
 // cycles.
@@ -153,10 +190,15 @@ func (n *Net) isEnabled(ti int, m []int) bool {
 type resolver struct {
 	n    *Net
 	memo map[string][]outcome
+	ctx  context.Context
+	// calls counts resolve entries for the periodic cancellation check: a
+	// single cold-memo resolution can expand thousands of intermediate
+	// states, far longer than the BFS-level check granularity.
+	calls int
 }
 
-func newResolver(n *Net) *resolver {
-	return &resolver{n: n, memo: map[string][]outcome{}}
+func newResolver(ctx context.Context, n *Net) *resolver {
+	return &resolver{n: n, memo: map[string][]outcome{}, ctx: ctx}
 }
 
 // resolve returns the stable-state distribution reachable from raw in zero
@@ -164,6 +206,12 @@ func newResolver(n *Net) *resolver {
 // outcome. The returned slices are shared via the memo and must not be
 // mutated by callers.
 func (r *resolver) resolve(raw state, depthLimit int) ([]outcome, error) {
+	r.calls++
+	if r.calls%64 == 0 {
+		if err := r.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("petri: zero-time resolution interrupted: %w", err)
+		}
+	}
 	sortFlights(raw.flights)
 	key := raw.key()
 	if out, ok := r.memo[key]; ok {
@@ -277,6 +325,13 @@ func (n *Net) advance(st state) (state, int, error) {
 // measures. The net must be structurally valid and its reachability graph
 // irreducible (true for the cyclic protocol models built on this engine).
 func (n *Net) Analyze(opts Options) (*Result, error) {
+	return n.AnalyzeContext(context.Background(), opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: the reachability BFS checks
+// ctx every ~1k expanded states, so multi-minute builds stop promptly when
+// the caller's deadline fires.
+func (n *Net) AnalyzeContext(ctx context.Context, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	if err := n.Validate(); err != nil {
 		return nil, err
@@ -285,7 +340,7 @@ func (n *Net) Analyze(opts Options) (*Result, error) {
 	for i, p := range n.places {
 		init.marking[i] = p.initial
 	}
-	rv := newResolver(n)
+	rv := newResolver(ctx, n)
 	initial, err := rv.resolve(init, o.MaxResolutionDepth)
 	if err != nil {
 		return nil, err
@@ -318,9 +373,14 @@ func (n *Net) Analyze(opts Options) (*Result, error) {
 	// expFires[from][t] = expected firings of t during the step out of from.
 	expFires := make(map[int][]float64)
 
+	processed := 0
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
+		processed++
+		if err := checkBudget(ctx, processed, len(states), o.MaxStates); err != nil {
+			return nil, err
+		}
 		st := states[id]
 		raw, dt, err := n.advance(st)
 		if err != nil {
@@ -339,7 +399,7 @@ func (n *Net) Analyze(opts Options) (*Result, error) {
 				ef[t] += oc.prob * oc.fires[t]
 			}
 			if len(states) > o.MaxStates {
-				return nil, fmt.Errorf("petri: state space exceeded %d states", o.MaxStates)
+				return nil, explosionErr(len(states), o.MaxStates)
 			}
 		}
 		expFires[id] = ef
@@ -348,17 +408,33 @@ func (n *Net) Analyze(opts Options) (*Result, error) {
 	ns := len(states)
 	var pi []float64
 	if ns <= o.DenseLimit {
-		p := markov.NewDense(ns)
-		for _, e := range edges {
+		p, derr := markov.NewDense(ns)
+		if derr != nil {
+			return nil, fmt.Errorf("petri: embedded chain: %w", derr)
+		}
+		for i, e := range edges {
+			if i%(1<<20) == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("petri: embedded chain: %w", cerr)
+				}
+			}
 			p.Add(e.from, e.to, e.prob)
 		}
-		pi, err = markov.SteadyStateGTH(p)
+		pi, err = markov.SteadyStateGTHContext(ctx, p)
 	} else {
-		b := markov.NewSparseBuilder(ns)
-		for _, e := range edges {
+		b, berr := markov.NewSparseBuilder(ns)
+		if berr != nil {
+			return nil, fmt.Errorf("petri: embedded chain: %w", berr)
+		}
+		for i, e := range edges {
+			if i%(1<<20) == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("petri: embedded chain: %w", cerr)
+				}
+			}
 			b.Add(e.from, e.to, e.prob)
 		}
-		pi, err = markov.SteadyStatePower(b.Build(), o.Power)
+		pi, err = markov.SteadyStatePowerContext(ctx, b.Build(), o.Power)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("petri: embedded chain: %w", err)
@@ -402,6 +478,12 @@ func (n *Net) Analyze(opts Options) (*Result, error) {
 // used by the scaling benchmarks that demonstrate the exponential growth
 // the paper contrasts MVA against.
 func (n *Net) StateCount(opts Options) (int, error) {
+	return n.StateCountContext(context.Background(), opts)
+}
+
+// StateCountContext is StateCount with cancellation, checked every ~1k
+// expanded states.
+func (n *Net) StateCountContext(ctx context.Context, opts Options) (int, error) {
 	o := opts.withDefaults()
 	if err := n.Validate(); err != nil {
 		return 0, err
@@ -410,7 +492,7 @@ func (n *Net) StateCount(opts Options) (int, error) {
 	for i, p := range n.places {
 		init.marking[i] = p.initial
 	}
-	rv := newResolver(n)
+	rv := newResolver(ctx, n)
 	initial, err := rv.resolve(init, o.MaxResolutionDepth)
 	if err != nil {
 		return 0, err
@@ -429,9 +511,14 @@ func (n *Net) StateCount(opts Options) (int, error) {
 	for _, oc := range initial {
 		add(oc.st)
 	}
+	processed := 0
 	for len(queue) > 0 {
 		st := queue[0]
 		queue = queue[1:]
+		processed++
+		if err := checkBudget(ctx, processed, len(states), o.MaxStates); err != nil {
+			return 0, err
+		}
 		raw, _, err := n.advance(st)
 		if err != nil {
 			return 0, err
@@ -443,7 +530,7 @@ func (n *Net) StateCount(opts Options) (int, error) {
 		for _, oc := range outs {
 			add(oc.st)
 			if len(states) > o.MaxStates {
-				return 0, fmt.Errorf("petri: state space exceeded %d states", o.MaxStates)
+				return 0, explosionErr(len(states), o.MaxStates)
 			}
 		}
 	}

@@ -82,7 +82,10 @@ func (on *OpenNetwork) Solve() (*OpenResult, error) {
 	}
 	k := len(on.ServiceRates)
 	// Traffic equations: λ (I − Rᵀ) = a  ⇔ (I − Rᵀ)·λ = a as columns.
-	a := markov.NewDense(k)
+	a, err := markov.NewDense(k)
+	if err != nil {
+		return nil, fmt.Errorf("queueing: traffic equations: %w", err)
+	}
 	for i := 0; i < k; i++ {
 		for j := 0; j < k; j++ {
 			v := 0.0

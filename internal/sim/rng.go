@@ -41,10 +41,13 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Intn returns a uniform integer in [0, n). Panics if n <= 0.
+// Intn returns a uniform integer in [0, n). A non-positive bound panics:
+// every caller passes a pool or module count that cachesim's Config
+// validation has already constrained to be >= 1, so this guards an internal
+// invariant, not caller input.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("sim: Intn with non-positive bound")
+		panic("sim: internal invariant violated: Intn bound must be positive (pool/module counts are validated by cachesim.Config)")
 	}
 	return int(r.Uint64() % uint64(n))
 }
@@ -74,10 +77,12 @@ func (r *RNG) Exponential(mean float64) float64 {
 
 // Geometric returns a geometric variate counting the number of trials up to
 // and including the first success, with success probability p in (0,1].
-// The mean is 1/p. Panics for p outside (0,1].
+// The mean is 1/p. A probability outside (0,1] panics: the only production
+// caller draws think times with p = 1/τ after cachesim.New has rejected
+// τ < 1, so this guards an internal invariant, not caller input.
 func (r *RNG) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
-		panic("sim: Geometric success probability outside (0,1]")
+		panic("sim: internal invariant violated: Geometric success probability outside (0,1] (τ >= 1 is enforced by cachesim.New)")
 	}
 	if p == 1 {
 		return 1
@@ -91,7 +96,9 @@ func (r *RNG) Geometric(p float64) int {
 
 // Choose returns an index in [0, len(weights)) with probability
 // proportional to the weights; negative weights are treated as zero.
-// Panics if all weights are zero or the slice is empty.
+// An all-zero or empty weight slice panics: the stream probabilities that
+// reach it are validated by workload.Params.Validate (they must sum to 1),
+// so this guards an internal invariant, not caller input.
 func (r *RNG) Choose(weights []float64) int {
 	var total float64
 	for _, w := range weights {
@@ -100,7 +107,7 @@ func (r *RNG) Choose(weights []float64) int {
 		}
 	}
 	if total <= 0 {
-		panic("sim: Choose with no positive weights")
+		panic("sim: internal invariant violated: Choose needs a positive weight (stream probabilities are validated by workload.Params)")
 	}
 	x := r.Float64() * total
 	for i, w := range weights {

@@ -12,11 +12,18 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"snoopmva/internal/protocol"
 )
+
+// ErrInvalid marks an error as caused by invalid caller-supplied model
+// input (as opposed to a numerical or resource failure during solution).
+// All validation errors in this package and in the solver packages wrap
+// it, so callers can classify failures with errors.Is.
+var ErrInvalid = errors.New("invalid model input")
 
 // Params holds the basic workload parameters of Section 2.3.
 type Params struct {
@@ -62,15 +69,15 @@ type Params struct {
 
 func checkProb(name string, v float64) error {
 	if math.IsNaN(v) || v < 0 || v > 1 {
-		return fmt.Errorf("workload: %s = %v outside [0,1]", name, v)
+		return fmt.Errorf("workload: %s = %v outside [0,1]: %w", name, v, ErrInvalid)
 	}
 	return nil
 }
 
 // Validate checks ranges and the stream partition.
 func (p Params) Validate() error {
-	if math.IsNaN(p.Tau) || p.Tau < 0 {
-		return fmt.Errorf("workload: tau = %v must be non-negative", p.Tau)
+	if math.IsNaN(p.Tau) || math.IsInf(p.Tau, 0) || p.Tau < 0 {
+		return fmt.Errorf("workload: tau = %v must be finite and non-negative: %w", p.Tau, ErrInvalid)
 	}
 	probs := []struct {
 		name string
@@ -90,7 +97,7 @@ func (p Params) Validate() error {
 		}
 	}
 	if sum := p.PPrivate + p.PSro + p.PSw; math.Abs(sum-1) > 1e-9 {
-		return fmt.Errorf("workload: stream probabilities sum to %v, want 1", sum)
+		return fmt.Errorf("workload: stream probabilities sum to %v, want 1: %w", sum, ErrInvalid)
 	}
 	return nil
 }
@@ -273,12 +280,12 @@ func (t Timing) Validate() error {
 		{"t_supply", t.TSupply}, {"t_write", t.TWrite}, {"t_inval", t.TInval},
 		{"d_mem", t.DMem}, {"t_block", t.TBlock},
 	} {
-		if math.IsNaN(c.v) || c.v < 0 {
-			return fmt.Errorf("workload: timing %s = %v must be non-negative", c.name, c.v)
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) || c.v < 0 {
+			return fmt.Errorf("workload: timing %s = %v must be finite and non-negative: %w", c.name, c.v, ErrInvalid)
 		}
 	}
 	if t.BlockSize < 1 {
-		return fmt.Errorf("workload: block size %d must be >= 1", t.BlockSize)
+		return fmt.Errorf("workload: block size %d must be >= 1: %w", t.BlockSize, ErrInvalid)
 	}
 	return nil
 }

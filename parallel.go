@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // SweepParallel solves the MVA for each system size in ns concurrently
 // (the solves are independent, microsecond-scale computations — this
 // matters for wide design-space scans from interactive tools). Results are
-// returned in input order; the first error cancels the rest of the report
-// but workers run to completion.
+// returned in input order; the first error stops the feeder from
+// scheduling further sizes, so later indices are never solved.
 func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
 	results := make([]Result, len(ns))
 	errs := make([]error, len(ns))
@@ -21,6 +22,7 @@ func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for i := 0; i < workers; i++ {
@@ -29,10 +31,16 @@ func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
 			defer wg.Done()
 			for idx := range work {
 				results[idx], errs[idx] = Solve(p, w, ns[idx])
+				if errs[idx] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	for idx := range ns {
+		if failed.Load() {
+			break
+		}
 		work <- idx
 	}
 	close(work)

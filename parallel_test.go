@@ -1,7 +1,10 @@
 package snoopmva
 
 import (
+	"sync/atomic"
 	"testing"
+
+	"snoopmva/internal/faultinject"
 )
 
 func TestSweepParallelMatchesSequential(t *testing.T) {
@@ -29,6 +32,32 @@ func TestSweepParallelPropagatesErrors(t *testing.T) {
 	empty, err := SweepParallel(WriteOnce(), AppendixA(Sharing5), nil)
 	if err != nil || len(empty) != 0 {
 		t.Errorf("empty sweep: %v, %v", empty, err)
+	}
+}
+
+func TestSweepParallelStopsSchedulingAfterError(t *testing.T) {
+	// An invalid size as the very first element fails immediately (GOMAXPROCS
+	// workers may have dequeued a few more by then); the feeder must then stop
+	// scheduling, so almost all of the remaining sizes are never solved.
+	var entered atomic.Int64
+	restore := faultinject.Activate(&faultinject.Set{
+		MVAEnter: func(int) { entered.Add(1) },
+	})
+	defer restore()
+
+	ns := make([]int, 1000)
+	ns[0] = 0 // invalid: fails without iterating
+	for i := 1; i < len(ns); i++ {
+		ns[i] = 4
+	}
+	if _, err := SweepParallel(WriteOnce(), AppendixA(Sharing5), ns); err == nil {
+		t.Fatal("invalid N accepted")
+	}
+	// Each scheduled size costs up to 3 solve attempts (the damping
+	// ladder). Allow a generous in-flight window; without the feeder
+	// short-circuit all 1000 sizes are solved (>= 1000 entries).
+	if got := entered.Load(); got > 300 {
+		t.Errorf("%d MVA solve attempts after first error; feeder did not short-circuit", got)
 	}
 }
 

@@ -1,0 +1,294 @@
+package snoopmva
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"snoopmva/internal/faultinject"
+	"snoopmva/internal/mva"
+)
+
+// Acceptance: canceling mid-run stops the GTPN solve (N=8, ~seconds of
+// reachability + embedded-chain work) within 100ms of the cancel.
+func TestSolveDetailedContextCancelsWithin100ms(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type outcome struct {
+		err     error
+		elapsed time.Duration
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		_, err := SolveDetailedContext(ctx, WriteOnce(), AppendixA(Sharing5), 8)
+		done <- outcome{err, time.Since(start)}
+	}()
+
+	// Let the solve get well into its work, then cancel.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	canceledAt := time.Now()
+
+	select {
+	case o := <-done:
+		if time.Since(canceledAt) > 100*time.Millisecond {
+			t.Errorf("solve returned %v after cancel, want <= 100ms", time.Since(canceledAt))
+		}
+		if !errors.Is(o.err, ErrCanceled) {
+			t.Errorf("err = %v, want ErrCanceled (solve ran %v)", o.err, o.elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("solve did not return within 2s of cancel")
+	}
+}
+
+// Acceptance: canceling stops a >= 10M-cycle simulation within 100ms.
+func TestSimulateContextCancelsWithin100ms(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := SimulateContext(ctx, WriteOnce(), AppendixA(Sharing5), 16,
+			SimOptions{MeasureCycles: 10_000_000})
+		done <- err
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	canceledAt := time.Now()
+
+	select {
+	case err := <-done:
+		if time.Since(canceledAt) > 100*time.Millisecond {
+			t.Errorf("simulation returned %v after cancel, want <= 100ms", time.Since(canceledAt))
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("simulation did not return within 2s of cancel")
+	}
+}
+
+func TestSolveContextHonorsPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// N large enough that the fixed point passes at least one 64-iteration
+	// cancellation checkpoint before converging is not guaranteed, so use a
+	// stall hook to hold it in the loop.
+	restore := faultinject.Activate(&faultinject.Set{
+		MVAStall: func(int) bool { return true },
+	})
+	defer restore()
+	_, err := SolveContext(ctx, WriteOnce(), AppendixA(Sharing5), 10)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// Acceptance: under an injected state-explosion fault, SolveBest reports a
+// degraded MVA result with the GTPN failure recorded in FallbackReason.
+func TestSolveBestDegradesOnStateExplosion(t *testing.T) {
+	restore := faultinject.Activate(&faultinject.Set{
+		PetriExplode: func(states int) bool { return states > 100 },
+	})
+	defer restore()
+
+	best, err := SolveBest(context.Background(), WriteOnce(), AppendixA(Sharing5), 8,
+		Budget{SimCycles: -1}) // skip the simulator rung: GTPN -> MVA directly
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Method != MethodMVA {
+		t.Errorf("Method = %q, want %q", best.Method, MethodMVA)
+	}
+	if !best.Degraded {
+		t.Error("Degraded = false, want true")
+	}
+	if !strings.Contains(best.FallbackReason, "gtpn") || !strings.Contains(best.FallbackReason, "state") {
+		t.Errorf("FallbackReason = %q, want the gtpn state-explosion recorded", best.FallbackReason)
+	}
+	if best.MVA == nil || best.GTPN != nil || best.Sim != nil {
+		t.Errorf("want only the MVA payload populated, got MVA=%v GTPN=%v Sim=%v",
+			best.MVA != nil, best.GTPN != nil, best.Sim != nil)
+	}
+	if best.Speedup <= 0 || best.Speedup != best.MVA.Speedup {
+		t.Errorf("headline speedup %v does not match MVA payload %v", best.Speedup, best.MVA.Speedup)
+	}
+}
+
+func TestSolveBestPrefersGTPNWhenItFits(t *testing.T) {
+	best, err := SolveBest(context.Background(), WriteOnce(), AppendixA(Sharing5), 3,
+		Budget{SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Method != MethodGTPN || best.Degraded || best.FallbackReason != "" {
+		t.Errorf("got method=%q degraded=%v reason=%q, want a clean GTPN result",
+			best.Method, best.Degraded, best.FallbackReason)
+	}
+	if best.GTPN == nil || best.GTPN.States == 0 {
+		t.Error("GTPN payload missing")
+	}
+}
+
+func TestSolveBestFallsBackToSimulation(t *testing.T) {
+	restore := faultinject.Activate(&faultinject.Set{
+		PetriExplode: func(states int) bool { return states > 100 },
+	})
+	defer restore()
+
+	best, err := SolveBest(context.Background(), WriteOnce(), AppendixA(Sharing5), 4,
+		Budget{SimCycles: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Method != MethodSimulation || !best.Degraded {
+		t.Errorf("got method=%q degraded=%v, want degraded simulation", best.Method, best.Degraded)
+	}
+	if best.Sim == nil {
+		t.Fatal("Sim payload missing")
+	}
+}
+
+func TestSolveBestInvalidInputDoesNotDegrade(t *testing.T) {
+	w := AppendixA(Sharing5)
+	w.HPrivate = 2 // out of range
+	_, err := SolveBest(context.Background(), WriteOnce(), w, 8, Budget{})
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("err = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestSolveBestCanceledContextAbortsLadder(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	restore := faultinject.Activate(&faultinject.Set{
+		PetriExplode: func(int) bool { return true },
+	})
+	defer restore()
+	_, err := SolveBest(ctx, WriteOnce(), AppendixA(Sharing5), 8, Budget{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled (cancel must not degrade)", err)
+	}
+}
+
+// Taxonomy: each failure mode surfaces as its public sentinel.
+func TestErrorTaxonomy(t *testing.T) {
+	w := AppendixA(Sharing5)
+
+	t.Run("invalid workload", func(t *testing.T) {
+		bad := w
+		bad.PSw = 0.5 // partition no longer sums to 1
+		if _, err := Solve(WriteOnce(), bad, 8); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("err = %v, want ErrInvalidInput", err)
+		}
+	})
+	t.Run("invalid protocol", func(t *testing.T) {
+		if _, err := Solve(WithMods(9), w, 8); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("err = %v, want ErrInvalidInput", err)
+		}
+	})
+	t.Run("invalid system size", func(t *testing.T) {
+		if _, err := Solve(WriteOnce(), w, 0); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("err = %v, want ErrInvalidInput", err)
+		}
+	})
+	t.Run("diverged", func(t *testing.T) {
+		restore := faultinject.Activate(&faultinject.Set{
+			MVAForceNaN: func(iter int) bool { return iter == 3 },
+		})
+		defer restore()
+		_, err := Solve(WriteOnce(), w, 8)
+		if !errors.Is(err, ErrDiverged) {
+			t.Fatalf("err = %v, want ErrDiverged", err)
+		}
+		var de *mva.DivergenceError
+		if !errors.As(err, &de) {
+			t.Fatalf("err = %v, want a *mva.DivergenceError carrying the iterate", err)
+		}
+		if de.Iteration != 3 || de.N != 8 {
+			t.Errorf("offending iterate = %+v, want iteration 3 at N=8", de)
+		}
+	})
+	t.Run("no convergence", func(t *testing.T) {
+		restore := faultinject.Activate(&faultinject.Set{
+			MVAStall: func(int) bool { return true },
+		})
+		defer restore()
+		if _, err := Solve(WriteOnce(), w, 8); !errors.Is(err, ErrNoConvergence) {
+			t.Errorf("err = %v, want ErrNoConvergence", err)
+		}
+	})
+	t.Run("state explosion", func(t *testing.T) {
+		restore := faultinject.Activate(&faultinject.Set{
+			PetriExplode: func(states int) bool { return states > 50 },
+		})
+		defer restore()
+		if _, err := SolveDetailed(WriteOnce(), w, 4); !errors.Is(err, ErrStateExplosion) {
+			t.Errorf("err = %v, want ErrStateExplosion", err)
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := SolveDetailedContext(ctx, WriteOnce(), w, 6); !errors.Is(err, ErrCanceled) {
+			t.Errorf("err = %v, want ErrCanceled", err)
+		}
+	})
+}
+
+func TestGuardRecoversPanicsIntoPanicError(t *testing.T) {
+	f := func() (err error) {
+		defer guard(&err)
+		panic("internal invariant violated (test)")
+	}
+	err := f()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "internal invariant violated (test)" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "robustness_test") {
+		t.Errorf("Stack does not point at the panic site:\n%s", pe.Stack)
+	}
+}
+
+func TestClassifyPassesUnknownAndClassifiedThrough(t *testing.T) {
+	plain := errors.New("some downstream failure")
+	if got := classify(plain); got != plain {
+		t.Errorf("unknown error rewrapped: %v", got)
+	}
+	once := classify(context.Canceled)
+	if !errors.Is(once, ErrCanceled) {
+		t.Fatalf("classify(context.Canceled) = %v", once)
+	}
+	if again := classify(once); again != once {
+		t.Errorf("already-classified error rewrapped: %v", again)
+	}
+	if classify(nil) != nil {
+		t.Error("classify(nil) != nil")
+	}
+}
+
+// The context-less entry points still work unchanged (delegation check).
+func TestBackgroundDelegationUnchanged(t *testing.T) {
+	r1, err := Solve(Illinois(), AppendixA(Sharing20), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SolveContext(context.Background(), Illinois(), AppendixA(Sharing20), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("Solve %+v != SolveContext %+v", r1, r2)
+	}
+}

@@ -253,10 +253,13 @@ func (p Protocol) String() string { return p.inner.String() }
 
 func (p Protocol) validate() error {
 	if p.inner.Mods&(1<<7) != 0 {
-		return fmt.Errorf("snoopmva: protocol has invalid modification numbers (use 1-4)")
+		return fmt.Errorf("snoopmva: protocol has invalid modification numbers (use 1-4): %w", workload.ErrInvalid)
 	}
 	if p.inner.WriteThroughBase {
 		return nil
 	}
-	return p.inner.Mods.Valid()
+	if err := p.inner.Mods.Valid(); err != nil {
+		return fmt.Errorf("%w: %w", workload.ErrInvalid, err)
+	}
+	return nil
 }

@@ -1,14 +1,12 @@
 package snoopmva
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"snoopmva/internal/cachesim"
 	"snoopmva/internal/exp"
-	"snoopmva/internal/gtpnmodel"
 	"snoopmva/internal/mva"
-	"snoopmva/internal/petri"
 )
 
 // Result holds the MVA model's outputs for one configuration.
@@ -81,43 +79,17 @@ func model(p Protocol, w Workload, t Timing) (mva.Model, error) {
 // Solve runs the paper's MVA model for protocol p, workload w, and n
 // processors with default timing and options.
 func Solve(p Protocol, w Workload, n int) (Result, error) {
-	return SolveWith(p, w, Timing{}, n, Options{})
+	return SolveWithContext(context.Background(), p, w, Timing{}, n, Options{})
 }
 
 // SolveWith runs the MVA model with explicit timing and options.
 func SolveWith(p Protocol, w Workload, t Timing, n int, opts Options) (Result, error) {
-	m, err := model(p, w, t)
-	if err != nil {
-		return Result{}, err
-	}
-	r, err := m.Solve(n, opts.internal())
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		N:               r.N,
-		Speedup:         r.Speedup,
-		ProcessingPower: r.ProcessingPower,
-		R:               r.R,
-		BusUtilization:  r.UBus,
-		BusWait:         r.WBus,
-		MemUtilization:  r.UMem,
-		MemWait:         r.WMem,
-		Iterations:      r.Iterations,
-	}, nil
+	return SolveWithContext(context.Background(), p, w, t, n, opts)
 }
 
 // Sweep solves the MVA model for each system size in ns.
 func Sweep(p Protocol, w Workload, ns []int) ([]Result, error) {
-	out := make([]Result, 0, len(ns))
-	for _, n := range ns {
-		r, err := Solve(p, w, n)
-		if err != nil {
-			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", n, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return SweepContext(context.Background(), p, w, ns)
 }
 
 // Compare solves several protocols at the same workload and system size,
@@ -149,22 +121,7 @@ type DetailedResult struct {
 // expensive comparator. Cost grows quickly with n; sizes beyond ~10 are
 // rejected by maxStates.
 func SolveDetailed(p Protocol, w Workload, n int) (DetailedResult, error) {
-	if err := p.validate(); err != nil {
-		return DetailedResult{}, err
-	}
-	g, err := gtpnmodel.Solve(gtpnmodel.Config{
-		Workload:         w.internal(),
-		Mods:             p.inner.Mods,
-		RawParams:        w.FixedParams,
-		WriteThroughBase: p.inner.WriteThroughBase,
-		N:                n,
-	}, petri.Options{})
-	if err != nil {
-		return DetailedResult{}, err
-	}
-	return DetailedResult{
-		N: g.N, Speedup: g.Speedup, R: g.R, BusUtilization: g.UBus, States: g.States,
-	}, nil
+	return SolveDetailedContext(context.Background(), p, w, n)
 }
 
 // SimOptions tunes the detailed simulator.
@@ -206,40 +163,7 @@ type SimResult struct {
 // Simulate runs the cycle-level simulator: real protocol state machines
 // over identified blocks, FCFS bus, interleaved memory.
 func Simulate(p Protocol, w Workload, n int, opts SimOptions) (SimResult, error) {
-	if err := p.validate(); err != nil {
-		return SimResult{}, err
-	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	r, err := cachesim.Run(cachesim.Config{
-		N:                 n,
-		Protocol:          p.inner,
-		Workload:          w.internal(),
-		RawParams:         w.FixedParams,
-		Seed:              seed,
-		WarmupCycles:      opts.WarmupCycles,
-		MeasureCycles:     opts.MeasureCycles,
-		AdaptiveThreshold: opts.AdaptiveThreshold,
-		SplitTransactions: opts.SplitTransactions,
-	})
-	if err != nil {
-		return SimResult{}, err
-	}
-	return SimResult{
-		N:               r.N,
-		Speedup:         r.Speedup,
-		SpeedupLow:      r.SpeedupCI.Lo(),
-		SpeedupHigh:     r.SpeedupCI.Hi(),
-		R:               r.R,
-		BusUtilization:  r.UBus,
-		MemUtilization:  r.UMem,
-		ObservedAmod:    r.Observed.Amod,
-		ObservedCsupply: r.Observed.Csupply,
-		MeanResponse:    r.MeanResponse,
-		P95Response:     r.P95Response,
-	}, nil
+	return SimulateContext(context.Background(), p, w, n, opts)
 }
 
 // Experiments lists the IDs of the paper-reproduction experiments
@@ -258,16 +182,5 @@ func Experiments() []string {
 // disables it; 6 is a good default), simCycles sizes the simulator columns
 // (<0 disables).
 func RunExperiment(id string, w io.Writer, gtpnMaxN int, simCycles int64) error {
-	e, ok := exp.ByID(id)
-	if !ok {
-		return fmt.Errorf("snoopmva: unknown experiment %q (have %v)", id, Experiments())
-	}
-	if gtpnMaxN <= 0 {
-		gtpnMaxN = -1
-	}
-	rep, err := e.Run(exp.RunConfig{GTPNMaxN: gtpnMaxN, SimCycles: simCycles})
-	if err != nil {
-		return err
-	}
-	return rep.WriteText(w)
+	return RunExperimentContext(context.Background(), id, w, gtpnMaxN, simCycles)
 }

@@ -1,0 +1,175 @@
+package snoopmva
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"snoopmva/internal/gtpnmodel"
+	"snoopmva/internal/petri"
+)
+
+// Method identifies which model produced a BestResult.
+type Method string
+
+// The three models, in decreasing fidelity (and decreasing cost to fail).
+const (
+	MethodGTPN       Method = "gtpn"
+	MethodSimulation Method = "simulation"
+	MethodMVA        Method = "mva"
+)
+
+// Budget bounds the expensive stages of SolveBest's degradation ladder.
+// The zero value uses the defaults noted on each field.
+type Budget struct {
+	// MaxStates bounds the GTPN reachability graph (0 means 200000;
+	// negative skips the GTPN stage entirely).
+	MaxStates int
+	// GTPNTimeout is the wall-clock budget of the GTPN stage (0 means no
+	// deadline beyond the caller's ctx).
+	GTPNTimeout time.Duration
+	// SimCycles is the simulator's measurement window (0 means the
+	// simulator default of 300000; negative skips the simulator stage).
+	SimCycles int64
+	// SimTimeout is the wall-clock budget of the simulator stage (0 means
+	// no deadline beyond the caller's ctx).
+	SimTimeout time.Duration
+	// Seed drives the simulator stage (0 means 1).
+	Seed uint64
+}
+
+// BestResult is the provenance-tagged outcome of SolveBest: the headline
+// measures from whichever model the ladder landed on, plus that model's
+// full result.
+type BestResult struct {
+	// Method names the model that produced the numbers.
+	Method Method
+	// Degraded is true when a higher-fidelity stage was attempted and
+	// failed, so the numbers come from a cheaper model than requested.
+	Degraded bool
+	// FallbackReason records why each abandoned stage failed (empty when
+	// Degraded is false).
+	FallbackReason string
+
+	// Headline measures, populated for every method.
+	N              int
+	Speedup        float64
+	R              float64
+	BusUtilization float64
+
+	// Exactly one of the following is non-nil, matching Method.
+	GTPN *DetailedResult
+	Sim  *SimResult
+	MVA  *Result
+}
+
+// SolveBest answers "the most accurate speedup estimate you can give me
+// within this budget" by walking the repository's three models in
+// decreasing fidelity: the exact GTPN solution within its state and time
+// budget, then the cycle-level simulator within its cycle budget, then the
+// (always-cheap) MVA model. A stage failure degrades to the next rung and
+// is recorded in FallbackReason; cancellation of ctx aborts the whole
+// ladder with ErrCanceled instead of degrading, and invalid input fails
+// immediately with ErrInvalidInput since no model could accept it.
+func SolveBest(ctx context.Context, p Protocol, w Workload, n int, b Budget) (best BestResult, err error) {
+	defer guard(&err)
+	// Validate once up front: an input no model accepts must not burn the
+	// GTPN and simulator budgets before failing.
+	if _, err := model(p, w, Timing{}); err != nil {
+		return BestResult{}, err
+	}
+	if n < 1 {
+		return BestResult{}, fmt.Errorf("snoopmva: system size %d < 1: %w", n, ErrInvalidInput)
+	}
+
+	var reasons []string
+	abandon := func(stage string, err error) error {
+		// Caller cancellation is not a degradation: once ctx has fired,
+		// no later rung is allowed to run either. The cancellation sentinel
+		// leads so errors.Is(err, ErrCanceled) holds even when the stage
+		// itself failed for an unrelated reason first.
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("snoopmva: SolveBest %s stage: %w (stage error: %v)", stage, classify(cerr), err)
+		}
+		reasons = append(reasons, fmt.Sprintf("%s: %v", stage, err))
+		return nil
+	}
+
+	if b.MaxStates >= 0 {
+		gctx, cancel := boundedCtx(ctx, b.GTPNTimeout)
+		g, gerr := solveDetailedBudgeted(gctx, p, w, n, b.MaxStates)
+		cancel()
+		if gerr == nil {
+			return BestResult{
+				Method: MethodGTPN,
+				N:      g.N, Speedup: g.Speedup, R: g.R, BusUtilization: g.BusUtilization,
+				GTPN: &g,
+			}, nil
+		}
+		if err := abandon("gtpn", gerr); err != nil {
+			return BestResult{}, err
+		}
+	}
+
+	if b.SimCycles >= 0 {
+		sctx, cancel := boundedCtx(ctx, b.SimTimeout)
+		s, serr := SimulateContext(sctx, p, w, n, SimOptions{Seed: b.Seed, MeasureCycles: b.SimCycles})
+		cancel()
+		if serr == nil {
+			return BestResult{
+				Method:   MethodSimulation,
+				Degraded: len(reasons) > 0, FallbackReason: strings.Join(reasons, "; "),
+				N: s.N, Speedup: s.Speedup, R: s.R, BusUtilization: s.BusUtilization,
+				Sim: &s,
+			}, nil
+		}
+		if err := abandon("simulation", serr); err != nil {
+			return BestResult{}, err
+		}
+	}
+
+	m, merr := SolveContext(ctx, p, w, n)
+	if merr != nil {
+		if len(reasons) > 0 {
+			return BestResult{}, fmt.Errorf("snoopmva: SolveBest exhausted all models (%s): mva: %w",
+				strings.Join(reasons, "; "), merr)
+		}
+		return BestResult{}, merr
+	}
+	return BestResult{
+		Method:   MethodMVA,
+		Degraded: len(reasons) > 0, FallbackReason: strings.Join(reasons, "; "),
+		N: m.N, Speedup: m.Speedup, R: m.R, BusUtilization: m.BusUtilization,
+		MVA: &m,
+	}, nil
+}
+
+// boundedCtx derives a deadline-bounded context when timeout is positive.
+func boundedCtx(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// solveDetailedBudgeted is SolveDetailedContext with an explicit state
+// budget (the public entry point uses the engine default).
+func solveDetailedBudgeted(ctx context.Context, p Protocol, w Workload, n, maxStates int) (DetailedResult, error) {
+	if err := p.validate(); err != nil {
+		return DetailedResult{}, err
+	}
+	g, err := gtpnmodel.SolveContext(ctx, gtpnmodel.Config{
+		Workload:         w.internal(),
+		Mods:             p.inner.Mods,
+		RawParams:        w.FixedParams,
+		WriteThroughBase: p.inner.WriteThroughBase,
+		N:                n,
+	}, petri.Options{MaxStates: maxStates})
+	if err != nil {
+		return DetailedResult{}, err
+	}
+	return DetailedResult{
+		N: g.N, Speedup: g.Speedup, R: g.R, BusUtilization: g.UBus, States: g.States,
+	}, nil
+}
