@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -108,7 +107,7 @@ func main() {
 		"parameter", "base", "elasticity d ln M / d ln p")
 	for _, e := range es {
 		v := "n/a"
-		if !math.IsNaN(e.Value) {
+		if e.OK {
 			v = fmt.Sprintf("%+.4f", e.Value)
 		}
 		et.AddRow(string(e.Param), e.Base, v)

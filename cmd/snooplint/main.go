@@ -1,0 +1,198 @@
+// Command snooplint runs the repo's custom analyzer suite (ctxloop,
+// floateq, senterr, naninf, panicmsg) over Go packages.
+//
+// Two modes:
+//
+//	snooplint [packages...]            standalone multichecker (default ./...)
+//	go vet -vettool=$(which snooplint) ./...
+//
+// In the second form the go command drives snooplint through the vet tool
+// protocol: it invokes the binary with -V=full for a tool fingerprint and
+// then once per package with a JSON vet.cfg file argument describing the
+// package's files and the export data of its dependencies.
+//
+// Exit status: 0 clean, 1 usage/operational error, 2 diagnostics reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"snoopmva/internal/lint"
+	"snoopmva/internal/lint/analysis"
+	"snoopmva/internal/lint/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]") // no tool flags: the suite always runs whole
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnitchecker(args[0]))
+	case len(args) > 0 && strings.HasPrefix(args[0], "-"):
+		switch args[0] {
+		case "-h", "-help", "--help":
+			usage(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "snooplint: unknown flag %s\n", args[0])
+			usage(os.Stderr)
+			os.Exit(1)
+		}
+	default:
+		if len(args) == 0 {
+			args = []string{"./..."}
+		}
+		os.Exit(runStandalone(args))
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: snooplint [packages]   (default ./...)\n")
+	fmt.Fprintf(w, "   or: go vet -vettool=$(which snooplint) [packages]\n\nanalyzers:\n")
+	for _, a := range lint.Analyzers() {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(w, "  %-10s %s\n", a.Name, doc)
+	}
+}
+
+// printVersion answers the go command's -V=full fingerprint query. The
+// content hash of the binary keys go vet's action cache, so rebuilding
+// snooplint invalidates cached vet results.
+func printVersion() {
+	h := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			h = fmt.Sprintf("%x", sum[:8])
+		}
+	}
+	fmt.Printf("snooplint version devel buildID=%s\n", h)
+}
+
+func runStandalone(patterns []string) int {
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+		return 1
+	}
+	total := 0
+	for _, p := range pkgs {
+		findings, err := analysis.Run(lint.Analyzers(), p.Fset, p.Files, p.Pkg, p.TypesInfo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Println(relativize(f))
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "snooplint: %d diagnostic(s)\n", total)
+		return 2
+	}
+	return 0
+}
+
+// relativize shortens absolute file paths to the current directory for
+// readable, clickable output.
+func relativize(f analysis.Finding) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+	}
+	return f.String()
+}
+
+// vetConfig is the subset of the go command's vet.cfg the checker needs
+// (the schema cmd/go writes for x/tools' unitchecker).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "snooplint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command expects a facts file for every package, including
+	// VetxOnly dependency passes. The suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := load.TypeCheck(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "snooplint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	findings, err := analysis.Run(lint.Analyzers(), fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

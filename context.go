@@ -131,7 +131,7 @@ func RunExperimentContext(ctx context.Context, id string, w io.Writer, gtpnMaxN 
 	defer guard(&err)
 	e, ok := exp.ByID(id)
 	if !ok {
-		return fmt.Errorf("snoopmva: unknown experiment %q (have %v)", id, Experiments())
+		return fmt.Errorf("%w: unknown experiment %q (have %v)", ErrInvalidInput, id, Experiments())
 	}
 	if gtpnMaxN <= 0 {
 		gtpnMaxN = -1

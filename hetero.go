@@ -40,7 +40,8 @@ type HeteroResult struct {
 // SolveGroups runs the multi-class generalization of the paper's MVA:
 // several processor groups with different workloads (and even different
 // protocols) share one bus. With a single group it reduces to Solve.
-func SolveGroups(groups []GroupSpec) (HeteroResult, error) {
+func SolveGroups(groups []GroupSpec) (res HeteroResult, err error) {
+	defer guard(&err)
 	in := make([]mva.Group, 0, len(groups))
 	for i, g := range groups {
 		m, err := model(g.Protocol, g.Workload, Timing{})
@@ -73,7 +74,8 @@ func SolveGroups(groups []GroupSpec) (HeteroResult, error) {
 // Explain solves the configuration and writes an equation-by-equation
 // breakdown of the result (derived inputs, each of equations (1)-(13),
 // interference submodels) to w — the model made auditable.
-func Explain(w io.Writer, p Protocol, wl Workload, n int) error {
+func Explain(w io.Writer, p Protocol, wl Workload, n int) (err error) {
+	defer guard(&err)
 	m, err := model(p, wl, Timing{})
 	if err != nil {
 		return err

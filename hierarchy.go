@@ -39,7 +39,8 @@ type HierarchicalResult struct {
 
 // SolveHierarchical runs the hierarchical MVA model. With Clusters = 1 and
 // zero escalation fractions it reduces exactly to Solve.
-func SolveHierarchical(p Protocol, w Workload, cfg HierarchicalConfig) (HierarchicalResult, error) {
+func SolveHierarchical(p Protocol, w Workload, cfg HierarchicalConfig) (res HierarchicalResult, err error) {
+	defer guard(&err)
 	if err := p.validate(); err != nil {
 		return HierarchicalResult{}, err
 	}
@@ -73,8 +74,8 @@ func SolveHierarchical(p Protocol, w Workload, cfg HierarchicalConfig) (Hierarch
 // ClusterShapes solves every (clusters × per-cluster) factorization of
 // total processors for the given escalation fractions, returning results
 // from flattest (1×N) to deepest (N×1).
-func ClusterShapes(p Protocol, w Workload, total int, cfg HierarchicalConfig) ([]HierarchicalResult, error) {
-	var out []HierarchicalResult
+func ClusterShapes(p Protocol, w Workload, total int, cfg HierarchicalConfig) (out []HierarchicalResult, err error) {
+	defer guard(&err)
 	for c := 1; c <= total; c++ {
 		if total%c != 0 {
 			continue

@@ -188,7 +188,7 @@ func (s *Simulator) startTransaction() {
 			s.obs.updates++
 		}
 	default:
-		panic(fmt.Sprintf("cachesim: unexpected bus op %v", out.Op))
+		panic(fmt.Sprintf("cachesim: internal invariant violated: unexpected bus op %v", out.Op))
 	}
 
 	s.busBusy = true
@@ -197,7 +197,7 @@ func (s *Simulator) startTransaction() {
 	s.busNoComplete = deferred
 	if s.checkInvariants {
 		if err := s.CheckInvariants(); err != nil {
-			panic(err)
+			panic("cachesim: internal invariant violated: " + err.Error())
 		}
 	}
 }

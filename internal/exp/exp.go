@@ -56,9 +56,12 @@ type Comparison struct {
 	Measured float64
 }
 
-// RelErr returns |measured − paper| / |paper|.
+// RelErr returns |measured − paper| / |paper|. Against a zero paper value
+// the relative error is unbounded and RelErr returns +Inf; WorstRelErr
+// skips such cells.
 func (c Comparison) RelErr() float64 {
 	if c.Paper == 0 {
+		//lint:allow naninf relative error against a zero reference is mathematically unbounded; callers treat Inf as "no reference"
 		return math.Inf(1)
 	}
 	return math.Abs(c.Measured-c.Paper) / math.Abs(c.Paper)
@@ -184,7 +187,7 @@ var registry = map[string]Experiment{}
 
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
-		panic("exp: duplicate experiment id " + e.ID)
+		panic("exp: internal invariant violated: duplicate experiment id " + e.ID)
 	}
 	registry[e.ID] = e
 }

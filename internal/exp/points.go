@@ -9,6 +9,7 @@ import (
 	"snoopmva/internal/paperdata"
 	"snoopmva/internal/petri"
 	"snoopmva/internal/protocol"
+	"snoopmva/internal/stats"
 	"snoopmva/internal/tables"
 	"snoopmva/internal/workload"
 )
@@ -179,7 +180,7 @@ func runArBa86(cfg RunConfig) (*Report, error) {
 		}
 		tb.AddRow(amod, base.Speedup, m1.Speedup, m2.Speedup,
 			m1.Speedup-base.Speedup, m2.Speedup-base.Speedup)
-		if amod == 0.95 {
+		if stats.ApproxEq(amod, 0.95, 0) {
 			gap := (m1.Speedup - base.Speedup) - (m2.Speedup - base.Speedup)
 			rep.Notes = append(rep.Notes, fmt.Sprintf(
 				"at amod_p=0.95 the mod1-vs-mod2 gain gap shrinks to %.3f speedup units (paper: \"roughly equal\")", gap))

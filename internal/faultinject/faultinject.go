@@ -24,9 +24,12 @@ type Set struct {
 	// point at the given iteration, forcing an iteration-stall
 	// (ErrNoConvergence) failure.
 	MVAStall func(iter int) bool
-	// MVAForceNaN returns true to poison the MVA iterate with NaN at the
-	// given iteration, exercising the ErrDiverged guardrail.
-	MVAForceNaN func(iter int) bool
+	// MVAPoison returns a replacement iterate and true to poison the MVA
+	// fixed point at the given iteration (typically with NaN or Inf),
+	// exercising the ErrDiverged guardrail. The poison value is supplied
+	// by the test so production code never constructs a non-finite
+	// sentinel itself.
+	MVAPoison func(iter int) (float64, bool)
 	// PetriExplode returns true to force a state-explosion error from the
 	// reachability BFS once it has reached the given number of states.
 	PetriExplode func(states int) bool

@@ -34,7 +34,7 @@ func TestNilMembersAreInactive(t *testing.T) {
 	if h == nil {
 		t.Fatal("empty set should still be active")
 	}
-	if h.MVAEnter != nil || h.MVAStall != nil || h.MVAForceNaN != nil ||
+	if h.MVAEnter != nil || h.MVAStall != nil || h.MVAPoison != nil ||
 		h.PetriExplode != nil || h.SimSlowCycle != nil {
 		t.Fatal("zero Set has non-nil hooks")
 	}

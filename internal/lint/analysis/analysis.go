@@ -1,0 +1,177 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repo builds in hermetic environments with no module proxy, so it
+// cannot depend on x/tools; this package mirrors the upstream API shape
+// closely enough that the snooplint analyzers could be ported to the real
+// framework by changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" suppression comments.
+	Name string
+	// Doc is the one-paragraph description printed by snooplint -help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. It is never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. Several
+// analyzers exempt tests, where exact float comparison, NaN construction
+// and ad-hoc panics are legitimate.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// AllowDirective is the comment prefix that suppresses one diagnostic:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it. The reason
+// is mandatory — a bare allow is ignored — so every suppression carries
+// its justification into the tree.
+const AllowDirective = "//lint:allow"
+
+// Suppressions indexes the lint:allow directives of a package.
+type Suppressions struct {
+	// byLine maps file -> line -> analyzer names allowed there.
+	byLine map[string]map[int][]string
+}
+
+// ParseSuppressions collects the lint:allow directives of files.
+func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 { // analyzer name plus a non-empty reason
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return s
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed by a directive on the same line or the line above.
+func (s *Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines, ok := s.byLine[p.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[line] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies analyzers to one package and returns the diagnostics that
+// survive suppression filtering, in file/position order.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	sup := ParseSuppressions(fset, files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			if sup.Allows(fset, a.Name, d.Pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	SortFindings(out)
+	return out, nil
+}
+
+// Finding is a resolved diagnostic (position translated, analyzer named).
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// SortFindings orders findings by file, line, column, analyzer.
+func SortFindings(fs []Finding) {
+	for i := 1; i < len(fs); i++ { // insertion sort: finding lists are short
+		for j := i; j > 0 && lessFinding(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,164 @@
+// Package analysistest runs a snooplint analyzer over golden fixture
+// packages and checks its diagnostics against expectations written in the
+// fixtures themselves, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a trailing comment on the line that should be flagged:
+//
+//	x := a == b // want `floating-point equality`
+//	y := c != d // want "comparison" "second expectation"
+//
+// Each quoted string is a regexp that must match the message of one
+// diagnostic reported on that line; diagnostics without a matching
+// expectation, and expectations without a matching diagnostic, fail the
+// test. Lines carrying a //lint:allow directive verify the suppression
+// path: they must produce no diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"snoopmva/internal/lint/analysis"
+	"snoopmva/internal/lint/load"
+)
+
+// TestData returns the canonical shared fixture root, internal/lint/testdata,
+// resolved relative to the calling test's working directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run applies a to each fixture package testdata/src/<pkg> and diffs the
+// surviving diagnostics against the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(a.Name+"/"+pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(testdata, "src", pkg), a, pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	expects := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, raw := range parseWant(t, pos, c.Text) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					expects[key] = append(expects[key], &expectation{rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+
+	pkg, info, err := load.TypeCheck(fset, path, files, load.StdExportLookup())
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		ok := false
+		for _, e := range expects[key] {
+			if !e.matched && e.rx.MatchString(f.Message) {
+				e.matched, ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for key, es := range expects {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.raw)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of a `// want "rx" `+"`rx`"+` ...`
+// comment, or nil if the comment is not a want comment.
+func parseWant(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", pos, rest)
+			}
+			s, err := strconv.Unquote(rest[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad want string %q: %v", pos, rest[:end+2], err)
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[end+2:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", pos, rest)
+			}
+			out = append(out, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Fatalf("%s: malformed want comment at %q", pos, rest)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no expectations", pos)
+	}
+	return out
+}

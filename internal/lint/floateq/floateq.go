@@ -1,0 +1,92 @@
+// Package floateq bans naked == and != between floating-point operands.
+//
+// The model's outputs come out of numerically delicate fixed-point
+// iteration (paper equations 5–13): two mathematically equal quantities
+// routinely differ in their last bits, so exact comparison silently turns
+// into "always false" (or, worse, into order-of-evaluation-dependent
+// behavior), and a NaN iterate slips through every == test. Comparisons
+// must go through an approved tolerance helper (stats.ApproxEq) or be
+// restructured into ordered comparisons.
+//
+// Two shapes stay legal: comparison against a compile-time constant zero
+// (exactly representable, and the conventional "unset" sentinel), and the
+// bodies of the allowlisted tolerance helpers themselves.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+
+	"snoopmva/internal/lint/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: `forbid exact floating-point equality comparison
+
+== and != with float operands are flagged except when one operand is a
+constant zero or the comparison sits inside an allowlisted tolerance
+helper. A self-comparison (x != x) gets a dedicated diagnostic: it is a
+hand-rolled NaN test and should be math.IsNaN.`,
+	Run: run,
+}
+
+// Allowlist names the functions whose bodies may compare floats exactly:
+// the tolerance helpers themselves, whose fast paths ("a == b handles
+// equal infinities") are the one place the comparison is deliberate.
+var Allowlist = map[string]bool{
+	"ApproxEq": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		var allowRanges [][2]token.Pos
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && Allowlist[fd.Name.Name] {
+				allowRanges = append(allowRanges, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		inAllowed := func(pos token.Pos) bool {
+			for _, r := range allowRanges {
+				if r[0] <= pos && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.TypesInfo.TypeOf(be.X), pass.TypesInfo.TypeOf(be.Y)
+			if tx == nil || ty == nil || !analysis.IsFloat(tx) || !analysis.IsFloat(ty) {
+				return true
+			}
+			if analysis.IsZeroConst(pass.TypesInfo, be.X) || analysis.IsZeroConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if inAllowed(be.OpPos) {
+				return true
+			}
+			if sameIdent(be.X, be.Y) {
+				pass.Reportf(be.OpPos, "floating-point self-comparison is a NaN test; use math.IsNaN")
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use stats.ApproxEq(a, b, tol) or an ordered comparison", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// sameIdent reports whether both operands are the same plain identifier.
+func sameIdent(x, y ast.Expr) bool {
+	ix, ok1 := ast.Unparen(x).(*ast.Ident)
+	iy, ok2 := ast.Unparen(y).(*ast.Ident)
+	return ok1 && ok2 && ix.Name == iy.Name
+}

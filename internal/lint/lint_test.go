@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"snoopmva/internal/lint"
+	"snoopmva/internal/lint/analysistest"
+	"snoopmva/internal/lint/ctxloop"
+	"snoopmva/internal/lint/floateq"
+	"snoopmva/internal/lint/naninf"
+	"snoopmva/internal/lint/panicmsg"
+	"snoopmva/internal/lint/senterr"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxloop.Analyzer, "ctxloop")
+}
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floateq.Analyzer, "floateq")
+}
+
+func TestSenterr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), senterr.Analyzer, "senterr")
+}
+
+func TestNaninf(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), naninf.Analyzer, "naninf")
+}
+
+func TestPanicmsg(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), panicmsg.Analyzer, "panicmsg")
+}
+
+func TestSuiteIsWellFormed(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.ContainsAny(a.Name, " \t\n") {
+			t.Errorf("analyzer name %q contains whitespace; //lint:allow parsing requires bare names", a.Name)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package load turns Go package patterns into type-checked syntax trees
+// for the snooplint analyzers, using only the standard library and the go
+// command itself.
+//
+// It is the moral equivalent of golang.org/x/tools/go/packages in the
+// LoadSyntax mode: `go list -deps -export -json` supplies the file lists
+// and compiled export data of every dependency, the target packages are
+// parsed from source, and go/types checks them with a gc-export importer.
+// Everything works offline — the only external process is the go tool that
+// built the repo in the first place.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matched by patterns,
+// resolving their dependencies through compiled export data. Test files
+// are not loaded: the lint invariants govern production code, and tests
+// are exempt from them by design.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint/load: go list: %w\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint/load: decoding go list output: %w", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("lint/load: go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly {
+			targets = append(targets, e)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint/load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	var out []*Package
+	for _, t := range targets {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint/load: %w", err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := TypeCheck(fset, t.ImportPath, files, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("lint/load: type-checking %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Name:       t.Name,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+		})
+	}
+	return out, nil
+}
+
+// TypeCheck runs go/types over one package's files, resolving imports
+// through lookup (an import path to gc export data reader).
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, lookup func(string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+var (
+	stdExportMu    sync.Mutex
+	stdExportCache = map[string]string{}
+)
+
+// StdExportLookup returns an export-data lookup backed by per-import
+// `go list -export` invocations, cached process-wide. The analysistest
+// harness uses it to resolve the handful of standard-library imports that
+// testdata fixtures need.
+func StdExportLookup() func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		stdExportMu.Lock()
+		file, ok := stdExportCache[path]
+		stdExportMu.Unlock()
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("lint/load: go list -export %s: %w", path, err)
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("lint/load: no export data for %q", path)
+			}
+			stdExportMu.Lock()
+			stdExportCache[path] = file
+			stdExportMu.Unlock()
+		}
+		return os.Open(file)
+	}
+}

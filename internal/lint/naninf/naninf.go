@@ -1,0 +1,66 @@
+// Package naninf bans construction of NaN and Inf sentinels outside the
+// packages whose domain they belong to.
+//
+// A math.NaN() or math.Inf() minted as an in-band "no value" marker
+// travels silently through every arithmetic operation downstream and
+// corrupts whatever speedup curve it lands in — the exact silent-drift
+// failure mode the paper's fixed-point equations are vulnerable to.
+// Flagged sites must return a typed error or an explicit (value, ok) pair
+// instead.
+//
+// Exempt: internal/stats (NaN/Inf are part of the statistics domain it
+// models, e.g. an infinite relative half-width of a zero-mean interval),
+// internal/faultinject (its entire purpose is poisoning iterates to test
+// the guardrails), and test files.
+package naninf
+
+import (
+	"go/ast"
+	"strings"
+
+	"snoopmva/internal/lint/analysis"
+)
+
+// Analyzer is the naninf check.
+var Analyzer = &analysis.Analyzer{
+	Name: "naninf",
+	Doc: `forbid math.NaN()/math.Inf() sentinels outside internal/stats
+
+Production code must signal "no meaningful value" with a typed error or a
+(value, ok) return, never an in-band non-finite float. Mathematically
+infinite results (an unstable queue's length, a transient state's
+recurrence time) either get a documented //lint:allow suppression or an
+error-returning redesign.`,
+	Run: run,
+}
+
+// allowedPkgs are import-path fragments of the packages whose domain
+// legitimately includes non-finite values.
+var allowedPkgs = []string{"internal/stats", "internal/faultinject"}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	for _, allowed := range allowedPkgs {
+		if strings.Contains(path, allowed) {
+			return nil, nil
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"NaN", "Inf"} {
+				if analysis.IsPkgFunc(pass.TypesInfo, call, "math", name) {
+					pass.Reportf(call.Pos(), "math.%s() constructed outside internal/stats; return a typed error or (value, ok) instead of a non-finite sentinel", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,100 @@
+// Package panicmsg enforces the panic discipline established in PR 1:
+// a panic in non-test code is a bug report, so its message must identify
+// itself as one — "<pkg>: internal invariant violated: ..." — which is
+// what the public API's recovery guard (errors.go) surfaces inside
+// *PanicError. Ad-hoc panic messages (or bare panic(err)) read like
+// ordinary failures and hide the fact that an invariant broke.
+//
+// Exempt: test files; functions whose names begin with Must (the
+// documented-panic constructor idiom); and functions whose doc comment
+// mentions the panic (a documented panicking API, e.g. builder methods
+// that reject invalid construction like regexp.MustCompile does).
+package panicmsg
+
+import (
+	"go/ast"
+	"strings"
+
+	"snoopmva/internal/lint/analysis"
+)
+
+// Convention is the required message prefix, completed with the package
+// name: "<pkg>: internal invariant violated".
+const Convention = "internal invariant violated"
+
+// Analyzer is the panicmsg check.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicmsg",
+	Doc: `require the "<pkg>: internal invariant violated" panic message convention
+
+Every panic in non-test code must carry a constant message (directly, via
+fmt.Sprintf, or as the left end of a string concatenation) starting with
+"<pkg>: internal invariant violated", unless the enclosing function starts
+with Must or documents that it panics.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	want := pass.Pkg.Name() + ": " + Convention
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			if fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltinPanic(pass, call) || len(call.Args) != 1 {
+					return true
+				}
+				if !messageOK(pass, call.Args[0], want) {
+					pass.Reportf(call.Pos(), "panic message must be a constant starting with %q (or the function must document that it panics)", want)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func isBuiltinPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	// The builtin has no package; a user-defined panic() would resolve to
+	// a *types.Func with one.
+	obj := pass.TypesInfo.Uses[id]
+	return obj == nil || obj.Pkg() == nil
+}
+
+// messageOK reports whether arg carries the conventional prefix: as a
+// constant string, as the format of fmt.Sprintf, or as the leftmost
+// operand of a string concatenation ("pkg: ...: " + err.Error()).
+func messageOK(pass *analysis.Pass, arg ast.Expr, want string) bool {
+	arg = ast.Unparen(arg)
+	if s, ok := analysis.ConstString(pass.TypesInfo, arg); ok {
+		return strings.HasPrefix(s, want)
+	}
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Sprintf") && len(call.Args) > 0 {
+			if s, ok := analysis.ConstString(pass.TypesInfo, call.Args[0]); ok {
+				return strings.HasPrefix(s, want)
+			}
+		}
+		return false
+	}
+	if be, ok := arg.(*ast.BinaryExpr); ok {
+		return messageOK(pass, be.X, want)
+	}
+	return false
+}

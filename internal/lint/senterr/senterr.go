@@ -1,0 +1,79 @@
+// Package senterr enforces the public error taxonomy: an error built and
+// returned by an exported function of the public (non-internal, non-main)
+// package must be wrapped so errors.Is can classify it against the PR-1
+// sentinels (ErrInvalidInput, ErrNoConvergence, ErrDiverged,
+// ErrStateExplosion, ErrCanceled).
+//
+// The analyzer flags the two constructions that provably break the chain:
+// returning errors.New(...) directly, and returning fmt.Errorf with a
+// format string containing no %w verb. Anything that wraps (%w,
+// errors.Join) or forwards an existing error value passes — deciding
+// whether the wrapped cause eventually reaches a sentinel is the guard /
+// classify layer's job (errors.go), which has its own tests.
+package senterr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"snoopmva/internal/lint/analysis"
+)
+
+// Analyzer is the senterr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc: `require %w sentinel wrapping in the public package's exported functions
+
+Within an exported function of the root package, "return errors.New(...)"
+and "return fmt.Errorf(<format without %w>, ...)" construct errors that no
+errors.Is test can ever classify; wrap one of the errors.go sentinels
+instead, e.g. fmt.Errorf("%w: unknown experiment %q", ErrInvalidInput, id).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if pass.Pkg.Name() == "main" || strings.Contains(path+"/", "/internal/") || strings.HasPrefix(path, "internal/") {
+		return nil, nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, e := range ret.Results {
+					t := pass.TypesInfo.TypeOf(e)
+					if t == nil || !types.Identical(t, errType) {
+						continue
+					}
+					call, ok := ast.Unparen(e).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if analysis.IsPkgFunc(pass.TypesInfo, call, "errors", "New") {
+						pass.Reportf(e.Pos(), "%s returns errors.New(...), which no errors.Is sentinel test can classify; wrap a public sentinel with fmt.Errorf(\"%%w: ...\", ...)", fd.Name.Name)
+						continue
+					}
+					if analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") && len(call.Args) > 0 {
+						if format, ok := analysis.ConstString(pass.TypesInfo, call.Args[0]); ok && !strings.Contains(format, "%w") {
+							pass.Reportf(e.Pos(), "%s returns fmt.Errorf without %%w; wrap a public sentinel so errors.Is classification works", fd.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

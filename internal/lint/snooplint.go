@@ -1,0 +1,25 @@
+// Package lint assembles the snooplint analyzer suite: the machine-checked
+// numerical and cancellation invariants of the solver tree. See DESIGN.md
+// ("Machine-checked invariants") for the invariant each analyzer encodes
+// and the //lint:allow suppression mechanism.
+package lint
+
+import (
+	"snoopmva/internal/lint/analysis"
+	"snoopmva/internal/lint/ctxloop"
+	"snoopmva/internal/lint/floateq"
+	"snoopmva/internal/lint/naninf"
+	"snoopmva/internal/lint/panicmsg"
+	"snoopmva/internal/lint/senterr"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxloop.Analyzer,
+		floateq.Analyzer,
+		naninf.Analyzer,
+		panicmsg.Analyzer,
+		senterr.Analyzer,
+	}
+}

@@ -1,0 +1,120 @@
+// Package ctxloop is the golden fixture for the ctxloop analyzer. Its
+// package name places it inside the analyzer's solver-package scope.
+package ctxloop
+
+import "context"
+
+// fixedPoint iterates to convergence with no cancellation path: flagged.
+func fixedPoint(tol float64) float64 {
+	x, delta := 1.0, 1.0
+	for delta > tol { // want `no cancellation path`
+		x, delta = x/2, delta/2
+	}
+	return x
+}
+
+// budget runs for a configuration-controlled number of iterations: the
+// bound smells like an iteration budget, so a cancellation path is required.
+func budget(maxIter int) int {
+	n := 0
+	for i := 0; i < maxIter; i++ { // want `no cancellation path`
+		n += i
+	}
+	return n
+}
+
+// drain pops a growable queue until empty — the BFS shape whose trip count
+// depends on what the body appends: flagged.
+func drain(queue []int) int {
+	n := 0
+	for len(queue) > 0 { // want `no cancellation path`
+		n += queue[0]
+		queue = queue[1:]
+	}
+	return n
+}
+
+// forever has no condition at all: flagged.
+func forever(c chan int) {
+	for { // want `no cancellation path`
+		if <-c == 0 {
+			return
+		}
+	}
+}
+
+// fixedPointCtx carries a ctx.Err() check: clean.
+func fixedPointCtx(ctx context.Context, tol float64) (float64, error) {
+	x, delta := 1.0, 1.0
+	for delta > tol {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		x, delta = x/2, delta/2
+	}
+	return x, nil
+}
+
+// outerCtx's outer loop checks ctx, bounding the cancellation latency of
+// the unbounded inner loop by one outer iteration: clean.
+func outerCtx(ctx context.Context, tol float64) float64 {
+	x := 1.0
+	for delta := 1.0; delta > tol; delta /= 2 {
+		if ctx.Err() != nil {
+			return x
+		}
+		for x > tol {
+			x /= 2
+		}
+	}
+	return x
+}
+
+// sum is a counted loop over a data dimension: exempt.
+func sum(xs []float64) float64 {
+	var s float64
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// sumRange is a range loop: exempt.
+func sumRange(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// constBound has a compile-time-constant trip count: exempt.
+func constBound() int {
+	n := 0
+	for i := 0; i < 200; i++ {
+		n += i
+	}
+	return n
+}
+
+// matrix is a counted loop over a dimension held in a struct field: exempt.
+type matrix struct{ n int }
+
+func (m matrix) trace(a []float64) float64 {
+	var s float64
+	for i := 0; i < m.n; i++ {
+		s += a[i*m.n+i]
+	}
+	return s
+}
+
+// formatDigits terminates by construction; the suppression records why.
+func formatDigits(v int) int {
+	n := 0
+	//lint:allow ctxloop v shrinks by a factor of ten per iteration, at most 20 digits
+	for v > 0 {
+		n++
+		v /= 10
+	}
+	return n
+}

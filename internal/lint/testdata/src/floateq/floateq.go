@@ -1,0 +1,52 @@
+// Package floateq is the golden fixture for the floateq analyzer.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func narrow(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func selfCompare(x float64) bool {
+	return x != x // want `NaN test`
+}
+
+// zeroSentinel compares against constant zero — the exactly-representable
+// "unset" sentinel — which is exempt.
+func zeroSentinel(x float64) bool {
+	return x == 0
+}
+
+// ints are not floats.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// ordered comparisons are always fine.
+func ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// ApproxEq is the allowlisted tolerance helper: raw equality inside its
+// body is the one sanctioned implementation site.
+func ApproxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func suppressed(a, b float64) bool {
+	//lint:allow floateq bit-exact identity of a deduplicated table key
+	return a == b
+}

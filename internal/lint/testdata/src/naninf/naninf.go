@@ -1,0 +1,33 @@
+// Package naninf is the golden fixture for the naninf analyzer.
+package naninf
+
+import "math"
+
+// BadNaN mints an in-band "no value" marker: flagged.
+func BadNaN() float64 {
+	return math.NaN() // want `math.NaN\(\) constructed outside internal/stats`
+}
+
+// BadInf mints an in-band infinity: flagged.
+func BadInf() float64 {
+	return math.Inf(1) // want `math.Inf\(\) constructed outside internal/stats`
+}
+
+// Predicates on non-finite values are fine; only construction is banned.
+func predicates(x float64) bool {
+	return math.IsNaN(x) || math.IsInf(x, 0)
+}
+
+// GoodPair returns an explicit (value, ok) pair instead of a sentinel.
+func GoodPair(x float64) (float64, bool) {
+	if x <= 0 {
+		return 0, false
+	}
+	return 1 / x, true
+}
+
+// Suppressed documents a mathematically infinite domain value.
+func Suppressed() float64 {
+	//lint:allow naninf an unstable queue's waiting time is mathematically infinite
+	return math.Inf(1)
+}

@@ -1,0 +1,54 @@
+// Package panicmsg is the golden fixture for the panicmsg analyzer.
+package panicmsg
+
+import "fmt"
+
+func adHoc(x int) {
+	if x < 0 {
+		panic("negative") // want `panic message must be a constant starting with`
+	}
+}
+
+func bareErr(err error) {
+	panic(err) // want `panic message must be a constant starting with`
+}
+
+func wrongPackagePrefix() {
+	panic("otherpkg: internal invariant violated: mislabeled") // want `panic message must be a constant starting with`
+}
+
+func good(x int) {
+	if x < 0 {
+		panic("panicmsg: internal invariant violated: negative count")
+	}
+}
+
+func goodSprintf(x int) {
+	panic(fmt.Sprintf("panicmsg: internal invariant violated: count %d", x))
+}
+
+func goodConcat(err error) {
+	panic("panicmsg: internal invariant violated: " + err.Error())
+}
+
+// MustPositive panics on non-positive input; the Must prefix marks the
+// documented-panic constructor idiom.
+func MustPositive(x int) int {
+	if x <= 0 {
+		panic("non-positive")
+	}
+	return x
+}
+
+// checked panics when its argument is invalid; the doc comment documents
+// the panic, which exempts the function.
+func checked(x int) {
+	if x < 0 {
+		panic("bad input")
+	}
+}
+
+func suppressed() {
+	//lint:allow panicmsg fixture demonstrating suppression
+	panic("ad hoc")
+}

@@ -1,0 +1,45 @@
+// Package senterr is the golden fixture for the senterr analyzer.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is this package's public sentinel.
+var ErrBad = errors.New("senterr: bad input")
+
+// Exported is part of the public error surface, so its failure paths must
+// be classifiable with errors.Is.
+func Exported(n int) error {
+	if n < 0 {
+		return errors.New("negative") // want `wrap a public sentinel`
+	}
+	if n == 1 {
+		return fmt.Errorf("strange value %d", n) // want `fmt.Errorf without %w`
+	}
+	if n == 2 {
+		return fmt.Errorf("%w: value %d", ErrBad, n)
+	}
+	return nil
+}
+
+// ExportedJoin wraps via a sentinel-carrying helper chain: clean.
+func ExportedJoin(n int) error {
+	if n < 0 {
+		return errors.Join(ErrBad, fmt.Errorf("value %d", n))
+	}
+	return nil
+}
+
+// unexported helpers are unconstrained; classification happens at the
+// exported boundary.
+func unexported() error {
+	return errors.New("internal detail")
+}
+
+// ExportedSuppressed documents why one bare error is deliberate.
+func ExportedSuppressed() error {
+	//lint:allow senterr fixture demonstrating a reviewed bare error
+	return errors.New("reviewed")
+}

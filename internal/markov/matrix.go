@@ -170,7 +170,7 @@ func (s *Sparse) RowSum(i int) float64 {
 // have length N and must not alias.
 func (s *Sparse) VecMul(dst, x []float64) {
 	if len(dst) != s.n || len(x) != s.n {
-		panic("markov: VecMul dimension mismatch")
+		panic("markov: internal invariant violated: VecMul dimension mismatch")
 	}
 	for j := range dst {
 		dst[j] = 0

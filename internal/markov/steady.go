@@ -189,7 +189,7 @@ func SteadyStateCTMC(q *Dense) ([]float64, error) {
 	if lambda == 0 {
 		return nil, errors.New("markov: generator has no transitions")
 	}
-	lambda *= 1.05 // keep self-loop probability strictly positive (aperiodicity)
+	lambda *= 1.05   // keep self-loop probability strictly positive (aperiodicity)
 	p := newDense(n) // n = q.N() ≥ 1 by construction
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -204,17 +204,19 @@ func SteadyStateCTMC(q *Dense) ([]float64, error) {
 }
 
 // MeanRecurrenceTimes returns the mean recurrence time 1/π_i for each state
-// of a DTMC given its stationary distribution.
-func MeanRecurrenceTimes(pi []float64) []float64 {
+// of a DTMC given its stationary distribution. A state with non-positive
+// stationary probability has no finite recurrence time (it is transient or
+// the distribution is malformed), which is reported as an error rather
+// than an in-band Inf.
+func MeanRecurrenceTimes(pi []float64) ([]float64, error) {
 	out := make([]float64, len(pi))
 	for i, p := range pi {
 		if p <= 0 {
-			out[i] = math.Inf(1)
-		} else {
-			out[i] = 1 / p
+			return nil, fmt.Errorf("markov: state %d has stationary probability %v; its recurrence time is not finite", i, p)
 		}
+		out[i] = 1 / p
 	}
-	return out
+	return out, nil
 }
 
 // ExpectedReward returns Σ_i π_i·r_i, the long-run average reward of a chain

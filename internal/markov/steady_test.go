@@ -227,9 +227,15 @@ func TestCTMCValidation(t *testing.T) {
 }
 
 func TestMeanRecurrenceTimes(t *testing.T) {
-	rt := MeanRecurrenceTimes([]float64{0.25, 0.75, 0})
-	if rt[0] != 4 || !approx(rt[1], 4.0/3.0, 1e-12) || !math.IsInf(rt[2], 1) {
+	rt, err := MeanRecurrenceTimes([]float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rt[0], 4, 1e-12) || !approx(rt[1], 4.0/3.0, 1e-12) {
 		t.Errorf("recurrence times = %v", rt)
+	}
+	if _, err := MeanRecurrenceTimes([]float64{0.25, 0.75, 0}); err == nil {
+		t.Error("zero stationary probability should be an error, not an Inf recurrence time")
 	}
 }
 

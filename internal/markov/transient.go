@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -12,6 +13,13 @@ import (
 // eps. Robust and accurate for the modest chains produced by the GTPN
 // engine's warm-up analyses.
 func TransientCTMC(q *Dense, initial []float64, t, eps float64) ([]float64, error) {
+	return TransientCTMCContext(context.Background(), q, initial, t, eps)
+}
+
+// TransientCTMCContext is TransientCTMC with cancellation: the Poisson
+// series accumulation checks ctx every few terms, since the number of
+// terms grows with λ·t and is not known in advance.
+func TransientCTMCContext(ctx context.Context, q *Dense, initial []float64, t, eps float64) ([]float64, error) {
 	n := q.N()
 	if len(initial) != n {
 		return nil, fmt.Errorf("markov: initial distribution length %d != %d", len(initial), n)
@@ -79,6 +87,11 @@ func TransientCTMC(q *Dense, initial []float64, t, eps float64) ([]float64, erro
 	var accumulated float64
 	next := make([]float64, n)
 	for k := 0; ; k++ {
+		if k%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("markov: uniformization canceled at term %d: %w", k, err)
+			}
+		}
 		if k > 0 {
 			// cur = cur · P
 			for j := 0; j < n; j++ {

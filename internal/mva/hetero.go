@@ -1,7 +1,7 @@
 package mva
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
@@ -52,9 +52,16 @@ type GroupResult struct {
 // groups sharing one bus and memory. All groups must use the same timing
 // constants (one bus, one memory system).
 func SolveHeterogeneous(groups []Group, opts Options) (HeteroResult, error) {
+	return SolveHeterogeneousContext(context.Background(), groups, opts)
+}
+
+// SolveHeterogeneousContext is SolveHeterogeneous with cancellation: the
+// joint fixed point checks ctx every few iterations and returns ctx.Err()
+// when it fires.
+func SolveHeterogeneousContext(ctx context.Context, groups []Group, opts Options) (HeteroResult, error) {
 	o := opts.withDefaults()
 	if len(groups) == 0 {
-		return HeteroResult{}, errors.New("mva: no groups")
+		return HeteroResult{}, fmt.Errorf("mva: no groups: %w", workload.ErrInvalid)
 	}
 	type gState struct {
 		g     Group
@@ -72,7 +79,7 @@ func SolveHeterogeneous(groups []Group, opts Options) (HeteroResult, error) {
 	var timing workload.Timing
 	for i, g := range groups {
 		if g.Count < 1 {
-			return HeteroResult{}, fmt.Errorf("mva: group %d count %d < 1", i, g.Count)
+			return HeteroResult{}, fmt.Errorf("mva: group %d count %d < 1: %w", i, g.Count, workload.ErrInvalid)
 		}
 		d, err := g.Model.Derive()
 		if err != nil {
@@ -81,7 +88,7 @@ func SolveHeterogeneous(groups []Group, opts Options) (HeteroResult, error) {
 		if i == 0 {
 			timing = d.Timing
 		} else if d.Timing != timing {
-			return HeteroResult{}, errors.New("mva: groups must share timing constants")
+			return HeteroResult{}, fmt.Errorf("mva: groups must share timing constants: %w", workload.ErrInvalid)
 		}
 		total += g.Count
 		gs[i] = gState{g: g, d: d, tau: d.Params.Tau, nf: float64(g.Count)}
@@ -97,6 +104,11 @@ func SolveHeterogeneous(groups []Group, opts Options) (HeteroResult, error) {
 	var wBus, wMem float64
 	res := HeteroResult{TotalProcessors: total}
 	for iter := 1; iter <= o.MaxIter; iter++ {
+		if iter%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("mva: heterogeneous solve canceled after %d iterations: %w", iter, err)
+			}
+		}
 		// Per-group response components with the current shared waits.
 		for i := range gs {
 			d := gs[i].d

@@ -217,8 +217,10 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 
 		stalled := false
 		if hooks != nil {
-			if hooks.MVAForceNaN != nil && hooks.MVAForceNaN(iter) {
-				newR = math.NaN()
+			if hooks.MVAPoison != nil {
+				if poison, ok := hooks.MVAPoison(iter); ok {
+					newR = poison
+				}
 			}
 			if hooks.MVAStall != nil && hooks.MVAStall(iter) {
 				stalled = true
@@ -305,6 +307,10 @@ func (m Model) AsymptoticSpeedup() (lo, hi float64, err error) {
 	demandLo := d.PBc*d.TBc(t.DMem/2) + d.PRr*d.TRead
 	demandHi := d.PBc*d.TBc(0) + d.PRr*d.TRead
 	if demandHi <= 0 {
+		// A workload that never touches the bus has no saturation bound:
+		// the asymptote is genuinely infinite, and callers compare
+		// against it (Inf bounds never clip a finite speedup).
+		//lint:allow naninf the asymptotic bound of a zero-bus-demand workload is mathematically infinite
 		return math.Inf(1), math.Inf(1), nil
 	}
 	return base / demandLo, base / demandHi, nil

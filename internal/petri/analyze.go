@@ -85,6 +85,7 @@ func appendInt(buf []byte, v int) []byte {
 	}
 	var tmp [12]byte
 	i := len(tmp)
+	//lint:allow ctxloop v shrinks by a factor of ten per iteration, at most 12 digits
 	for v > 0 {
 		i--
 		tmp[i] = byte('0' + v%10)

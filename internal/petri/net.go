@@ -66,7 +66,7 @@ func NewNet() *Net { return &Net{} }
 // AddPlace adds a place with an initial marking and returns its ID.
 func (n *Net) AddPlace(name string, initial int) PlaceID {
 	if initial < 0 {
-		panic(fmt.Sprintf("petri: negative initial marking for %q", name))
+		panic(fmt.Sprintf("petri: internal invariant violated: negative initial marking for %q", name))
 	}
 	n.places = append(n.places, place{name: name, initial: initial})
 	return PlaceID(len(n.places) - 1)
@@ -76,10 +76,10 @@ func (n *Net) AddPlace(name string, initial int) PlaceID {
 // 0 means immediate) and conflict-resolution weight (must be positive).
 func (n *Net) AddTransition(name string, duration int, weight float64) TransID {
 	if duration < 0 {
-		panic(fmt.Sprintf("petri: negative duration for %q", name))
+		panic(fmt.Sprintf("petri: internal invariant violated: negative duration for %q", name))
 	}
 	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
-		panic(fmt.Sprintf("petri: non-positive weight %v for %q", weight, name))
+		panic(fmt.Sprintf("petri: internal invariant violated: non-positive weight %v for %q", weight, name))
 	}
 	n.trans = append(n.trans, transition{name: name, duration: duration, weight: weight})
 	return TransID(len(n.trans) - 1)
@@ -99,13 +99,13 @@ func (n *Net) AddOutput(t TransID, p PlaceID, weight int) {
 
 func (n *Net) checkArc(t TransID, p PlaceID, weight int) {
 	if int(t) < 0 || int(t) >= len(n.trans) {
-		panic(fmt.Sprintf("petri: invalid transition %d", t))
+		panic(fmt.Sprintf("petri: internal invariant violated: arc references invalid transition %d", t))
 	}
 	if int(p) < 0 || int(p) >= len(n.places) {
-		panic(fmt.Sprintf("petri: invalid place %d", p))
+		panic(fmt.Sprintf("petri: internal invariant violated: arc references invalid place %d", p))
 	}
 	if weight <= 0 {
-		panic(fmt.Sprintf("petri: non-positive arc weight %d", weight))
+		panic(fmt.Sprintf("petri: internal invariant violated: non-positive arc weight %d", weight))
 	}
 }
 

@@ -59,7 +59,7 @@ func Mods(ms ...Mod) ModSet {
 	var s ModSet
 	for _, m := range ms {
 		if m < Mod1 || m > Mod4 {
-			panic(fmt.Sprintf("protocol: invalid modification %d", m))
+			panic(fmt.Sprintf("protocol: internal invariant violated: modification %d outside Mod1..Mod4", m))
 		}
 		s |= 1 << (m - 1)
 	}

@@ -171,7 +171,7 @@ func (p Protocol) OnProcWrite(s State) ProcOutcome {
 		// Write-Once write-through: memory updated, block exclusive clean.
 		return ProcOutcome{Hit: true, Op: BusWriteWord, Next: ExclusiveClean}
 	default:
-		panic(fmt.Sprintf("protocol: unreachable state %v", s))
+		panic(fmt.Sprintf("protocol: internal invariant violated: unreachable state %v", s))
 	}
 }
 
@@ -193,7 +193,7 @@ func (p Protocol) FillState(op BusOp, shared bool) State {
 		// Read-mod invalidates all other copies and installs dirty.
 		return Modified
 	default:
-		panic(fmt.Sprintf("protocol: FillState on non-fill op %v", op))
+		panic(fmt.Sprintf("protocol: internal invariant violated: FillState on non-fill op %v", op))
 	}
 }
 
@@ -263,7 +263,7 @@ func (p Protocol) OnSnoop(s State, op BusOp) SnoopOutcome {
 		// unaffected.
 		return SnoopOutcome{Next: s}
 	default:
-		panic(fmt.Sprintf("protocol: OnSnoop unexpected op %v", op))
+		panic(fmt.Sprintf("protocol: internal invariant violated: OnSnoop unexpected op %v", op))
 	}
 }
 

@@ -286,6 +286,7 @@ func (nw *Network) AsymptoticBounds(n int) (Bounds, error) {
 	if dmax > 0 {
 		b.NStar = dtot / dmax
 	} else {
+		//lint:allow naninf with no bottleneck demand the knee population N* is mathematically infinite
 		b.NStar = math.Inf(1)
 	}
 	return b, nil

@@ -15,6 +15,7 @@ func MM1(lambda, mu float64) (util, l, w, wq float64, err error) {
 	}
 	rho := lambda / mu
 	if rho >= 1 {
+		//lint:allow naninf an unstable M/M/1 queue has mathematically infinite L, W and Wq
 		return rho, math.Inf(1), math.Inf(1), math.Inf(1), nil
 	}
 	l = rho / (1 - rho)
@@ -32,6 +33,7 @@ func MMc(lambda, mu float64, c int) (rho, erlangC, wq float64, err error) {
 	a := lambda / mu // offered load in Erlangs
 	rho = a / float64(c)
 	if rho >= 1 {
+		//lint:allow naninf an unstable M/M/c queue has mathematically infinite waiting time
 		return rho, 1, math.Inf(1), nil
 	}
 	// Erlang C via the numerically stable recurrence on Erlang B.
@@ -112,6 +114,7 @@ func MG1Wait(lambda float64, s ServiceDist) (float64, error) {
 	}
 	rho := lambda * s.Mean
 	if rho >= 1 {
+		//lint:allow naninf an unstable M/G/1 queue has mathematically infinite waiting time
 		return math.Inf(1), nil
 	}
 	return lambda * s.SecondMoment / (2 * (1 - rho)), nil

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"snoopmva/internal/mva"
+	"snoopmva/internal/stats"
 	"snoopmva/internal/workload"
 )
 
@@ -225,13 +226,17 @@ type Elasticity struct {
 	Param      Param
 	Base       float64 // parameter base value
 	BaseMetric float64
-	Value      float64 // d ln M / d ln p
+	Value      float64 // d ln M / d ln p; meaningful only when OK
+	// OK reports whether Value is defined. Parameters at zero (no
+	// relative perturbation defined) or whose perturbation leaves the
+	// valid region have OK false and Value zero.
+	OK bool
 }
 
 // Elasticities computes the local elasticity of the study metric for every
 // parameter, ranked by absolute magnitude. Parameters at zero (no relative
 // perturbation defined) or whose perturbation leaves the valid region are
-// reported with a NaN value.
+// reported with OK false; they sort after all defined entries.
 func (s Study) Elasticities(relStep float64) ([]Elasticity, error) {
 	if relStep <= 0 {
 		relStep = 0.02
@@ -246,7 +251,7 @@ func (s Study) Elasticities(relStep float64) ([]Elasticity, error) {
 		if err != nil {
 			return nil, err
 		}
-		e := Elasticity{Param: p, Base: v, BaseMetric: base, Value: math.NaN()}
+		e := Elasticity{Param: p, Base: v, BaseMetric: base}
 		if v != 0 && base != 0 {
 			lo, errLo := Set(s.Model.Workload, p, v*(1-relStep))
 			hi, errHi := Set(s.Model.Workload, p, v*(1+relStep))
@@ -260,20 +265,20 @@ func (s Study) Elasticities(relStep float64) ([]Elasticity, error) {
 					return nil, err
 				}
 				e.Value = ((yHi - yLo) / base) / (2 * relStep)
+				e.OK = true
 			}
 		}
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		ai, aj := math.Abs(out[i].Value), math.Abs(out[j].Value)
-		iNaN, jNaN := math.IsNaN(ai), math.IsNaN(aj)
-		if iNaN != jNaN {
-			return jNaN // NaNs sink to the bottom
+		if out[i].OK != out[j].OK {
+			return out[i].OK // undefined entries sink to the bottom
 		}
-		if iNaN {
+		if !out[i].OK {
 			return out[i].Param < out[j].Param
 		}
-		if ai != aj {
+		ai, aj := math.Abs(out[i].Value), math.Abs(out[j].Value)
+		if !stats.ApproxEq(ai, aj, 0) {
 			return ai > aj
 		}
 		return out[i].Param < out[j].Param
@@ -336,7 +341,7 @@ func (s Study) Tornado(rel float64) ([]TornadoBar, error) {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].AbsoluteSpan != out[j].AbsoluteSpan {
+		if !stats.ApproxEq(out[i].AbsoluteSpan, out[j].AbsoluteSpan, 0) {
 			return out[i].AbsoluteSpan > out[j].AbsoluteSpan
 		}
 		return out[i].Param < out[j].Param

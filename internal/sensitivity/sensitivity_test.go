@@ -121,16 +121,26 @@ func TestElasticities(t *testing.T) {
 	if len(es) != len(Params()) {
 		t.Fatalf("got %d elasticities, want %d", len(es), len(Params()))
 	}
-	// Ranked by |value| descending among finite entries.
+	// Ranked by |value| descending among defined entries, which all
+	// precede the undefined ones.
 	prev := math.Inf(1)
+	sawUndefined := false
 	byName := map[Param]Elasticity{}
 	for _, e := range es {
 		byName[e.Param] = e
-		if !math.IsNaN(e.Value) {
+		if e.OK {
+			if sawUndefined {
+				t.Errorf("defined entry %v sorted after an undefined one", e)
+			}
 			if math.Abs(e.Value) > prev+1e-12 {
 				t.Errorf("not ranked: %v after %v", e, prev)
 			}
 			prev = math.Abs(e.Value)
+		} else {
+			sawUndefined = true
+			if e.Value != 0 {
+				t.Errorf("undefined elasticity %v carries non-zero value", e)
+			}
 		}
 	}
 	// Physics checks: higher hit rates help (positive elasticity of

@@ -84,7 +84,7 @@ func (r *RNG) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
 		panic("sim: internal invariant violated: Geometric success probability outside (0,1] (τ >= 1 is enforced by cachesim.New)")
 	}
-	if p == 1 {
+	if p >= 1 { // p > 1 already panicked, so this is exactly p = 1
 		return 1
 	}
 	u := r.Float64()

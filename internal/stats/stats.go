@@ -14,6 +14,28 @@ import (
 	"sort"
 )
 
+// ApproxEq reports whether a and b agree to within tol, relative to the
+// larger magnitude once that magnitude exceeds 1 (so tol behaves as an
+// absolute tolerance near zero and a relative one for large values). A
+// tolerance of zero demands exact equality. NaN compares unequal to
+// everything, including itself; equal infinities compare equal.
+//
+// This is the repo's one sanctioned floating-point equality: the floateq
+// analyzer forbids raw == / != between floats everywhere else.
+func ApproxEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true // handles exact matches and equal infinities
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities differ by more than any tolerance
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
 // Summary accumulates a running sample summary using Welford's online
 // algorithm, which is numerically stable for long simulation runs.
 //
@@ -168,7 +190,10 @@ func (s *Summary) ConfidenceInterval(conf float64) (Interval, error) {
 	if s.n < 2 {
 		return Interval{}, errors.New("stats: need at least 2 observations for an interval")
 	}
-	t := TQuantile(1-(1-conf)/2, s.n-1)
+	t, err := TQuantile(1-(1-conf)/2, s.n-1)
+	if err != nil {
+		return Interval{}, err
+	}
 	return Interval{
 		Mean:       s.Mean(),
 		HalfWidth:  t * s.StdErr(),
@@ -180,40 +205,52 @@ func (s *Summary) ConfidenceInterval(conf float64) (Interval, error) {
 // TQuantile returns the p-quantile of Student's t distribution with df
 // degrees of freedom, computed by inverting the regularized incomplete beta
 // function via bisection on the CDF. Accuracy is ample for confidence
-// intervals (abs error < 1e-9 in t).
-func TQuantile(p float64, df int64) float64 {
+// intervals (abs error < 1e-9 in t). df must be positive and p must lie
+// in (0,1).
+func TQuantile(p float64, df int64) (float64, error) {
 	if df <= 0 {
-		return math.NaN()
+		return 0, fmt.Errorf("stats: t distribution needs positive degrees of freedom, got %d", df)
 	}
-	if p == 0.5 {
-		return 0
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: t quantile probability %v outside (0,1)", p)
+	}
+	if ApproxEq(p, 0.5, 0) {
+		return 0, nil
 	}
 	// The CDF is monotone; bracket then bisect.
 	lo, hi := -1e3, 1e3
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2
-		if TCDF(mid, df) < p {
+		c, err := TCDF(mid, df)
+		if err != nil {
+			return 0, err
+		}
+		if c < p {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return (lo + hi) / 2
+	return (lo + hi) / 2, nil
 }
 
 // TCDF returns P(T <= t) for Student's t with df degrees of freedom.
-func TCDF(t float64, df int64) float64 {
+// df must be positive and t must not be NaN.
+func TCDF(t float64, df int64) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: t distribution needs positive degrees of freedom, got %d", df)
+	}
 	if math.IsNaN(t) {
-		return math.NaN()
+		return 0, errors.New("stats: t CDF of NaN")
 	}
 	v := float64(df)
 	x := v / (v + t*t)
 	// P(T<=t) = 1 - 0.5*I_x(v/2, 1/2) for t>=0, symmetric otherwise.
 	ib := RegIncBeta(v/2, 0.5, x)
 	if t >= 0 {
-		return 1 - 0.5*ib
+		return 1 - 0.5*ib, nil
 	}
-	return 0.5 * ib
+	return 0.5 * ib, nil
 }
 
 // RegIncBeta computes the regularized incomplete beta function I_x(a,b)

@@ -174,24 +174,68 @@ func TestTQuantileKnownValues(t *testing.T) {
 		{0.995, 10, 3.169},
 	}
 	for _, c := range cases {
-		got := TQuantile(c.p, c.df)
+		got, err := TQuantile(c.p, c.df)
+		if err != nil {
+			t.Fatalf("TQuantile(%v, %d): %v", c.p, c.df, err)
+		}
 		if !almostEqual(got, c.want, 5e-3) {
 			t.Errorf("TQuantile(%v, %d) = %v, want ~%v", c.p, c.df, got, c.want)
 		}
+	}
+	if got, err := TQuantile(0.5, 7); err != nil || got != 0 {
+		t.Errorf("TQuantile(0.5, 7) = %v, %v; want 0", got, err)
+	}
+	if _, err := TQuantile(0.975, 0); err == nil {
+		t.Error("TQuantile with df=0 should error")
+	}
+	if _, err := TQuantile(1.5, 10); err == nil {
+		t.Error("TQuantile with p outside (0,1) should error")
 	}
 }
 
 func TestTCDFSymmetry(t *testing.T) {
 	for _, df := range []int64{1, 3, 7, 25} {
 		for _, x := range []float64{0, 0.5, 1.3, 4} {
-			lo, hi := TCDF(-x, df), TCDF(x, df)
+			lo, errLo := TCDF(-x, df)
+			hi, errHi := TCDF(x, df)
+			if errLo != nil || errHi != nil {
+				t.Fatalf("TCDF df=%d x=%v: %v, %v", df, x, errLo, errHi)
+			}
 			if !almostEqual(lo+hi, 1, 1e-10) {
 				t.Errorf("TCDF symmetry broken df=%d x=%v: %v + %v != 1", df, x, lo, hi)
 			}
 		}
 	}
-	if got := TCDF(0, 9); !almostEqual(got, 0.5, 1e-12) {
-		t.Errorf("TCDF(0) = %v, want 0.5", got)
+	if got, err := TCDF(0, 9); err != nil || !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("TCDF(0) = %v, %v; want 0.5", got, err)
+	}
+	if _, err := TCDF(math.NaN(), 9); err == nil {
+		t.Error("TCDF of NaN should error")
+	}
+	if _, err := TCDF(1, 0); err == nil {
+		t.Error("TCDF with df=0 should error")
+	}
+}
+
+func TestApproxEq(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 0, false},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1e9, 1e9 * (1 + 1e-10), 1e-9, true}, // relative scaling above 1
+		{0, 1e-12, 1e-9, true},               // absolute near zero
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.Inf(1), math.Inf(-1), 1e9, false},
+		{math.NaN(), math.NaN(), 1e9, false},
+		{math.NaN(), 1, 1e9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEq(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
 	}
 }
 

@@ -64,18 +64,26 @@ func (p *Plot) WriteASCII(w io.Writer) error {
 	if height == 0 {
 		height = 20
 	}
-	xmin, xmax := math.Inf(1), math.Inf(-1)
-	ymin, ymax := math.Inf(1), math.Inf(-1)
+	var xmin, xmax, ymin, ymax float64
+	first := true
 	for _, s := range p.series {
 		for i := range s.X {
+			if first {
+				xmin, xmax = s.X[i], s.X[i]
+				ymin, ymax = s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
 			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
 			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
 		}
 	}
-	if xmax == xmin {
+	// Degenerate (empty or single-valued) ranges get unit width so the
+	// projection below never divides by zero.
+	if !(xmin < xmax) {
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if !(ymin < ymax) {
 		ymax = ymin + 1
 	}
 	// Grow the y-range slightly so extremes are not clipped onto the axis.

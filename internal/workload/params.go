@@ -172,7 +172,7 @@ func AppendixA(s Sharing) Params {
 	case Sharing20:
 		p.PPrivate, p.PSro, p.PSw = 0.80, 0.15, 0.05
 	default:
-		panic(fmt.Sprintf("workload: unknown sharing level %d", int(s)))
+		panic(fmt.Sprintf("workload: internal invariant violated: unknown sharing level %d", int(s)))
 	}
 	return p
 }

@@ -3,6 +3,7 @@ package snoopmva
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -201,7 +202,7 @@ func TestErrorTaxonomy(t *testing.T) {
 	})
 	t.Run("diverged", func(t *testing.T) {
 		restore := faultinject.Activate(&faultinject.Set{
-			MVAForceNaN: func(iter int) bool { return iter == 3 },
+			MVAPoison: func(iter int) (float64, bool) { return math.NaN(), iter == 3 },
 		})
 		defer restore()
 		_, err := Solve(WriteOnce(), w, 8)
