@@ -1,0 +1,199 @@
+// Command campaign runs a crash-safe design-space sweep: a grid of
+// (protocol, sharing level, system size) points driven through the
+// SolveBest degradation ladder with bounded parallelism, per-point retry,
+// a per-stage circuit breaker, and a journaled checkpoint/resume protocol
+// (DESIGN.md §10). Kill it at any instant and run it again with -resume:
+// completed points are read back from the journal and only the rest are
+// recomputed, deterministically.
+//
+// Examples:
+//
+//	campaign -protocols Illinois,Dragon -sharing 5 -ns 1..16 -journal run.jsonl
+//	campaign -protocols all -sharing 1,5,20 -ns 1,2,4,8,16,32 \
+//	    -max-states -1 -sim-cycles 200000 -journal sweep.jsonl -workers 8
+//	campaign -journal sweep.jsonl -resume   # after a crash, with the same grid flags
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"snoopmva"
+	"snoopmva/internal/tables"
+)
+
+func main() {
+	var (
+		protoNames = flag.String("protocols", "all", "comma-separated protocol names, or \"all\" for every named preset")
+		sharings   = flag.String("sharing", "5", "comma-separated Appendix A sharing levels (1, 5, 20)")
+		ns         = flag.String("ns", "1..16", "system sizes: comma-separated values and lo..hi ranges")
+		maxStates  = flag.Int("max-states", -1, "GTPN state budget per point (0 = engine default, negative = skip the GTPN stage)")
+		simCycles  = flag.Int64("sim-cycles", -1, "simulator measurement cycles per point (0 = default, negative = skip the simulator stage)")
+		seed       = flag.Uint64("seed", 1, "simulator seed (per point)")
+		journal    = flag.String("journal", "", "journal path for checkpoint/resume (empty = no durability)")
+		resume     = flag.Bool("resume", false, "continue a previous run from -journal, skipping completed points")
+		retries    = flag.Int("retries", 3, "max solve attempts per point")
+		workers    = flag.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS)")
+		breaker    = flag.Int("breaker", 5, "circuit-breaker threshold: consecutive stage failures before the stage is skipped (negative disables)")
+		probe      = flag.Int("breaker-probe", 0, "let one probe through per this many skipped points (0 = never)")
+		pointTO    = flag.Duration("point-timeout", 0, "watchdog budget per solve attempt (e.g. 30s; 0 = none)")
+		timeout    = flag.Duration("timeout", 0, "abort the whole campaign after this long (0 = no limit)")
+		format     = flag.String("format", "text", "output format: text, csv, markdown")
+		quiet      = flag.Bool("quiet", false, "print only the summary line, not the per-point table")
+	)
+	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	points, err := buildGrid(*protoNames, *sharings, *ns, snoopmva.Budget{
+		MaxStates: *maxStates,
+		SimCycles: *simCycles,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	spec := snoopmva.CampaignSpec{
+		Points:           points,
+		Journal:          *journal,
+		Resume:           *resume,
+		Workers:          *workers,
+		Retry:            snoopmva.CampaignRetry{MaxAttempts: *retries, Jitter: 0.2, Seed: *seed},
+		BreakerThreshold: *breaker,
+		BreakerProbe:     *probe,
+		PointTimeout:     *pointTO,
+	}
+
+	start := time.Now()
+	res, err := snoopmva.RunCampaign(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		tb := tables.New(fmt.Sprintf("campaign — %d points", len(res.Results)),
+			"idx", "protocol", "N", "method", "attempts", "speedup", "U_bus", "status")
+		for i, pr := range res.Results {
+			status := "ok"
+			switch {
+			case pr.Err != "":
+				status = "FAILED"
+			case pr.Resumed:
+				status = "resumed"
+			case len(pr.SkippedStages) > 0:
+				status = "skip:" + strings.Join(pr.SkippedStages, "+")
+			case pr.Degraded:
+				status = "degraded"
+			}
+			tb.AddRow(i, points[i].Protocol.String(), points[i].N,
+				string(pr.Method), pr.Attempts, pr.Speedup, pr.BusUtilization, status)
+		}
+		var werr error
+		switch *format {
+		case "text":
+			werr = tb.WriteASCII(os.Stdout)
+		case "csv":
+			werr = tb.WriteCSV(os.Stdout)
+		case "markdown":
+			werr = tb.WriteMarkdown(os.Stdout)
+		default:
+			werr = fmt.Errorf("unknown format %q", *format)
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+	}
+	fmt.Printf("campaign: %d points (%d computed, %d resumed, %d failed) in %v",
+		len(res.Results), res.Computed, res.Resumed, res.Failed, time.Since(start).Round(time.Millisecond))
+	if len(res.OpenStages) > 0 {
+		fmt.Printf("; circuit open: %s", strings.Join(res.OpenStages, ", "))
+	}
+	fmt.Println()
+	if res.Failed > 0 {
+		os.Exit(2)
+	}
+}
+
+// buildGrid expands the protocol × sharing × N cross product.
+func buildGrid(protoNames, sharings, ns string, b snoopmva.Budget) ([]snoopmva.CampaignPoint, error) {
+	var protos []snoopmva.Protocol
+	if protoNames == "all" {
+		protos = snoopmva.Protocols()
+	} else {
+		for _, name := range strings.Split(protoNames, ",") {
+			p, ok := snoopmva.ProtocolByName(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown protocol %q", name)
+			}
+			protos = append(protos, p)
+		}
+	}
+	var workloads []snoopmva.Workload
+	for _, s := range strings.Split(sharings, ",") {
+		lvl, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad sharing level %q: %w", s, err)
+		}
+		switch lvl {
+		case 1, 5, 20:
+			workloads = append(workloads, snoopmva.AppendixA(snoopmva.Sharing(lvl)))
+		default:
+			return nil, fmt.Errorf("sharing must be 1, 5 or 20 (got %d)", lvl)
+		}
+	}
+	sizes, err := parseSizes(ns)
+	if err != nil {
+		return nil, err
+	}
+	var points []snoopmva.CampaignPoint
+	for _, p := range protos {
+		for _, w := range workloads {
+			for _, n := range sizes {
+				points = append(points, snoopmva.CampaignPoint{Protocol: p, Workload: w, N: n, Budget: b})
+			}
+		}
+	}
+	return points, nil
+}
+
+// parseSizes parses "1,2,4" and "1..16" (and mixtures of both).
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, ".."); ok {
+			a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+			b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("bad size range %q", part)
+			}
+			for n := a; n <= b; n++ {
+				out = append(out, n)
+			}
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no system sizes given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}

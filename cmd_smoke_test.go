@@ -22,6 +22,7 @@ func TestCommandLineTools(t *testing.T) {
 		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
 	}
 	tracePath := filepath.Join(t.TempDir(), "t.bin")
+	journalPath := filepath.Join(t.TempDir(), "campaign.jsonl")
 
 	cases := []struct {
 		name string
@@ -43,6 +44,10 @@ func TestCommandLineTools(t *testing.T) {
 		{"sensitivity", []string{"-sweep", "h_sw", "-values", "0.3,0.7"}, "h_sw"},
 		{"protodoc", []string{"-protocol", "Berkeley"}, "OwnedShared"},
 		{"protodoc", []string{"-mods", "1,4", "-format", "markdown"}, "update-write"},
+		{"campaign", []string{"-protocols", "Illinois", "-sharing", "5", "-ns", "1..8",
+			"-journal", journalPath}, "8 computed"},
+		{"campaign", []string{"-protocols", "Illinois", "-sharing", "5", "-ns", "1..8",
+			"-journal", journalPath, "-resume"}, "8 resumed"},
 	}
 	for _, c := range cases {
 		c := c
@@ -67,6 +72,8 @@ func TestCommandLineTools(t *testing.T) {
 		{"paperrepro", []string{"-exp", "nonesuch"}},
 		{"protodoc", []string{"-protocol", "nonesuch"}},
 		{"hiersolve", []string{}},
+		{"campaign", []string{"-resume"}}, // resume needs -journal
+		{"campaign", []string{"-ns", "4..1"}},
 	} {
 		cmd := exec.Command(filepath.Join(bin, c.name), c.args...)
 		if out, err := cmd.CombinedOutput(); err == nil {

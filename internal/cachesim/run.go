@@ -460,8 +460,15 @@ func (s *Simulator) Run() (*Result, error) {
 // checkpoint is the per-~10k-cycle cancellation and fault-injection point
 // of the simulation loops.
 func (s *Simulator) checkpoint(ctx context.Context) error {
-	if h := faultinject.Hooks(); h != nil && h.SimSlowCycle != nil {
-		h.SimSlowCycle(s.cycle)
+	if h := faultinject.Hooks(); h != nil {
+		if h.SimSlowCycle != nil {
+			h.SimSlowCycle(s.cycle)
+		}
+		if h.SimFault != nil {
+			if err := h.SimFault(s.cycle); err != nil {
+				return fmt.Errorf("cachesim: injected fault at cycle %d (N=%d): %w", s.cycle, s.cfg.N, err)
+			}
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("cachesim: run interrupted at cycle %d (N=%d): %w", s.cycle, s.cfg.N, err)

@@ -38,6 +38,22 @@ type Set struct {
 	// use it to slow the simulator down deterministically so budgets and
 	// deadlines trip.
 	SimSlowCycle func(cycle int64)
+	// SimFault returns a non-nil error to abort the cycle simulator at a
+	// cancellation checkpoint, exercising hard mid-stage failures (the
+	// slow-stage counterpart is SimSlowCycle).
+	SimFault func(cycle int64) error
+	// PointFault is consulted by the campaign runner before each solve
+	// attempt of a grid point; a non-nil error fails that attempt. Tests
+	// key on (index, attempt) to inject transient errors — failing the
+	// first k attempts exercises retry — or permanent ones.
+	PointFault func(index, attempt int) error
+	// CampaignCrash is consulted by the campaign runner after each
+	// journaled record with the number of records this run has written;
+	// returning true makes the runner stop abruptly — no further points,
+	// no journal finalization — simulating a process crash for
+	// resume-determinism tests (the out-of-process variant is the CI
+	// kill-and-resume smoke).
+	CampaignCrash func(recorded int) bool
 }
 
 var active atomic.Pointer[Set]

@@ -35,7 +35,8 @@ func TestNilMembersAreInactive(t *testing.T) {
 		t.Fatal("empty set should still be active")
 	}
 	if h.MVAEnter != nil || h.MVAStall != nil || h.MVAPoison != nil ||
-		h.PetriExplode != nil || h.SimSlowCycle != nil {
+		h.PetriExplode != nil || h.SimSlowCycle != nil || h.SimFault != nil ||
+		h.PointFault != nil || h.CampaignCrash != nil {
 		t.Fatal("zero Set has non-nil hooks")
 	}
 }

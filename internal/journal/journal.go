@@ -1,0 +1,240 @@
+// Package journal implements the durable result log of campaign runs: an
+// append-only JSONL file in which every record carries a CRC32 of its
+// payload, every append is fsynced before it is acknowledged, and opening
+// an existing file recovers from a torn final record (the only corruption
+// a crash of a sequential, synced writer can produce) by truncating back
+// to the last intact record.
+//
+// On-disk format — one record per line:
+//
+//	{"crc":"<8 hex digits>","data":<payload JSON>}
+//
+// where crc is the IEEE CRC32 of the exact payload bytes between the
+// first '{' (or other JSON start) of data and the closing '}' of the
+// envelope, i.e. of the compact-marshaled payload the writer produced.
+// A record is valid when its line parses as the envelope and the checksum
+// matches; payload bytes are preserved verbatim through read-back, so a
+// journal round-trips bit-for-bit.
+//
+// Corruption anywhere before the final record is not a torn write (synced
+// sequential appends cannot produce it) and is reported as ErrCorrupt
+// instead of being silently dropped.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt marks a journal damaged somewhere other than its final
+// record — damage that a crashed sequential writer cannot have produced,
+// so it is surfaced instead of repaired.
+var ErrCorrupt = errors.New("journal: corrupt record before end of file")
+
+// envelope is the JSONL record wrapper.
+type envelope struct {
+	CRC  string          `json:"crc"`
+	Data json.RawMessage `json:"data"`
+}
+
+// OpenInfo reports what Open found in an existing journal.
+type OpenInfo struct {
+	// Payloads are the payload bytes of every intact record, in file
+	// order.
+	Payloads [][]byte
+	// Recovered is true when a torn final record was truncated away.
+	Recovered bool
+	// TruncatedBytes is the number of trailing bytes dropped by recovery.
+	TruncatedBytes int64
+}
+
+// Journal is an open, appendable journal file.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if absent) the journal at path, validates every
+// record, truncates a torn final record if one is present, and returns
+// the surviving payloads. The returned Journal appends after the last
+// intact record.
+func Open(path string) (*Journal, OpenInfo, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, OpenInfo{}, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, OpenInfo{}, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	info, goodLen, err := scan(raw)
+	if err != nil {
+		f.Close()
+		return nil, OpenInfo{}, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	if goodLen < int64(len(raw)) {
+		info.Recovered = true
+		info.TruncatedBytes = int64(len(raw)) - goodLen
+		if err := f.Truncate(goodLen); err != nil {
+			f.Close()
+			return nil, OpenInfo{}, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, OpenInfo{}, fmt.Errorf("journal: sync %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(goodLen, 0); err != nil {
+		f.Close()
+		return nil, OpenInfo{}, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path}, info, nil
+}
+
+// scan validates raw and returns the intact payloads plus the byte length
+// of the valid prefix. Invalid bytes at the tail are a torn write; an
+// intact record *after* invalid bytes proves mid-file damage → ErrCorrupt.
+func scan(raw []byte) (OpenInfo, int64, error) {
+	var info OpenInfo
+	var goodLen int64
+	rest := raw
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // partial final line: torn
+		}
+		payload, ok := decodeLine(rest[:nl])
+		if !ok {
+			break
+		}
+		info.Payloads = append(info.Payloads, payload)
+		goodLen += int64(nl) + 1
+		rest = rest[nl+1:]
+	}
+	// Anything after the valid prefix must be an unfinishable tail: if any
+	// later complete line decodes, the damage is mid-file.
+	tail := raw[goodLen:]
+	for len(tail) > 0 {
+		nl := bytes.IndexByte(tail, '\n')
+		if nl < 0 {
+			break
+		}
+		if _, ok := decodeLine(tail[:nl]); ok {
+			return OpenInfo{}, 0, ErrCorrupt
+		}
+		tail = tail[nl+1:]
+	}
+	return info, goodLen, nil
+}
+
+// decodeLine parses one line and verifies its checksum.
+func decodeLine(line []byte) ([]byte, bool) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, false
+	}
+	if len(env.Data) == 0 || env.CRC != checksum(env.Data) {
+		return nil, false
+	}
+	return env.Data, true
+}
+
+func checksum(data []byte) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(data))
+}
+
+// Append marshals v, wraps it in a checksummed envelope, writes the record
+// and fsyncs before returning. The record is durable once Append returns.
+func (j *Journal) Append(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: marshal record: %w", err)
+	}
+	return j.AppendRaw(data)
+}
+
+// AppendRaw appends pre-marshaled payload bytes (which must be a single
+// line of valid JSON) as one checksummed record.
+func (j *Journal) AppendRaw(data []byte) error {
+	if bytes.IndexByte(data, '\n') >= 0 {
+		return fmt.Errorf("journal: payload contains a newline")
+	}
+	line, err := json.Marshal(envelope{CRC: checksum(data), Data: data})
+	if err != nil {
+		return fmt.Errorf("journal: marshal envelope: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Rotate atomically replaces the journal's contents with the given
+// payloads: they are written to a temporary file in the same directory,
+// fsynced, and renamed over the journal, so a crash at any instant leaves
+// either the old or the new contents, never a mixture. The open handle is
+// switched to the new file.
+func (j *Journal) Rotate(payloads [][]byte) error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".rotate-*")
+	if err != nil {
+		return fmt.Errorf("journal: rotate %s: %w", j.path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	for _, data := range payloads {
+		line, err := json.Marshal(envelope{CRC: checksum(data), Data: data})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: rotate %s: marshal: %w", j.path, err)
+		}
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: rotate %s: write: %w", j.path, err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: rotate %s: sync: %w", j.path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: rotate %s: close temp: %w", j.path, err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: rotate %s: rename: %w", j.path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopen rotated %s: %w", j.path, err)
+	}
+	j.f = f
+	old.Close()
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the file handle. Records already appended remain durable.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,185 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	Index int     `json:"index"`
+	Value float64 `json:"value"`
+}
+
+func open(t *testing.T, path string) (*Journal, OpenInfo) {
+	t.Helper()
+	j, info, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, info
+}
+
+func TestAppendReopenRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, info := open(t, path)
+	if len(info.Payloads) != 0 || info.Recovered {
+		t.Fatalf("fresh journal not empty: %+v", info)
+	}
+	want := []rec{{0, 1.5}, {1, 2.25}, {2, 1e-17}}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	_, info = open(t, path)
+	if info.Recovered {
+		t.Fatal("clean journal reported recovery")
+	}
+	if len(info.Payloads) != len(want) {
+		t.Fatalf("got %d records, want %d", len(info.Payloads), len(want))
+	}
+	for i, p := range info.Payloads {
+		var got rec
+		if err := json.Unmarshal(p, &got); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestTornFinalRecordIsRecovered(t *testing.T) {
+	// A torn write can leave (a) a partial line with no newline, (b) a
+	// complete line of garbage, or (c) a complete line whose checksum does
+	// not match. All three must truncate back to the last intact record.
+	cuts := map[string]struct {
+		cut  func([]byte) []byte
+		kept int
+	}{
+		// Cutting into the third record's line loses that record and must
+		// roll back to the two intact ones.
+		"partial line": {func(b []byte) []byte { return b[:len(b)-7] }, 2},
+		"garbage line": {func(b []byte) []byte { return append(b, []byte("{\"cr\x00 garbage\n")...) }, 3},
+		"bad crc": {func(b []byte) []byte {
+			return append(b, []byte(`{"crc":"00000000","data":{"index":9}}`+"\n")...)
+		}, 3},
+	}
+	for name, tc := range cuts {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.jsonl")
+			j, _ := open(t, path)
+			for i := 0; i < 3; i++ {
+				if err := j.Append(rec{Index: i}); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			j.Close()
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.cut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, info := open(t, path)
+			if !info.Recovered || info.TruncatedBytes == 0 {
+				t.Fatalf("torn tail not recovered: %+v", info)
+			}
+			if len(info.Payloads) != tc.kept {
+				t.Fatalf("recovery kept %d records, want %d", len(info.Payloads), tc.kept)
+			}
+			// The recovered journal must accept further appends cleanly.
+			if err := j2.Append(rec{Index: 3}); err != nil {
+				t.Fatalf("Append after recovery: %v", err)
+			}
+			j2.Close()
+			_, info = open(t, path)
+			if info.Recovered || len(info.Payloads) != tc.kept+1 {
+				t.Fatalf("post-recovery reopen: %+v", info)
+			}
+		})
+	}
+}
+
+func TestMidFileCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := open(t, path)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec{Index: i}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[2] ^= 0xff // flip a byte inside the first record
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file corruption: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRotateReplacesContentsAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := open(t, path)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(rec{Index: i}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Keep only the even records.
+	keep := [][]byte{}
+	_, info, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range info.Payloads {
+		if i%2 == 0 {
+			keep = append(keep, p)
+		}
+	}
+	if err := j.Rotate(keep); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	// The handle must keep working against the rotated file.
+	if err := j.Append(rec{Index: 99}); err != nil {
+		t.Fatalf("Append after rotate: %v", err)
+	}
+	j.Close()
+
+	_, info = open(t, path)
+	if len(info.Payloads) != 4 {
+		t.Fatalf("rotated journal has %d records, want 4", len(info.Payloads))
+	}
+	var last rec
+	if err := json.Unmarshal(info.Payloads[3], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Index != 99 {
+		t.Fatalf("append after rotate landed wrong: %+v", last)
+	}
+	if files, _ := filepath.Glob(path + ".rotate-*"); len(files) != 0 {
+		t.Fatalf("rotation left temp files: %v", files)
+	}
+}
+
+func TestAppendRawRejectsNewlines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, _ := open(t, path)
+	if err := j.AppendRaw([]byte("{\n}")); err == nil {
+		t.Fatal("AppendRaw accepted a payload containing a newline")
+	}
+}

@@ -43,11 +43,12 @@ carry a cancellation path.`,
 // own fixture package is included so the analysistest suite can exercise
 // it; no real package shares that name.
 var solverPackages = map[string]bool{
-	"mva":      true,
-	"petri":    true,
-	"markov":   true,
-	"cachesim": true,
-	"ctxloop":  true,
+	"mva":        true,
+	"petri":      true,
+	"markov":     true,
+	"cachesim":   true,
+	"resilience": true,
+	"ctxloop":    true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

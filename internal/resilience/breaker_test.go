@@ -1,0 +1,81 @@
+package resilience
+
+import "testing"
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(3, 0)
+	for i := 0; i < 2; i++ {
+		if open := b.Failure("gtpn"); open {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+		if !b.Allow("gtpn") {
+			t.Fatalf("closed circuit denied work after %d failures", i+1)
+		}
+	}
+	if open := b.Failure("gtpn"); !open {
+		t.Fatal("did not open at threshold")
+	}
+	for i := 0; i < 10; i++ {
+		if b.Allow("gtpn") {
+			t.Fatal("open circuit with no probe interval allowed work")
+		}
+	}
+	if b.Allow("simulation") != true {
+		t.Fatal("unrelated key affected")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(3, 0)
+	b.Failure("gtpn")
+	b.Failure("gtpn")
+	b.Success("gtpn")
+	b.Failure("gtpn")
+	b.Failure("gtpn")
+	if b.Open("gtpn") {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.Failure("gtpn")
+	if !b.Open("gtpn") {
+		t.Fatal("threshold consecutive failures did not trip")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(1, 4)
+	b.Failure("sim")
+	allowed := 0
+	for i := 0; i < 8; i++ {
+		if b.Allow("sim") {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("open circuit with probeEvery=4 allowed %d of 8, want 2", allowed)
+	}
+	// A successful probe closes the circuit again.
+	b.Success("sim")
+	if !b.Allow("sim") {
+		t.Fatal("success did not close the circuit")
+	}
+}
+
+func TestBreakerSnapshotRestore(t *testing.T) {
+	b := NewBreaker(2, 0)
+	b.Failure("gtpn")
+	b.Failure("gtpn")
+	b.Failure("simulation")
+	snap := b.Snapshot()
+	if len(snap) != 2 || snap[0].Key != "gtpn" || !snap[0].Open || snap[1].Key != "simulation" || snap[1].Open {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	b2 := NewBreaker(2, 0)
+	b2.Restore(snap)
+	if !b2.Open("gtpn") || b2.Open("simulation") {
+		t.Fatal("restore did not reinstate state")
+	}
+	b2.Failure("simulation")
+	if !b2.Open("simulation") {
+		t.Fatal("restored failure count lost: one more failure should trip")
+	}
+}

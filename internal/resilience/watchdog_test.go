@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWatchdogPassesThroughFastOps(t *testing.T) {
+	err := Watchdog(context.Background(), "solve", time.Second, func(ctx context.Context) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("fast op: %v", err)
+	}
+	err = Watchdog(context.Background(), "solve", time.Second, func(ctx context.Context) error {
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("op error not forwarded: %v", err)
+	}
+}
+
+func TestWatchdogTypesAStuckOp(t *testing.T) {
+	start := time.Now()
+	err := Watchdog(context.Background(), "fixed-point", 20*time.Millisecond, func(ctx context.Context) error {
+		<-ctx.Done() // honors ctx, but only when it fires
+		return ctx.Err()
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("watchdog waited %v for a stuck op", elapsed)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if te.Op != "fixed-point" || te.Limit != 20*time.Millisecond {
+		t.Fatalf("timeout error fields: %+v", te)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("TimeoutError must unwrap to DeadlineExceeded")
+	}
+}
+
+func TestWatchdogDoesNotWaitForAnUnkillableOp(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	start := time.Now()
+	err := Watchdog(context.Background(), "bfs", 10*time.Millisecond, func(ctx context.Context) error {
+		<-release // ignores ctx entirely
+		return nil
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("watchdog blocked %v on an op that ignores ctx", elapsed)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+}
+
+func TestWatchdogCallerCancellationIsNotATimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	err := Watchdog(ctx, "solve", time.Minute, func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	var te *TimeoutError
+	if errors.As(err, &te) {
+		t.Fatalf("caller cancellation misreported as watchdog timeout: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestWatchdogDisabledRunsInline(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	err := Watchdog(ctx, "solve", 0, func(inner context.Context) error {
+		if inner != ctx {
+			t.Fatal("disabled watchdog rewrapped the context")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

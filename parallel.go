@@ -1,18 +1,27 @@
 package snoopmva
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// SweepParallel solves the MVA for each system size in ns concurrently
-// (the solves are independent, microsecond-scale computations — this
-// matters for wide design-space scans from interactive tools). Results are
-// returned in input order; the first error stops the feeder from
-// scheduling further sizes, so later indices are never solved.
-func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
+// SweepParallelContext solves the MVA for each system size in ns
+// concurrently (the solves are independent, microsecond-scale
+// computations — this matters for wide design-space scans from
+// interactive tools). Results are returned in input order.
+//
+// The first failure stops the feeder from scheduling further sizes, but
+// sizes already in flight run to completion and *every* error is
+// reported: the returned error joins the per-size failures (each
+// identified by its N), so errors.Is classification sees all of them.
+// Cancellation of ctx stops the sweep the same way and surfaces as
+// ErrCanceled.
+func SweepParallelContext(ctx context.Context, p Protocol, w Workload, ns []int) (out []Result, err error) {
+	defer guard(&err)
 	results := make([]Result, len(ns))
 	errs := make([]error, len(ns))
 	workers := runtime.GOMAXPROCS(0)
@@ -30,7 +39,7 @@ func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				results[idx], errs[idx] = Solve(p, w, ns[idx])
+				results[idx], errs[idx] = SolveContext(ctx, p, w, ns[idx])
 				if errs[idx] != nil {
 					failed.Store(true)
 				}
@@ -38,24 +47,55 @@ func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
 		}()
 	}
 	for idx := range ns {
-		if failed.Load() {
+		if failed.Load() || ctx.Err() != nil {
 			break
 		}
 		work <- idx
 	}
 	close(work)
 	wg.Wait()
-	for idx, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", ns[idx], err)
+	joined := joinSweepErrors(ns, errs)
+	// Cancellation may stop the feeder before any in-flight solve observes
+	// it, leaving every scheduled solve error-free; the partial sweep must
+	// still fail, with the cancellation sentinel leading.
+	if cerr := ctx.Err(); cerr != nil {
+		if joined != nil {
+			return nil, fmt.Errorf("snoopmva: sweep interrupted: %w (earlier failures: %v)", classify(cerr), joined)
 		}
+		return nil, fmt.Errorf("snoopmva: sweep interrupted: %w", classify(cerr))
+	}
+	if joined != nil {
+		return nil, joined
 	}
 	return results, nil
 }
 
-// CompareParallel solves several protocols concurrently at the same
-// workload and system size, returned in input order.
-func CompareParallel(ps []Protocol, w Workload, n int) ([]Result, error) {
+// joinSweepErrors aggregates the per-index failures of a sweep into one
+// error that names every failed N and unwraps (via errors.Join) to each
+// underlying cause.
+func joinSweepErrors(ns []int, errs []error) error {
+	var joined []error
+	for idx, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("snoopmva: sweep at N=%d: %w", ns[idx], err))
+		}
+	}
+	if len(joined) == 0 {
+		return nil
+	}
+	return errors.Join(joined...)
+}
+
+// SweepParallel is SweepParallelContext without cancellation.
+func SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
+	return SweepParallelContext(context.Background(), p, w, ns)
+}
+
+// CompareParallelContext solves several protocols concurrently at the
+// same workload and system size, returned in input order. All protocols
+// are attempted; the returned error joins every per-protocol failure.
+func CompareParallelContext(ctx context.Context, ps []Protocol, w Workload, n int) (out []Result, err error) {
+	defer guard(&err)
 	results := make([]Result, len(ps))
 	errs := make([]error, len(ps))
 	var wg sync.WaitGroup
@@ -63,14 +103,23 @@ func CompareParallel(ps []Protocol, w Workload, n int) ([]Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = Solve(ps[i], w, n)
+			results[i], errs[i] = SolveContext(ctx, ps[i], w, n)
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("snoopmva: %v: %w", ps[i], err)
+	var joined []error
+	for i, perr := range errs {
+		if perr != nil {
+			joined = append(joined, fmt.Errorf("snoopmva: %v: %w", ps[i], perr))
 		}
 	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
+	}
 	return results, nil
+}
+
+// CompareParallel is CompareParallelContext without cancellation.
+func CompareParallel(ps []Protocol, w Workload, n int) ([]Result, error) {
+	return CompareParallelContext(context.Background(), ps, w, n)
 }

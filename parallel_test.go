@@ -1,6 +1,9 @@
 package snoopmva
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -58,6 +61,102 @@ func TestSweepParallelStopsSchedulingAfterError(t *testing.T) {
 	// short-circuit all 1000 sizes are solved (>= 1000 entries).
 	if got := entered.Load(); got > 300 {
 		t.Errorf("%d MVA solve attempts after first error; feeder did not short-circuit", got)
+	}
+}
+
+func TestJoinSweepErrorsIdentifiesEveryFailure(t *testing.T) {
+	// The aggregator must name every failed N and keep both causes
+	// reachable through errors.Is — not just the lowest-index failure.
+	ns := []int{2, 4, 8, 16}
+	errs := []error{nil, ErrNoConvergence, nil, ErrDiverged}
+	err := joinSweepErrors(ns, errs)
+	if err == nil {
+		t.Fatal("failures dropped")
+	}
+	if !errors.Is(err, ErrNoConvergence) || !errors.Is(err, ErrDiverged) {
+		t.Fatalf("joined error lost a cause: %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"N=4", "N=16"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("sweep error does not identify %s: %q", want, msg)
+		}
+	}
+	for _, healthy := range []string{"N=2", "N=8"} {
+		if strings.Contains(msg, healthy) {
+			t.Errorf("sweep error blames healthy size %s: %q", healthy, msg)
+		}
+	}
+	if joinSweepErrors(ns, make([]error, len(ns))) != nil {
+		t.Error("all-nil errors produced a sweep error")
+	}
+}
+
+func TestSweepParallelReportsConcurrentFailures(t *testing.T) {
+	// Every size is invalid, so however many the feeder schedules before
+	// short-circuiting, each scheduled failure must surface in the joined
+	// error — at minimum the first, which is always scheduled.
+	ns := []int{0, -1, -2}
+	_, err := SweepParallel(WriteOnce(), AppendixA(Sharing5), ns)
+	if err == nil {
+		t.Fatal("invalid sizes accepted")
+	}
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("classification lost in aggregation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "N=0") {
+		t.Errorf("sweep error does not identify N=0: %q", err.Error())
+	}
+}
+
+func TestSweepParallelContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var entered atomic.Int64
+	restore := faultinject.Activate(&faultinject.Set{
+		MVAEnter: func(int) {
+			if entered.Add(1) == 5 {
+				cancel()
+			}
+		},
+	})
+	defer restore()
+
+	ns := make([]int, 500)
+	for i := range ns {
+		ns[i] = 4
+	}
+	_, err := SweepParallelContext(ctx, WriteOnce(), AppendixA(Sharing5), ns)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled sweep: err = %v, want ErrCanceled", err)
+	}
+	// MVA solves re-enter up to 3 times per size (damping ladder), and up
+	// to GOMAXPROCS sizes can be in flight at the cancel; well under the
+	// 1500 entries an uncancelled sweep would log.
+	if got := entered.Load(); got > 500 {
+		t.Errorf("%d solve entries after cancel; feeder did not stop", got)
+	}
+}
+
+func TestCompareParallelContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CompareParallelContext(ctx, Protocols(), AppendixA(Sharing5), 2000)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled compare: err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCompareParallelReportsEveryFailure(t *testing.T) {
+	ps := []Protocol{WithMods(9), Illinois(), WithMods(8)}
+	_, err := CompareParallel(ps, AppendixA(Sharing5), 4)
+	if err == nil {
+		t.Fatal("invalid protocols accepted")
+	}
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("classification lost: %v", err)
+	}
+	if n := strings.Count(err.Error(), "invalid modification"); n != 2 {
+		t.Errorf("joined error mentions %d of 2 failures: %q", n, err.Error())
 	}
 }
 

@@ -166,6 +166,51 @@ func TestSolveBestInvalidInputDoesNotDegrade(t *testing.T) {
 	}
 }
 
+func TestSolveBestRejectsNegativeTimeouts(t *testing.T) {
+	w := AppendixA(Sharing5)
+	if _, err := SolveBest(context.Background(), WriteOnce(), w, 4,
+		Budget{GTPNTimeout: -time.Second}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative GTPNTimeout: err = %v, want ErrInvalidInput", err)
+	}
+	if _, err := SolveBest(context.Background(), WriteOnce(), w, 4,
+		Budget{SimTimeout: -time.Nanosecond}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative SimTimeout: err = %v, want ErrInvalidInput", err)
+	}
+}
+
+// Double degradation: when both the GTPN and the simulator stages fail,
+// the MVA result's FallbackReason must name both failed stages, in ladder
+// order, so provenance survives two rungs of degradation.
+func TestSolveBestDoubleDegradationProvenance(t *testing.T) {
+	simFault := errors.New("injected simulator fault")
+	restore := faultinject.Activate(&faultinject.Set{
+		PetriExplode: func(states int) bool { return true },
+		SimFault:     func(cycle int64) error { return simFault },
+	})
+	defer restore()
+
+	best, err := SolveBest(context.Background(), WriteOnce(), AppendixA(Sharing5), 8,
+		Budget{SimCycles: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Method != MethodMVA || !best.Degraded {
+		t.Fatalf("got method=%q degraded=%v, want degraded MVA", best.Method, best.Degraded)
+	}
+	reason := best.FallbackReason
+	gtpnAt := strings.Index(reason, "gtpn:")
+	simAt := strings.Index(reason, "simulation:")
+	if gtpnAt < 0 || simAt < 0 {
+		t.Fatalf("FallbackReason = %q, want both failed stages named", reason)
+	}
+	if gtpnAt > simAt {
+		t.Errorf("FallbackReason = %q, want gtpn before simulation (ladder order)", reason)
+	}
+	if !strings.Contains(reason, "state") || !strings.Contains(reason, "injected simulator fault") {
+		t.Errorf("FallbackReason = %q, want each stage's cause preserved", reason)
+	}
+}
+
 func TestSolveBestCanceledContextAbortsLadder(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -82,6 +82,14 @@ func SolveBest(ctx context.Context, p Protocol, w Workload, n int, b Budget) (be
 	if n < 1 {
 		return BestResult{}, fmt.Errorf("snoopmva: system size %d < 1: %w", n, ErrInvalidInput)
 	}
+	// A negative timeout is a caller bug, not a request for "no deadline":
+	// reject it instead of silently running unbounded.
+	if b.GTPNTimeout < 0 {
+		return BestResult{}, fmt.Errorf("snoopmva: negative GTPNTimeout %v: %w", b.GTPNTimeout, ErrInvalidInput)
+	}
+	if b.SimTimeout < 0 {
+		return BestResult{}, fmt.Errorf("snoopmva: negative SimTimeout %v: %w", b.SimTimeout, ErrInvalidInput)
+	}
 
 	var reasons []string
 	abandon := func(stage string, err error) error {
