@@ -224,6 +224,7 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 		mu          sync.Mutex // serializes journal appends and crash checks
 		recorded    int        // records appended by this run
 		crashed     atomic.Bool
+		journalErr  error // latched: after one failed append, no worker appends again
 		lastBreaker = map[string]resilience.BreakerState{}
 	)
 	record := func(pr PointResult) error {
@@ -232,8 +233,18 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 		if crashed.Load() {
 			return errCampaignCrash
 		}
+		if journalErr != nil {
+			// A failed append may have left a partial record on disk (the
+			// journal rolls back, but the rollback itself can fail, e.g. on
+			// ENOSPC). Appending after it would concatenate onto that
+			// partial line and turn a recoverable torn tail into mid-file
+			// corruption, so journaling is latched off for the rest of the
+			// run and the campaign surfaces the original error.
+			return journalErr
+		}
 		if jn != nil {
 			if err := jn.Append(campaignRecord{Kind: "point", Point: &pr}); err != nil {
+				journalErr = err
 				return err
 			}
 			recorded++
@@ -248,6 +259,7 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 					}
 					lastBreaker[st.Key] = st
 					if err := jn.Append(campaignRecord{Kind: "breaker", Stage: st.Key, Failures: st.Failures, Open: st.Open}); err != nil {
+						journalErr = err
 						return err
 					}
 					recorded++
@@ -483,15 +495,27 @@ func solveCampaignPoint(ctx context.Context, spec CampaignSpec, breaker *resilie
 				return ferr
 			}
 		}
-		return resilience.Watchdog(ctx, fmt.Sprintf("campaign point %d", idx), spec.PointTimeout,
+		// r is scoped to this attempt because the watchdog abandons a stuck
+		// solver goroutine: after a timeout that goroutine may still finish
+		// and write its result, which must land in a dead local rather than
+		// race with the next attempt. best is assigned only after Watchdog
+		// returns nil, where the done-channel receive inside Watchdog
+		// provides the happens-before edge for reading r.
+		var r BestResult
+		werr := resilience.Watchdog(ctx, fmt.Sprintf("campaign point %d", idx), spec.PointTimeout,
 			func(ctx context.Context) error {
-				r, serr := SolveBest(ctx, pt.Protocol, pt.Workload, pt.N, budget)
+				br, serr := SolveBest(ctx, pt.Protocol, pt.Workload, pt.N, budget)
 				if serr != nil {
 					return serr
 				}
-				best = r
+				r = br
 				return nil
 			})
+		if werr != nil {
+			return werr
+		}
+		best = r
+		return nil
 	})
 	if err != nil && ctx.Err() != nil {
 		return PointResult{}, err // aborted: not completed, not journaled
@@ -500,6 +524,14 @@ func solveCampaignPoint(ctx context.Context, spec CampaignSpec, breaker *resilie
 	pr := PointResult{Index: idx, Attempts: attempts, SkippedStages: skipped}
 	if err != nil {
 		pr.Err = err.Error()
+		if breaker != nil {
+			// The whole ladder failed: every stage the (trimmed) budget
+			// enabled burned its budget without a result, so each counts as
+			// a breaker failure — otherwise a persistently failing stage
+			// would never trip the breaker on outright point failures and
+			// its budget would be re-burned on every subsequent point.
+			recordBreakerOutcomes(breaker, budget, "")
+		}
 		return pr, nil
 	}
 	pr.Method = best.Method
@@ -515,11 +547,12 @@ func solveCampaignPoint(ctx context.Context, spec CampaignSpec, breaker *resilie
 	return pr, nil
 }
 
-// recordBreakerOutcomes feeds one successful point's provenance into the
+// recordBreakerOutcomes feeds one completed point's provenance into the
 // breaker: every ladder stage enabled by the (possibly already
 // breaker-trimmed) budget that precedes the successful method failed, the
 // successful method's own stage succeeded, and stages after it were
-// never attempted.
+// never attempted. An empty success means the point failed permanently —
+// every enabled stage, the MVA rung included, counts as a failure.
 func recordBreakerOutcomes(breaker *resilience.Breaker, budget Budget, success Method) {
 	stages := []struct {
 		key     string

@@ -188,6 +188,103 @@ func TestChaosBreakerSavesGTPNBudget(t *testing.T) {
 	}
 }
 
+func TestChaosBreakerTripsOnOutrightPointFailures(t *testing.T) {
+	// GTPN explodes AND the MVA rung stalls, so every point fails
+	// permanently instead of degrading to a result. The breaker must still
+	// learn from those failures: after threshold points, the GTPN stage is
+	// skipped rather than re-burning its budget on every remaining point.
+	var gtpnAttempts atomic.Int64
+	restore := faultinject.Activate(&faultinject.Set{
+		PetriExplode: func(states int) bool {
+			gtpnAttempts.Add(1)
+			return true
+		},
+		MVAStall: func(iter int) bool { return true },
+	})
+	defer restore()
+
+	spec := CampaignSpec{
+		Points:           testGrid(10, Budget{SimCycles: -1}), // gtpn → mva ladder
+		Workers:          1,
+		BreakerThreshold: 3,
+	}
+	res, err := RunCampaign(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if res.Failed != 10 {
+		t.Fatalf("every point should fail outright: %+v", res)
+	}
+	if got := gtpnAttempts.Load(); got != 3 {
+		t.Fatalf("GTPN stage attempted %d times, want exactly breaker threshold (3)", got)
+	}
+	for i, pr := range res.Results {
+		if pr.Err == "" {
+			t.Fatalf("point %d unexpectedly succeeded: %+v", i, pr)
+		}
+		if i >= 3 && (len(pr.SkippedStages) != 1 || pr.SkippedStages[0] != "gtpn") {
+			t.Fatalf("point %d should skip the open GTPN stage: %+v", i, pr)
+		}
+	}
+	// Both the GTPN and MVA rungs failed persistently; both circuits open.
+	if len(res.OpenStages) != 2 || res.OpenStages[0] != "gtpn" || res.OpenStages[1] != "mva" {
+		t.Fatalf("OpenStages = %v, want [gtpn mva]", res.OpenStages)
+	}
+}
+
+func TestChaosJournalFaultLatchesJournaling(t *testing.T) {
+	// The third append (header, then one point, land; the next point's
+	// append fails with a short write). The campaign must latch journaling
+	// off, surface the error, and leave a journal that is still valid and
+	// resumable — never one where later appends have concatenated onto a
+	// partial record.
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	spec := CampaignSpec{
+		Points:           testGrid(9, mvaOnlyBudget),
+		Journal:          path,
+		Workers:          2,
+		BreakerThreshold: -1,
+	}
+	injected := errors.New("injected disk-full append")
+	var appends atomic.Int64
+	restore := faultinject.Activate(&faultinject.Set{
+		JournalAppendFault: func(string) error {
+			if appends.Add(1) >= 3 {
+				return injected
+			}
+			return nil
+		},
+	})
+	_, err := RunCampaign(context.Background(), spec)
+	restore()
+	if !errors.Is(err, injected) {
+		t.Fatalf("campaign with failing journal: err = %v, want injected append error", err)
+	}
+	j, info, jerr := journal.Open(path)
+	if jerr != nil {
+		t.Fatalf("journal after append fault must stay openable: %v", jerr)
+	}
+	j.Close()
+	if info.Recovered {
+		t.Fatal("failed append left a torn tail despite rollback")
+	}
+	if got := len(journalPoints(t, path)); got != 1 {
+		t.Fatalf("journal holds %d points after the latched failure, want 1", got)
+	}
+
+	spec.Resume = true
+	res, err := RunCampaign(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("resume after journal fault: %v", err)
+	}
+	if res.Resumed != 1 || res.Computed != 8 || res.Failed != 0 {
+		t.Fatalf("resume accounting: %+v", res)
+	}
+	if got := len(journalPoints(t, path)); got != 9 {
+		t.Fatalf("final journal has %d points, want 9", got)
+	}
+}
+
 func TestChaosBreakerProbeClosesAfterRecovery(t *testing.T) {
 	// The stage fails for the first 3 points, opening the circuit, then
 	// recovers. With a probe interval the breaker must let a trial through

@@ -47,6 +47,12 @@ type Set struct {
 	// key on (index, attempt) to inject transient errors — failing the
 	// first k attempts exercises retry — or permanent ones.
 	PointFault func(index, attempt int) error
+	// JournalAppendFault is consulted by the journal before writing each
+	// record, with the journal path. A non-nil error makes the append fail
+	// after writing only a prefix of the record — the short write a full
+	// disk produces — exercising partial-record rollback and the campaign
+	// runner's journaling latch.
+	JournalAppendFault func(path string) error
 	// CampaignCrash is consulted by the campaign runner after each
 	// journaled record with the number of records this run has written;
 	// returning true makes the runner stop abruptly — no further points,

@@ -16,9 +16,12 @@
 // matches; payload bytes are preserved verbatim through read-back, so a
 // journal round-trips bit-for-bit.
 //
-// Corruption anywhere before the final record is not a torn write (synced
-// sequential appends cannot produce it) and is reported as ErrCorrupt
-// instead of being silently dropped.
+// Every record is written newline-terminated in a single write whose
+// payload cannot contain '\n', so the only damage a crashed sequential,
+// synced writer can leave behind is an unterminated prefix of the final
+// line. Exactly that shape is recovered by truncation; any *complete*
+// line that fails to decode — mid-file damage, a foreign file passed by
+// mistake — is reported as ErrCorrupt instead of being silently dropped.
 package journal
 
 import (
@@ -27,14 +30,17 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+
+	"snoopmva/internal/faultinject"
 )
 
-// ErrCorrupt marks a journal damaged somewhere other than its final
-// record — damage that a crashed sequential writer cannot have produced,
-// so it is surfaced instead of repaired.
-var ErrCorrupt = errors.New("journal: corrupt record before end of file")
+// ErrCorrupt marks a journal containing a complete line that does not
+// decode as an intact record — damage a crashed sequential writer cannot
+// have produced, so it is surfaced instead of repaired.
+var ErrCorrupt = errors.New("journal: corrupt record")
 
 // envelope is the JSONL record wrapper.
 type envelope struct {
@@ -57,6 +63,15 @@ type OpenInfo struct {
 type Journal struct {
 	f    *os.File
 	path string
+	// size is the durable length: the byte offset just past the last
+	// fully appended record. A failed append truncates back to it so a
+	// partial record cannot poison later appends or a later Open.
+	size int64
+	// broken latches the journal unusable after a failed append whose
+	// rollback also failed: the file may end in a partial record, and any
+	// further append would concatenate onto it, turning a recoverable
+	// torn tail into mid-file corruption.
+	broken error
 }
 
 // Open opens (creating if absent) the journal at path, validates every
@@ -94,12 +109,14 @@ func Open(path string) (*Journal, OpenInfo, error) {
 		f.Close()
 		return nil, OpenInfo{}, fmt.Errorf("journal: seek %s: %w", path, err)
 	}
-	return &Journal{f: f, path: path}, info, nil
+	return &Journal{f: f, path: path, size: goodLen}, info, nil
 }
 
 // scan validates raw and returns the intact payloads plus the byte length
-// of the valid prefix. Invalid bytes at the tail are a torn write; an
-// intact record *after* invalid bytes proves mid-file damage → ErrCorrupt.
+// of the valid prefix. Only an unterminated final line can be a torn
+// write — each record is appended newline-terminated in a single write,
+// so a crash leaves at most a prefix of the last line. A complete line
+// that fails to decode proves damage no crash produced → ErrCorrupt.
 func scan(raw []byte) (OpenInfo, int64, error) {
 	var info OpenInfo
 	var goodLen int64
@@ -107,28 +124,15 @@ func scan(raw []byte) (OpenInfo, int64, error) {
 	for len(rest) > 0 {
 		nl := bytes.IndexByte(rest, '\n')
 		if nl < 0 {
-			break // partial final line: torn
+			return info, goodLen, nil // unterminated final line: torn write
 		}
 		payload, ok := decodeLine(rest[:nl])
 		if !ok {
-			break
+			return OpenInfo{}, 0, ErrCorrupt
 		}
 		info.Payloads = append(info.Payloads, payload)
 		goodLen += int64(nl) + 1
 		rest = rest[nl+1:]
-	}
-	// Anything after the valid prefix must be an unfinishable tail: if any
-	// later complete line decodes, the damage is mid-file.
-	tail := raw[goodLen:]
-	for len(tail) > 0 {
-		nl := bytes.IndexByte(tail, '\n')
-		if nl < 0 {
-			break
-		}
-		if _, ok := decodeLine(tail[:nl]); ok {
-			return OpenInfo{}, 0, ErrCorrupt
-		}
-		tail = tail[nl+1:]
 	}
 	return info, goodLen, nil
 }
@@ -160,8 +164,15 @@ func (j *Journal) Append(v any) error {
 }
 
 // AppendRaw appends pre-marshaled payload bytes (which must be a single
-// line of valid JSON) as one checksummed record.
+// line of valid JSON) as one checksummed record. On a failed write or
+// sync — e.g. a short write on a full disk — the file is rolled back to
+// the end of the last durable record; if even that fails, the journal
+// latches broken and refuses further appends rather than risk
+// concatenating onto a partial record.
 func (j *Journal) AppendRaw(data []byte) error {
+	if j.broken != nil {
+		return fmt.Errorf("journal: %s latched broken by earlier failed append: %w", j.path, j.broken)
+	}
 	if bytes.IndexByte(data, '\n') >= 0 {
 		return fmt.Errorf("journal: payload contains a newline")
 	}
@@ -170,13 +181,39 @@ func (j *Journal) AppendRaw(data []byte) error {
 		return fmt.Errorf("journal: marshal envelope: %w", err)
 	}
 	line = append(line, '\n')
+	if h := faultinject.Hooks(); h != nil && h.JournalAppendFault != nil {
+		if ferr := h.JournalAppendFault(j.path); ferr != nil {
+			j.f.Write(line[:len(line)/2]) // simulate the short write of e.g. ENOSPC
+			j.rollback(ferr)
+			return fmt.Errorf("journal: append to %s: %w", j.path, ferr)
+		}
+	}
 	if _, err := j.f.Write(line); err != nil {
+		j.rollback(err)
 		return fmt.Errorf("journal: append to %s: %w", j.path, err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.rollback(err)
 		return fmt.Errorf("journal: sync %s: %w", j.path, err)
 	}
+	j.size += int64(len(line))
 	return nil
+}
+
+// rollback truncates the file back to the end of the last fully appended
+// record after a failed append (cause). If the truncate or the seek back
+// fails too, the file may still end in a partial record, so the journal
+// latches broken instead.
+func (j *Journal) rollback(cause error) {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.broken = cause
+		return
+	}
+	// The initial Open handle is not O_APPEND, so the write offset must be
+	// moved back explicitly or the next write would leave a hole.
+	if _, err := j.f.Seek(j.size, io.SeekStart); err != nil {
+		j.broken = cause
+	}
 }
 
 // Rotate atomically replaces the journal's contents with the given
@@ -191,6 +228,7 @@ func (j *Journal) Rotate(payloads [][]byte) error {
 		return fmt.Errorf("journal: rotate %s: %w", j.path, err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
+	var written int64
 	for _, data := range payloads {
 		line, err := json.Marshal(envelope{CRC: checksum(data), Data: data})
 		if err != nil {
@@ -201,6 +239,7 @@ func (j *Journal) Rotate(payloads [][]byte) error {
 			tmp.Close()
 			return fmt.Errorf("journal: rotate %s: write: %w", j.path, err)
 		}
+		written += int64(len(line)) + 1
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -212,9 +251,19 @@ func (j *Journal) Rotate(payloads [][]byte) error {
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fmt.Errorf("journal: rotate %s: rename: %w", j.path, err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
+	// The rename is only durable once the directory entry is synced; a
+	// failure here is a failure of the rotation's atomicity claim, so it
+	// propagates like Append's file sync does.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: rotate %s: open dir: %w", j.path, err)
+	}
+	if err := d.Sync(); err != nil {
 		d.Close()
+		return fmt.Errorf("journal: rotate %s: sync dir: %w", j.path, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("journal: rotate %s: close dir: %w", j.path, err)
 	}
 	old := j.f
 	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
@@ -222,6 +271,8 @@ func (j *Journal) Rotate(payloads [][]byte) error {
 		return fmt.Errorf("journal: reopen rotated %s: %w", j.path, err)
 	}
 	j.f = f
+	j.size = written
+	j.broken = nil // the rewrite replaced any partial tail
 	old.Close()
 	return nil
 }

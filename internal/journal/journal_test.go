@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"snoopmva/internal/faultinject"
 )
 
 type rec struct {
@@ -56,9 +58,10 @@ func TestAppendReopenRoundTrips(t *testing.T) {
 }
 
 func TestTornFinalRecordIsRecovered(t *testing.T) {
-	// A torn write can leave (a) a partial line with no newline, (b) a
-	// complete line of garbage, or (c) a complete line whose checksum does
-	// not match. All three must truncate back to the last intact record.
+	// A torn write — a crash mid-append — leaves an unterminated prefix of
+	// the final line (every record is one newline-terminated write whose
+	// payload cannot contain '\n'). Both shapes of that prefix must
+	// truncate back to the last intact record.
 	cuts := map[string]struct {
 		cut  func([]byte) []byte
 		kept int
@@ -66,10 +69,8 @@ func TestTornFinalRecordIsRecovered(t *testing.T) {
 		// Cutting into the third record's line loses that record and must
 		// roll back to the two intact ones.
 		"partial line": {func(b []byte) []byte { return b[:len(b)-7] }, 2},
-		"garbage line": {func(b []byte) []byte { return append(b, []byte("{\"cr\x00 garbage\n")...) }, 3},
-		"bad crc": {func(b []byte) []byte {
-			return append(b, []byte(`{"crc":"00000000","data":{"index":9}}`+"\n")...)
-		}, 3},
+		// A new record whose write stopped before the newline.
+		"unterminated garbage": {func(b []byte) []byte { return append(b, []byte("{\"cr\x00 garbage")...) }, 3},
 	}
 	for name, tc := range cuts {
 		t.Run(name, func(t *testing.T) {
@@ -109,26 +110,80 @@ func TestTornFinalRecordIsRecovered(t *testing.T) {
 	}
 }
 
-func TestMidFileCorruptionIsAnError(t *testing.T) {
+func TestCompleteInvalidLinesAreAnError(t *testing.T) {
+	// A complete (newline-terminated) line that does not decode cannot be
+	// a torn write — the newline proves the write finished — so it must be
+	// ErrCorrupt wherever it sits, never silently truncated away.
+	damage := map[string]func([]byte) []byte{
+		"mid-file bit flip": func(b []byte) []byte { b[2] ^= 0xff; return b },
+		"trailing garbage line": func(b []byte) []byte {
+			return append(b, []byte("{\"cr\x00 garbage\n")...)
+		},
+		"trailing bad crc": func(b []byte) []byte {
+			return append(b, []byte(`{"crc":"00000000","data":{"index":9}}`+"\n")...)
+		},
+		"all-garbage file": func([]byte) []byte {
+			return []byte("not a journal\nat all\n")
+		},
+	}
+	for name, dmg := range damage {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.jsonl")
+			j, _ := open(t, path)
+			for i := 0; i < 3; i++ {
+				if err := j.Append(rec{Index: i}); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			j.Close()
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, dmg(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = Open(path)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("got %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestFailedAppendRollsBackPartialRecord(t *testing.T) {
+	// A short write (injected via the fault hook, simulating e.g. ENOSPC)
+	// must not leave a partial record behind: the failed append rolls the
+	// file back, so later appends and a later Open see a clean journal.
 	path := filepath.Join(t.TempDir(), "j.jsonl")
 	j, _ := open(t, path)
-	for i := 0; i < 3; i++ {
-		if err := j.Append(rec{Index: i}); err != nil {
-			t.Fatalf("Append: %v", err)
-		}
+	if err := j.Append(rec{Index: 0}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	injected := errors.New("injected short write")
+	restore := faultinject.Activate(&faultinject.Set{
+		JournalAppendFault: func(string) error { return injected },
+	})
+	err := j.Append(rec{Index: 1})
+	restore()
+	if !errors.Is(err, injected) {
+		t.Fatalf("faulted append: err = %v, want injected error", err)
+	}
+	// The rollback must leave the handle usable for the retry.
+	if err := j.Append(rec{Index: 2}); err != nil {
+		t.Fatalf("Append after rollback: %v", err)
 	}
 	j.Close()
-	raw, err := os.ReadFile(path)
+	_, info, err := Open(path)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("reopen after rollback: %v", err)
 	}
-	raw[2] ^= 0xff // flip a byte inside the first record
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
-		t.Fatal(err)
+	if info.Recovered || len(info.Payloads) != 2 {
+		t.Fatalf("rollback left a dirty journal: %+v", info)
 	}
-	_, _, err = Open(path)
-	if !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("mid-file corruption: got %v, want ErrCorrupt", err)
+	var got rec
+	if err := json.Unmarshal(info.Payloads[1], &got); err != nil || got.Index != 2 {
+		t.Fatalf("post-rollback record: %+v, %v", got, err)
 	}
 }
 
