@@ -1,0 +1,300 @@
+package snoopmva
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"snoopmva/internal/solvecache"
+)
+
+// This file is the high-throughput solve layer: CachedSolver memoizes the
+// deterministic solvers behind a sharded, concurrency-safe cache
+// (internal/solvecache) keyed by a canonical FNV fingerprint of the full
+// solver input, with singleflight coalescing so concurrent identical
+// solves run the underlying computation exactly once. Every model in this
+// repository is a pure function of its inputs (the simulator included —
+// its streams are seeded), which is what makes memoization sound: a cached
+// value is bit-for-bit the value the solver would recompute (DESIGN.md
+// §11).
+
+// CacheStats is a point-in-time snapshot of a CachedSolver's counters.
+type CacheStats struct {
+	// Hits counts lookups served from a resident entry without solving.
+	Hits uint64
+	// Misses counts lookups that ran an underlying solve.
+	Misses uint64
+	// Coalesced counts lookups that piggybacked on a concurrent identical
+	// solve instead of starting their own.
+	Coalesced uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Entries is the current resident entry count.
+	Entries int
+}
+
+// HitRate returns the fraction of lookups that did not run a solve of
+// their own (hits plus coalesced over all lookups); zero before any
+// lookup.
+func (s CacheStats) HitRate() float64 {
+	return solvecache.Stats{Hits: s.Hits, Misses: s.Misses, Coalesced: s.Coalesced}.HitRate()
+}
+
+// CachedSolver wraps the package-level solvers with a bounded memoization
+// cache. Construct with NewCachedSolver; a CachedSolver is safe for
+// concurrent use by any number of goroutines, and a single instance is
+// meant to be shared process-wide (each instance has its own cache).
+//
+// Two configurations share a cache entry exactly when every input that
+// affects the solution is identical: protocol modification set (preset
+// names are irrelevant — WithMods(1,2,3) and Illinois() hit the same
+// entry), workload parameters bit-for-bit, timing constants (the zero
+// Timing and DefaultTiming() are canonicalized to the same key), solver
+// options, system size, and — for SolveBest — the stage budget. Failed
+// solves are never cached: the error propagates to every caller of that
+// flight and the next call retries.
+//
+// Cancellation note: when concurrent identical solves coalesce, the
+// computation runs under the context of whichever caller started it; if
+// that context fires, every coalesced caller observes the resulting
+// ErrCanceled (and nothing is cached). Callers with independent deadlines
+// that must not share fate should use the uncached package-level solvers.
+type CachedSolver struct {
+	cache *solvecache.Cache
+}
+
+// NewCachedSolver returns a CachedSolver bounded to roughly capacity
+// resident results (capacity <= 0 means a default of 16384, comfortably
+// above the paper's full design-space grid).
+func NewCachedSolver(capacity int) *CachedSolver {
+	return &CachedSolver{cache: solvecache.New(capacity)}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CachedSolver) Stats() CacheStats {
+	s := c.cache.Stats()
+	return CacheStats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Coalesced: s.Coalesced,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+	}
+}
+
+// Purge drops every cached result (counters are preserved).
+func (c *CachedSolver) Purge() { c.cache.Purge() }
+
+// Solve is the cached Solve: identical to the package-level function,
+// bitwise, except that repeated and concurrent identical calls solve once.
+func (c *CachedSolver) Solve(p Protocol, w Workload, n int) (Result, error) {
+	return c.SolveWithContext(context.Background(), p, w, Timing{}, n, Options{})
+}
+
+// SolveContext is the cached SolveContext.
+func (c *CachedSolver) SolveContext(ctx context.Context, p Protocol, w Workload, n int) (Result, error) {
+	return c.SolveWithContext(ctx, p, w, Timing{}, n, Options{})
+}
+
+// SolveWith is the cached SolveWith.
+func (c *CachedSolver) SolveWith(p Protocol, w Workload, t Timing, n int, opts Options) (Result, error) {
+	return c.SolveWithContext(context.Background(), p, w, t, n, opts)
+}
+
+// SolveWithContext is the cached SolveWithContext.
+func (c *CachedSolver) SolveWithContext(ctx context.Context, p Protocol, w Workload, t Timing, n int, opts Options) (res Result, err error) {
+	defer guard(&err)
+	v, err := c.cache.Do(solveKey(p, w, t, n, opts), func() (any, error) {
+		r, serr := SolveWithContext(ctx, p, w, t, n, opts)
+		if serr != nil {
+			return nil, serr
+		}
+		return r, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return v.(Result), nil
+}
+
+// SolveBest is the cached SolveBest: the full budget participates in the
+// key, so differently-budgeted ladders are distinct entries. The cached
+// value carries its provenance (Method/Degraded/FallbackReason) exactly as
+// computed.
+func (c *CachedSolver) SolveBest(ctx context.Context, p Protocol, w Workload, n int, b Budget) (best BestResult, err error) {
+	defer guard(&err)
+	v, err := c.cache.Do(bestKey(p, w, n, b), func() (any, error) {
+		r, serr := SolveBest(ctx, p, w, n, b)
+		if serr != nil {
+			return nil, serr
+		}
+		return r, nil
+	})
+	if err != nil {
+		return BestResult{}, err
+	}
+	// The detailed-result pointers are shared with the cache: hand every
+	// caller its own copy so a mutation cannot poison later hits.
+	return cloneBest(v.(BestResult)), nil
+}
+
+// Compare is the cached Compare: per-protocol solves go through the cache,
+// and like the package-level variants every protocol is attempted with the
+// failures joined (each identified by its protocol).
+func (c *CachedSolver) Compare(ps []Protocol, w Workload, n int) ([]Result, error) {
+	return c.CompareContext(context.Background(), ps, w, n)
+}
+
+// CompareContext is Compare with cancellation.
+func (c *CachedSolver) CompareContext(ctx context.Context, ps []Protocol, w Workload, n int) (out []Result, err error) {
+	defer guard(&err)
+	return compareSerial(ps, func(p Protocol) (Result, error) {
+		return c.SolveContext(ctx, p, w, n)
+	})
+}
+
+// Sweep is the cached Sweep. Each size is solved (or fetched) on its own
+// canonical cold-start key: unlike the package-level warm-started Sweep,
+// cached sweep entries never depend on which sizes were solved before, so
+// a cache hit is bitwise identical to a cold per-size Solve. A repeated
+// sweep is then pure cache hits — cheaper than any warm start.
+func (c *CachedSolver) Sweep(p Protocol, w Workload, ns []int) ([]Result, error) {
+	return c.SweepContext(context.Background(), p, w, ns)
+}
+
+// SweepContext is Sweep with cancellation: it stops at the first size
+// whose solve fails or is canceled.
+func (c *CachedSolver) SweepContext(ctx context.Context, p Protocol, w Workload, ns []int) (out []Result, err error) {
+	defer guard(&err)
+	out = make([]Result, 0, len(ns))
+	for _, n := range ns {
+		r, serr := c.SolveContext(ctx, p, w, n)
+		if serr != nil {
+			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", n, serr)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SweepParallel is the cached SweepParallel.
+func (c *CachedSolver) SweepParallel(p Protocol, w Workload, ns []int) ([]Result, error) {
+	return c.SweepParallelContext(context.Background(), p, w, ns)
+}
+
+// SweepParallelContext is the cached SweepParallelContext: concurrent
+// sizes solve in parallel on first touch, identical concurrent sweeps
+// coalesce per size, and repeats are served from the cache. Error
+// aggregation matches the package-level variant.
+func (c *CachedSolver) SweepParallelContext(ctx context.Context, p Protocol, w Workload, ns []int) (out []Result, err error) {
+	defer guard(&err)
+	return sweepParallel(ctx, ns, func(ctx context.Context, n int) (Result, error) {
+		return c.SolveContext(ctx, p, w, n)
+	})
+}
+
+// cloneBest gives the caller its own copy of the per-model detail structs.
+func cloneBest(b BestResult) BestResult {
+	if b.GTPN != nil {
+		g := *b.GTPN
+		b.GTPN = &g
+	}
+	if b.Sim != nil {
+		s := *b.Sim
+		b.Sim = &s
+	}
+	if b.MVA != nil {
+		m := *b.MVA
+		b.MVA = &m
+	}
+	return b
+}
+
+// --- canonical cache keys ---
+//
+// Every field that can change a solver's output — and nothing else —
+// participates in the key. Floats are keyed by bit pattern (the solvers
+// are deterministic functions of the bits), the zero Timing is
+// canonicalized to the paper defaults it means, and protocol presets key
+// by modification set + write-through base so equal protocols share
+// entries regardless of how they were constructed.
+
+func keyProtocol(b *solvecache.KeyBuilder, p Protocol) {
+	b.Uint(uint64(p.inner.Mods))
+	b.Bool(p.inner.WriteThroughBase)
+}
+
+func keyWorkload(b *solvecache.KeyBuilder, w Workload) {
+	b.Float(w.Tau)
+	b.Float(w.PPrivate).Float(w.PSro).Float(w.PSw)
+	b.Float(w.HPrivate).Float(w.HSro).Float(w.HSw)
+	b.Float(w.RPrivate).Float(w.RSw)
+	b.Float(w.AmodPrivate).Float(w.AmodSw)
+	b.Float(w.CsupplySro).Float(w.CsupplySw)
+	b.Float(w.WbCsupply)
+	b.Float(w.RepP).Float(w.RepSw)
+	b.Bool(w.FixedParams)
+}
+
+func keyTiming(b *solvecache.KeyBuilder, t Timing) {
+	// Canonicalize through the same path the solver uses, so Timing{} and
+	// DefaultTiming() build the same key.
+	it := t.internal()
+	b.Float(it.TSupply).Float(it.TWrite).Float(it.TInval)
+	b.Float(it.DMem)
+	b.Int(int64(it.BlockSize))
+	b.Float(it.TBlock)
+}
+
+func keyOptions(b *solvecache.KeyBuilder, o Options) {
+	b.Float(o.Tolerance)
+	b.Int(int64(o.MaxIterations))
+	b.Bool(o.NoCacheInterference).Bool(o.NoMemoryInterference)
+	b.Bool(o.NoResidualLife).Bool(o.ExponentialBus)
+	b.Bool(o.NoArrivalCorrection).Bool(o.SplitTransactionBus)
+}
+
+func solveKey(p Protocol, w Workload, t Timing, n int, opts Options) solvecache.Key {
+	b := solvecache.NewKey()
+	b.String("mva")
+	keyProtocol(b, p)
+	keyWorkload(b, w)
+	keyTiming(b, t)
+	keyOptions(b, opts)
+	b.Int(int64(n))
+	return b.Key()
+}
+
+func bestKey(p Protocol, w Workload, n int, bg Budget) solvecache.Key {
+	b := solvecache.NewKey()
+	b.String("best")
+	keyProtocol(b, p)
+	keyWorkload(b, w)
+	b.Int(int64(n))
+	b.Int(int64(bg.MaxStates))
+	b.Int(int64(bg.GTPNTimeout))
+	b.Int(bg.SimCycles)
+	b.Int(int64(bg.SimTimeout))
+	b.Uint(bg.Seed)
+	return b.Key()
+}
+
+// compareSerial drives one solve per protocol in input order, attempting
+// every protocol and joining the per-protocol failures — the error shape
+// shared by Compare, CachedSolver.Compare and CompareParallelContext.
+func compareSerial(ps []Protocol, solve func(Protocol) (Result, error)) ([]Result, error) {
+	results := make([]Result, len(ps))
+	var joined []error
+	for i, p := range ps {
+		r, err := solve(p)
+		if err != nil {
+			joined = append(joined, fmt.Errorf("snoopmva: %v: %w", p, err))
+			continue
+		}
+		results[i] = r
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
+	}
+	return results, nil
+}

@@ -89,6 +89,13 @@ type CampaignSpec struct {
 	// PointTimeout is the watchdog budget of one solve attempt; a stuck
 	// stage is converted into a typed, retryable timeout. 0 disables.
 	PointTimeout time.Duration
+	// Cache, when non-nil, routes every point's solve through the given
+	// CachedSolver: duplicate grid points (and campaigns re-run without a
+	// journal) are served from the cache, and identical points racing in
+	// different workers coalesce into one solve. Results are identical
+	// either way — the models are deterministic — so journaling and resume
+	// semantics are unchanged.
+	Cache *CachedSolver
 }
 
 // PointResult is the journaled outcome of one campaign point.
@@ -502,9 +509,13 @@ func solveCampaignPoint(ctx context.Context, spec CampaignSpec, breaker *resilie
 		// returns nil, where the done-channel receive inside Watchdog
 		// provides the happens-before edge for reading r.
 		var r BestResult
+		solve := SolveBest
+		if spec.Cache != nil {
+			solve = spec.Cache.SolveBest
+		}
 		werr := resilience.Watchdog(ctx, fmt.Sprintf("campaign point %d", idx), spec.PointTimeout,
 			func(ctx context.Context) error {
-				br, serr := SolveBest(ctx, pt.Protocol, pt.Workload, pt.N, budget)
+				br, serr := solve(ctx, pt.Protocol, pt.Workload, pt.N, budget)
 				if serr != nil {
 					return serr
 				}

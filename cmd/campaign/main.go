@@ -42,6 +42,7 @@ func main() {
 		breaker    = flag.Int("breaker", 5, "circuit-breaker threshold: consecutive stage failures before the stage is skipped (negative disables)")
 		probe      = flag.Int("breaker-probe", 0, "let one probe through per this many skipped points (0 = never)")
 		pointTO    = flag.Duration("point-timeout", 0, "watchdog budget per solve attempt (e.g. 30s; 0 = none)")
+		cacheCap   = flag.Int("cache", 0, "memoize solves through a CachedSolver bounded to this many results (0 disables, negative = default bound)")
 		timeout    = flag.Duration("timeout", 0, "abort the whole campaign after this long (0 = no limit)")
 		format     = flag.String("format", "text", "output format: text, csv, markdown")
 		quiet      = flag.Bool("quiet", false, "print only the summary line, not the per-point table")
@@ -72,6 +73,15 @@ func main() {
 		BreakerThreshold: *breaker,
 		BreakerProbe:     *probe,
 		PointTimeout:     *pointTO,
+	}
+	var cache *snoopmva.CachedSolver
+	if *cacheCap != 0 {
+		bound := *cacheCap
+		if bound < 0 {
+			bound = 0 // NewCachedSolver's default bound
+		}
+		cache = snoopmva.NewCachedSolver(bound)
+		spec.Cache = cache
 	}
 
 	start := time.Now()
@@ -116,6 +126,11 @@ func main() {
 		len(res.Results), res.Computed, res.Resumed, res.Failed, time.Since(start).Round(time.Millisecond))
 	if len(res.OpenStages) > 0 {
 		fmt.Printf("; circuit open: %s", strings.Join(res.OpenStages, ", "))
+	}
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Printf("; cache: %d hits, %d misses, %d coalesced (%.0f%% hit rate)",
+			cs.Hits, cs.Misses, cs.Coalesced, 100*cs.HitRate())
 	}
 	fmt.Println()
 	if res.Failed > 0 {

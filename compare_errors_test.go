@@ -1,0 +1,73 @@
+package snoopmva
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCompareErrorShapeUnified asserts that the serial Compare, the
+// parallel CompareParallelContext and the cached CachedSolver.Compare
+// produce the same error shape: every protocol is attempted, each failure
+// is wrapped as "snoopmva: <protocol>: ..." and the failures are joined,
+// so errors.Is classification and per-protocol attribution work
+// identically through all three paths.
+func TestCompareErrorShapeUnified(t *testing.T) {
+	w := AppendixA(Sharing5)
+	// Two invalid protocols among valid ones: all must be attempted and
+	// both failures reported.
+	ps := []Protocol{WriteOnce(), WithMods(9), Illinois(), WithMods(7)}
+
+	serialRes, serialErr := Compare(ps, w, 8)
+	parallelRes, parallelErr := CompareParallelContext(context.Background(), ps, w, 8)
+	cachedRes, cachedErr := NewCachedSolver(0).Compare(ps, w, 8)
+
+	for name, got := range map[string]error{
+		"Compare": serialErr, "CompareParallelContext": parallelErr, "CachedSolver.Compare": cachedErr,
+	} {
+		if got == nil {
+			t.Fatalf("%s: expected an error for invalid protocols", name)
+		}
+		if !errors.Is(got, ErrInvalidInput) {
+			t.Errorf("%s: errors.Is(err, ErrInvalidInput) is false: %v", name, got)
+		}
+		for _, frag := range []string{"snoopmva: ", WithMods(9).String(), WithMods(7).String()} {
+			if !strings.Contains(got.Error(), frag) {
+				t.Errorf("%s: error %q does not name %q", name, got, frag)
+			}
+		}
+	}
+	if serialRes != nil || parallelRes != nil || cachedRes != nil {
+		t.Error("failed comparisons must not return partial results")
+	}
+
+	// Identical inputs must produce the identical joined message through
+	// every path — the unification this test pins.
+	if serialErr.Error() != parallelErr.Error() {
+		t.Errorf("serial and parallel error text diverge:\n  serial:   %v\n  parallel: %v", serialErr, parallelErr)
+	}
+	if serialErr.Error() != cachedErr.Error() {
+		t.Errorf("serial and cached error text diverge:\n  serial: %v\n  cached: %v", serialErr, cachedErr)
+	}
+
+	// And on success all three agree exactly.
+	ok := []Protocol{WriteOnce(), Illinois(), Dragon()}
+	a, err := Compare(ok, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompareParallelContext(context.Background(), ok, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCachedSolver(0).Compare(ok, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ok {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Errorf("%v: results diverge across paths: %+v / %+v / %+v", ok[i], a[i], b[i], c[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"snoopmva/internal/cachesim"
 	"snoopmva/internal/exp"
 	"snoopmva/internal/gtpnmodel"
+	"snoopmva/internal/mva"
 	"snoopmva/internal/petri"
 )
 
@@ -35,6 +36,11 @@ func SolveWithContext(ctx context.Context, p Protocol, w Workload, t Timing, n i
 	if err != nil {
 		return Result{}, err
 	}
+	return fromMVA(r), nil
+}
+
+// fromMVA converts an internal MVA result to the public Result.
+func fromMVA(r mva.Result) Result {
 	return Result{
 		N:               r.N,
 		Speedup:         r.Speedup,
@@ -45,20 +51,36 @@ func SolveWithContext(ctx context.Context, p Protocol, w Workload, t Timing, n i
 		MemUtilization:  r.UMem,
 		MemWait:         r.WMem,
 		Iterations:      r.Iterations,
-	}, nil
+	}
 }
 
 // SweepContext is Sweep with cancellation: the sweep stops at the first
 // size whose solve fails or is canceled.
+//
+// The sweep is warm-started: each size's fixed-point iteration is seeded
+// from the previous size's converged state (adjacent sizes have nearby
+// solutions, so the iteration count drops sharply across a N=1..100
+// curve). Every point still converges to the same tolerance as a cold
+// solve — warm starting changes the iteration trajectory, not the fixed
+// point — so results agree with per-size Solve calls to within the solver
+// tolerance (the property suite enforces this; cmd/bench quantifies the
+// iteration savings).
 func SweepContext(ctx context.Context, p Protocol, w Workload, ns []int) (out []Result, err error) {
 	defer guard(&err)
+	m, merr := model(p, w, Timing{})
+	if merr != nil {
+		return nil, merr
+	}
+	opts := Options{}.internal()
 	out = make([]Result, 0, len(ns))
 	for _, n := range ns {
-		r, err := SolveContext(ctx, p, w, n)
-		if err != nil {
-			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", n, err)
+		r, serr := m.SolveContext(ctx, n, opts)
+		if serr != nil {
+			return nil, fmt.Errorf("snoopmva: sweep at N=%d: %w", n, serr)
 		}
-		out = append(out, r)
+		out = append(out, fromMVA(r))
+		warm := r.Warm()
+		opts.Warm = &warm
 	}
 	return out, nil
 }

@@ -1,0 +1,158 @@
+package snoopmva
+
+import (
+	"testing"
+
+	"snoopmva/internal/stats"
+)
+
+// This file pins the headline numbers published in EXPERIMENTS.md against
+// fresh solves: if a model change moves any of them, the experiment
+// reports are stale and the change is either a bug or needs EXPERIMENTS.md
+// regenerated alongside it. The tolerance is absolute 1e-3 — half a unit
+// in the last digit EXPERIMENTS.md prints, loose enough for cross-platform
+// floating-point variation, tight enough that any real model change trips
+// it.
+const goldenTol = 1e-3
+
+func goldenSolve(t *testing.T, p Protocol, w Workload, n int) Result {
+	t.Helper()
+	r, err := Solve(p, w, n)
+	if err != nil {
+		t.Fatalf("golden solve %v N=%d: %v", p, n, err)
+	}
+	return r
+}
+
+// TestGoldenAsymptoticSpeedups pins the "asymptotic" experiment's S(20)
+// and S(100) table (Section 4.1) — the large-N capability that motivated
+// the MVA model.
+func TestGoldenAsymptoticSpeedups(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Protocol
+		s    Sharing
+		s20  float64
+		s100 float64
+	}{
+		{"WO/1%", WriteOnce(), Sharing1, 6.3866, 6.4903},
+		{"WO/5%", WriteOnce(), Sharing5, 5.6156, 5.6776},
+		{"WO/20%", WriteOnce(), Sharing20, 4.9295, 4.9538},
+		{"WO+1/1%", WithMods(1), Sharing1, 7.7138, 7.6775},
+		{"WO+1/5%", WithMods(1), Sharing5, 6.5572, 6.5173},
+		{"WO+1/20%", WithMods(1), Sharing20, 5.5014, 5.4625},
+		{"WO+1+4/1%", WithMods(1, 4), Sharing1, 7.7138, 7.6775},
+		{"WO+1+4/5%", WithMods(1, 4), Sharing5, 7.6323, 7.6258},
+		{"WO+1+4/20%", WithMods(1, 4), Sharing20, 7.8042, 7.8511},
+	}
+	for _, c := range cases {
+		w := AppendixA(c.s)
+		if got := goldenSolve(t, c.p, w, 20).Speedup; !stats.ApproxEq(got, c.s20, goldenTol) {
+			t.Errorf("%s: S(20) = %.4f, EXPERIMENTS.md pins %.4f", c.name, got, c.s20)
+		}
+		if got := goldenSolve(t, c.p, w, 100).Speedup; !stats.ApproxEq(got, c.s100, goldenTol) {
+			t.Errorf("%s: S(100) = %.4f, EXPERIMENTS.md pins %.4f", c.name, got, c.s100)
+		}
+	}
+}
+
+// TestGoldenArBa86Gap pins the "arba86" experiment (Section 4.4): at
+// amod_p = 0.95 the modification-1 gain over Write-Once collapses from
+// 1.2375 to 0.1001 speedup units — the paper's "roughly equal" claim.
+func TestGoldenArBa86Gap(t *testing.T) {
+	w := AppendixA(Sharing1)
+	cases := []struct {
+		amodP   float64
+		wo, wo1 float64
+	}{
+		{0.7, 5.8097, 7.0471},
+		{0.95, 6.9471, 7.0471},
+	}
+	for _, c := range cases {
+		w.AmodPrivate = c.amodP
+		wo := goldenSolve(t, WriteOnce(), w, 10).Speedup
+		wo1 := goldenSolve(t, WithMods(1), w, 10).Speedup
+		if !stats.ApproxEq(wo, c.wo, goldenTol) {
+			t.Errorf("amod_p=%.2f: WO speedup %.4f, EXPERIMENTS.md pins %.4f", c.amodP, wo, c.wo)
+		}
+		if !stats.ApproxEq(wo1, c.wo1, goldenTol) {
+			t.Errorf("amod_p=%.2f: WO+1 speedup %.4f, EXPERIMENTS.md pins %.4f", c.amodP, wo1, c.wo1)
+		}
+	}
+
+	// The headline: the gain gap shrinks 1.2375 → 0.1001.
+	w.AmodPrivate = 0.7
+	wide := goldenSolve(t, WithMods(1), w, 10).Speedup - goldenSolve(t, WriteOnce(), w, 10).Speedup
+	w.AmodPrivate = 0.95
+	narrow := goldenSolve(t, WithMods(1), w, 10).Speedup - goldenSolve(t, WriteOnce(), w, 10).Speedup
+	if !stats.ApproxEq(wide, 1.2375, goldenTol) || !stats.ApproxEq(narrow, 0.1001, goldenTol) {
+		t.Errorf("mod-1 gain gap = %.4f → %.4f, EXPERIMENTS.md pins 1.2375 → 0.1001", wide, narrow)
+	}
+}
+
+// TestGoldenBusUtilization pins the "busutil" experiment (Section 4.2):
+// our MVA's U_bus at N=6, Write-Once, 5% sharing.
+func TestGoldenBusUtilization(t *testing.T) {
+	got := goldenSolve(t, WriteOnce(), AppendixA(Sharing5), 6).BusUtilization
+	if !stats.ApproxEq(got, 0.7328, goldenTol) {
+		t.Errorf("U_bus(N=6, WO, 5%%) = %.4f, EXPERIMENTS.md pins 0.7328", got)
+	}
+}
+
+// TestGoldenProcessingPower pins the "power" experiment (Section 4.4):
+// N·τ/R for mods 1+2+3 at N=9, 5% sharing, between the paper's MVA (4.32)
+// and GTPN (4.1) values.
+func TestGoldenProcessingPower(t *testing.T) {
+	got := goldenSolve(t, Illinois(), AppendixA(Sharing5), 9).ProcessingPower
+	if !stats.ApproxEq(got, 4.2451, goldenTol) {
+		t.Errorf("processing power (1+2+3, N=9, 5%%) = %.4f, EXPERIMENTS.md pins 4.2451", got)
+	}
+	if got <= 4.1 || got >= 4.32 {
+		t.Errorf("processing power %.4f outside the published bracket (4.1, 4.32)", got)
+	}
+}
+
+// TestGoldenKEWP85BusLoad pins the "kewp85" experiment: Write-Once carries
+// about 10% more bus load than WO+2+3 at ~99% sharing, N=8 (measured
+// +10.1%).
+func TestGoldenKEWP85BusLoad(t *testing.T) {
+	// The experiment's workload: Appendix A 5% pushed to nearly all-shared
+	// at light load, parameters taken verbatim (FixedParams), with the
+	// write-hit premise the paper cites encoded as amod_sw 0.3 under WO vs
+	// 0.38 under WO+2+3 (ownership retention).
+	base := AppendixA(Sharing5)
+	base.PPrivate, base.PSro, base.PSw = 0.01, 0.0, 0.99
+	base.Tau = 30
+	base.HSw = 0.9
+	base.FixedParams = true
+
+	wo := base
+	wo.AmodSw = 0.3
+	m23 := base
+	m23.AmodSw = 0.38
+
+	cases := []struct {
+		p     Protocol
+		w     Workload
+		uBus  float64
+		speed float64
+	}{
+		{WriteOnce(), wo, 0.3027, 7.5288},
+		{WithMods(2, 3), m23, 0.2748, 7.5871},
+	}
+	for _, c := range cases {
+		r := goldenSolve(t, c.p, c.w, 8)
+		if !stats.ApproxEq(r.BusUtilization, c.uBus, goldenTol) {
+			t.Errorf("%v: U_bus = %.4f, EXPERIMENTS.md pins %.4f", c.p, r.BusUtilization, c.uBus)
+		}
+		if !stats.ApproxEq(r.Speedup, c.speed, goldenTol) {
+			t.Errorf("%v: speedup = %.4f, EXPERIMENTS.md pins %.4f", c.p, r.Speedup, c.speed)
+		}
+	}
+	woU := goldenSolve(t, WriteOnce(), wo, 8).BusUtilization
+	moddedU := goldenSolve(t, WithMods(2, 3), m23, 8).BusUtilization
+	rel := woU/moddedU - 1
+	if !stats.ApproxEq(rel, 0.1014, goldenTol) {
+		t.Errorf("relative U_bus increase of WO over WO+2+3 = %.4f, EXPERIMENTS.md pins 0.1014", rel)
+	}
+}

@@ -1,0 +1,92 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// fuzzRecord builds one intact journal line for the given payload.
+func fuzzRecord(payload string) []byte {
+	data, _ := json.Marshal(json.RawMessage(payload))
+	line, _ := json.Marshal(envelope{CRC: checksum(data), Data: data})
+	return append(line, '\n')
+}
+
+// FuzzScan hammers the crash-recovery scanner with arbitrary bytes and
+// asserts its contract: never panic; the only error is ErrCorrupt; on
+// success the accepted prefix is exactly the newline-terminated intact
+// records (a crash can tear only the unterminated final line), every
+// surviving payload passes its checksum, and recovery is idempotent —
+// re-scanning the accepted prefix reproduces the same payloads with
+// nothing further truncated, which is what makes Open-after-Open safe.
+func FuzzScan(f *testing.F) {
+	intact := append(fuzzRecord(`{"index":1,"speedup":5.81}`), fuzzRecord(`{"index":2,"speedup":6.02}`)...)
+
+	// The damage shapes a crashed (or misbehaving) writer produces.
+	f.Add([]byte{})
+	f.Add(intact)
+	f.Add(intact[:len(intact)-7])                 // torn final record (partial line)
+	f.Add(append(intact, []byte("{\"crc\":")...)) // unterminated JSON tail
+	f.Add(append(intact, []byte("garbage")...))   // unterminated garbage tail
+	flipped := bytes.Clone(intact)
+	flipped[10] ^= 0x40 // mid-file bit flip: complete line, bad decode
+	f.Add(flipped)
+	badCRC := append(bytes.Clone(intact), []byte(fmt.Sprintf("{\"crc\":\"%08x\",\"data\":7}\n", 0xdeadbeef))...)
+	f.Add(badCRC) // trailing complete record with a wrong checksum
+	f.Add([]byte("complete garbage line\n"))
+	f.Add([]byte("\n"))
+	f.Add([]byte("null\n"))
+	f.Add([]byte(`{"crc":"00000000","data":null}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		info, goodLen, err := scan(raw)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("scan returned a non-ErrCorrupt error: %v", err)
+			}
+			if len(info.Payloads) != 0 || goodLen != 0 {
+				t.Fatalf("corrupt scan leaked partial state: %d payloads, goodLen %d", len(info.Payloads), goodLen)
+			}
+			return
+		}
+		if goodLen < 0 || goodLen > int64(len(raw)) {
+			t.Fatalf("goodLen %d outside [0, %d]", goodLen, len(raw))
+		}
+		if goodLen > 0 && raw[goodLen-1] != '\n' {
+			t.Fatalf("accepted prefix does not end at a record boundary (last byte %q)", raw[goodLen-1])
+		}
+		// Only an unterminated final line may be dropped: the discarded
+		// tail must contain no newline.
+		if bytes.IndexByte(raw[goodLen:], '\n') >= 0 {
+			t.Fatalf("dropped tail %q contains a complete line", raw[goodLen:])
+		}
+		// Every surviving payload re-verifies.
+		for i, p := range info.Payloads {
+			if len(p) == 0 {
+				t.Fatalf("payload %d is empty", i)
+			}
+			if !json.Valid(p) {
+				t.Fatalf("payload %d is not valid JSON: %q", i, p)
+			}
+		}
+		// Idempotence: scanning the accepted prefix is a clean full parse.
+		info2, goodLen2, err2 := scan(raw[:goodLen])
+		if err2 != nil {
+			t.Fatalf("re-scan of accepted prefix failed: %v", err2)
+		}
+		if goodLen2 != goodLen {
+			t.Fatalf("re-scan truncated further: %d → %d", goodLen, goodLen2)
+		}
+		if len(info2.Payloads) != len(info.Payloads) {
+			t.Fatalf("re-scan payload count changed: %d → %d", len(info.Payloads), len(info2.Payloads))
+		}
+		for i := range info.Payloads {
+			if !bytes.Equal(info.Payloads[i], info2.Payloads[i]) {
+				t.Fatalf("re-scan payload %d changed: %q → %q", i, info.Payloads[i], info2.Payloads[i])
+			}
+		}
+	})
+}

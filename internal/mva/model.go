@@ -48,6 +48,16 @@ type Options struct {
 	// fixed-point map), which is why under-relaxation — not sequence
 	// extrapolation — is the effective stabilizer.
 	Damping float64
+	// Warm, when non-nil, seeds the fixed-point iteration from a
+	// previously converged solver state instead of the paper's zero-wait
+	// start. Soundness: the solver iterates the same fixed-point map to
+	// the same tolerance regardless of the start, so a warm start changes
+	// only the trajectory (and hence the iteration count), not the
+	// fixed point being approximated — adjacent-N solutions are close, so
+	// sweeps seeded from the previous size converge in a fraction of the
+	// iterations. The state must be finite with R > 0 and non-negative
+	// waits; anything else is rejected as invalid input.
+	Warm *WarmState
 
 	// NoCacheInterference drops the R_local term of equation (2) —
 	// ablation: how much does modeling snoop-induced cache blocking
@@ -88,6 +98,15 @@ func (o Options) withDefaults() Options {
 		o.Damping = 1
 	}
 	return o
+}
+
+// WarmState is the fixed-point state (R, w_bus, w_mem) of a converged
+// solve, reusable as the starting iterate of a nearby configuration via
+// Options.Warm.
+type WarmState struct {
+	R    float64
+	WBus float64
+	WMem float64
 }
 
 // Result holds all model outputs for one configuration.

@@ -108,10 +108,21 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		}
 	}
 
-	// Fixed-point state: waiting times start at zero (Section 3.2).
+	// Fixed-point state: waiting times start at zero (Section 3.2), or at
+	// a caller-supplied converged state (warm start — same fixed point,
+	// shorter trajectory; see Options.Warm).
 	var wBus, wMem float64
 	// Initial R with zero waits.
 	r := tau + t.TSupply + d.PBc*d.TBc(0) + d.PRr*d.TRead
+	if o.Warm != nil {
+		ws := *o.Warm
+		if !isFinite(ws.R) || ws.R <= 0 || !isFinite(ws.WBus) || ws.WBus < 0 ||
+			!isFinite(ws.WMem) || ws.WMem < 0 {
+			return Result{}, fmt.Errorf("mva: warm-start state (R=%v, w_bus=%v, w_mem=%v) is not a converged solver state: %w",
+				ws.R, ws.WBus, ws.WMem, workload.ErrInvalid)
+		}
+		r, wBus, wMem = ws.R, ws.WBus, ws.WMem
+	}
 
 	hooks := faultinject.Hooks()
 	for iter := 1; iter <= o.MaxIter; iter++ {
@@ -271,6 +282,12 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 // isFinite reports whether v is neither NaN nor ±Inf.
 func isFinite(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Warm returns the converged fixed-point state of a successful solve, for
+// seeding a nearby configuration via Options.Warm.
+func (r Result) Warm() WarmState {
+	return WarmState{R: r.R, WBus: r.WBus, WMem: r.WMem}
 }
 
 // Sweep solves the model for each system size in ns, in order.

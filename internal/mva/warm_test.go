@@ -1,0 +1,120 @@
+package mva
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"snoopmva/internal/workload"
+)
+
+// TestWarmStartAgreesWithCold asserts the warm-start soundness claim: the
+// fixed point does not depend on the starting iterate, so a solve seeded
+// from an adjacent size's converged state lands on the same solution (to
+// solver tolerance) in fewer iterations.
+func TestWarmStartAgreesWithCold(t *testing.T) {
+	m := baseModel()
+	prev, err := m.Solve(9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := m.Solve(10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := prev.Warm()
+	warm, err := m.Solve(10, Options{Warm: &ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agreement on every headline measure at a tolerance generous relative
+	// to the 1e-10 solver tolerance but far below model accuracy.
+	for _, q := range [][2]float64{
+		{cold.R, warm.R},
+		{cold.Speedup, warm.Speedup},
+		{cold.UBus, warm.UBus},
+		{cold.WBus, warm.WBus},
+		{cold.WMem, warm.WMem},
+	} {
+		if math.Abs(q[0]-q[1]) > 1e-7*(1+math.Abs(q[0])) {
+			t.Errorf("warm result diverges from cold: %v vs %v", q[1], q[0])
+		}
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start did not save iterations: warm %d >= cold %d",
+			warm.Iterations, cold.Iterations)
+	}
+}
+
+// TestWarmStartFromOwnSolution asserts a solve seeded from its own fixed
+// point converges almost immediately.
+func TestWarmStartFromOwnSolution(t *testing.T) {
+	m := baseModel()
+	cold, err := m.Solve(20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := cold.Warm()
+	warm, err := m.Solve(20, Options{Warm: &ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations > 5 {
+		t.Errorf("re-solve from own fixed point took %d iterations", warm.Iterations)
+	}
+	if math.Abs(warm.Speedup-cold.Speedup) > 1e-8*(1+math.Abs(cold.Speedup)) {
+		t.Errorf("re-solve moved the solution: %v vs %v", warm.Speedup, cold.Speedup)
+	}
+}
+
+// TestWarmStartRejectsInvalidState asserts garbage warm states fail as
+// invalid input instead of silently poisoning the iteration.
+func TestWarmStartRejectsInvalidState(t *testing.T) {
+	m := baseModel()
+	bad := []WarmState{
+		{R: math.NaN(), WBus: 0, WMem: 0},
+		{R: math.Inf(1), WBus: 0, WMem: 0},
+		{R: 0, WBus: 0, WMem: 0},
+		{R: -1, WBus: 0, WMem: 0},
+		{R: 10, WBus: math.NaN(), WMem: 0},
+		{R: 10, WBus: -0.5, WMem: 0},
+		{R: 10, WBus: 0, WMem: math.Inf(-1)},
+	}
+	for i, ws := range bad {
+		state := ws
+		if _, err := m.Solve(4, Options{Warm: &state}); !errors.Is(err, workload.ErrInvalid) {
+			t.Errorf("case %d (%+v): err = %v, want ErrInvalid", i, ws, err)
+		}
+	}
+}
+
+// TestWarmSweepIterationSavings quantifies the motivating effect across
+// the paper's N=1..100 curve: a chained warm sweep uses strictly fewer
+// total iterations than per-size cold solves, and every point agrees.
+func TestWarmSweepIterationSavings(t *testing.T) {
+	m := baseModel()
+	coldTotal, warmTotal := 0, 0
+	var warm *WarmState
+	for n := 1; n <= 100; n++ {
+		cold, err := m.Solve(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldTotal += cold.Iterations
+		wr, err := m.Solve(n, Options{Warm: warm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmTotal += wr.Iterations
+		if math.Abs(wr.Speedup-cold.Speedup) > 1e-7*(1+math.Abs(cold.Speedup)) {
+			t.Fatalf("N=%d: warm %v vs cold %v", n, wr.Speedup, cold.Speedup)
+		}
+		ws := wr.Warm()
+		warm = &ws
+	}
+	if warmTotal >= coldTotal {
+		t.Errorf("warm sweep used %d iterations, cold %d — no savings", warmTotal, coldTotal)
+	}
+	t.Logf("N=1..100 sweep iterations: cold %d, warm %d (%.1f%%)",
+		coldTotal, warmTotal, 100*float64(warmTotal)/float64(coldTotal))
+}

@@ -1,0 +1,301 @@
+// Package solvecache is the memoization layer of the high-throughput solve
+// path: a sharded, concurrency-safe cache keyed by a canonical fingerprint
+// of the full solver input, with singleflight request coalescing so that
+// concurrent identical solves run the underlying computation exactly once,
+// and a per-shard LRU bound so the resident set stays capped under
+// design-space churn.
+//
+// The package stores opaque values (the root package caches both MVA
+// Results and SolveBest BestResults through one cache); correctness against
+// fingerprint collisions does not rest on the 64-bit FNV hash: the hash
+// only selects the shard, while map lookup compares the entire canonical
+// key encoding, so two inputs that collide in FNV still occupy distinct
+// entries.
+//
+// Concurrency contract: a cache hit never runs compute; a miss runs it
+// exactly once per key per flight, with every concurrent duplicate caller
+// blocking on the leader's result (counted by Stats().Coalesced). Failed
+// computations are not cached — the error propagates to the leader and all
+// coalesced waiters, and the next caller retries.
+package solvecache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is the shard count. Shard selection uses the key fingerprint,
+// so identical keys always meet in the same shard (which is what makes
+// per-shard singleflight sufficient).
+const numShards = 16
+
+// DefaultCapacity is the total entry bound used when New is given a
+// non-positive capacity: comfortably larger than the paper's full
+// design-space grid (7 protocols × 3 sharing levels × N=1..100) while
+// bounded enough for a long-lived serving process.
+const DefaultCapacity = 16384
+
+// Key is the canonical identity of one solver input: a 64-bit FNV-1a
+// fingerprint (used for shard selection and cheap inequality) plus the
+// exact canonical byte encoding it was computed from (used for collision-
+// proof equality). Build one with NewKey.
+type Key struct {
+	sum   uint64
+	canon string
+}
+
+// Fingerprint returns the 64-bit FNV-1a fingerprint of the canonical
+// encoding.
+func (k Key) Fingerprint() uint64 { return k.sum }
+
+// String renders the fingerprint (for logs and debugging).
+func (k Key) String() string { return fmt.Sprintf("solvecache:%016x", k.sum) }
+
+// KeyBuilder accumulates the canonical encoding of a solver input. Every
+// field is written with a type tag and a fixed-width big-endian encoding
+// (strings are length-prefixed), so distinct field sequences can never
+// produce the same byte stream by concatenation ambiguity. Floats are
+// encoded by their IEEE-754 bit pattern: the cache key distinguishes
+// inputs bitwise, exactly matching what the deterministic solvers do.
+type KeyBuilder struct {
+	buf []byte
+}
+
+// NewKey starts a canonical key encoding.
+func NewKey() *KeyBuilder { return &KeyBuilder{buf: make([]byte, 0, 256)} }
+
+func (b *KeyBuilder) tag(t byte) { b.buf = append(b.buf, t) }
+
+func (b *KeyBuilder) u64(v uint64) {
+	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
+}
+
+// String appends a length-prefixed string field.
+func (b *KeyBuilder) String(s string) *KeyBuilder {
+	b.tag('s')
+	b.u64(uint64(len(s)))
+	b.buf = append(b.buf, s...)
+	return b
+}
+
+// Int appends a signed integer field.
+func (b *KeyBuilder) Int(v int64) *KeyBuilder {
+	b.tag('i')
+	b.u64(uint64(v))
+	return b
+}
+
+// Uint appends an unsigned integer field.
+func (b *KeyBuilder) Uint(v uint64) *KeyBuilder {
+	b.tag('u')
+	b.u64(v)
+	return b
+}
+
+// Float appends a float field by IEEE-754 bit pattern (NaNs with different
+// payloads are distinct keys; the solvers reject non-finite inputs before
+// any key is built, so this never matters in practice).
+func (b *KeyBuilder) Float(v float64) *KeyBuilder {
+	b.tag('f')
+	b.u64(math.Float64bits(v))
+	return b
+}
+
+// Bool appends a boolean field.
+func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
+	b.tag('b')
+	if v {
+		b.buf = append(b.buf, 1)
+	} else {
+		b.buf = append(b.buf, 0)
+	}
+	return b
+}
+
+// Key finalizes the encoding into a Key. The builder may not be reused
+// afterwards.
+func (b *KeyBuilder) Key() Key {
+	h := fnv.New64a()
+	h.Write(b.buf)
+	return Key{sum: h.Sum64(), canon: string(b.buf)}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a resident entry.
+	Hits uint64
+	// Misses counts lookups that ran the underlying compute (one per
+	// singleflight leader).
+	Misses uint64
+	// Coalesced counts lookups that piggybacked on another caller's
+	// in-flight compute instead of running their own.
+	Coalesced uint64
+	// Evictions counts entries dropped by the per-shard LRU bound.
+	Evictions uint64
+	// Entries is the current resident entry count across all shards.
+	Entries int
+}
+
+// HitRate returns Hits/(Hits+Misses+Coalesced), the fraction of lookups
+// that did not start a computation of their own beyond coalescing; zero
+// when no lookups have happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Cache is a sharded memoization cache with singleflight coalescing. The
+// zero value is not usable; construct with New.
+type Cache struct {
+	shards   [numShards]shard
+	perShard int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	// entries maps the canonical key encoding to its LRU element, whose
+	// Value is *entry. Front of the list is most recently used.
+	entries map[string]*list.Element
+	lru     list.List
+	flights map[string]*flight
+}
+
+type entry struct {
+	canon string
+	value any
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// New returns a cache bounded to roughly capacity entries in total
+// (distributed across the shards; each shard holds at least one entry).
+// capacity <= 0 means DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := capacity / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].flights = make(map[string]*flight)
+	}
+	return c
+}
+
+// Do returns the cached value for key, or runs compute to produce it. When
+// several goroutines Do the same key concurrently, exactly one runs
+// compute and the rest receive its result (coalescing). A compute error is
+// returned to the leader and every coalesced waiter but is not cached. A
+// panic inside compute is re-raised in the leader after the waiters have
+// been released with an error, so no goroutine is left blocked.
+func (c *Cache) Do(key Key, compute func() (any, error)) (any, error) {
+	sh := &c.shards[key.sum%numShards]
+	sh.mu.Lock()
+	if el, ok := sh.entries[key.canon]; ok {
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*entry).value, nil
+	}
+	if fl, ok := sh.flights[key.canon]; ok {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		<-fl.done
+		return fl.value, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flights[key.canon] = fl
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	c.lead(sh, key, fl, compute)
+	return fl.value, fl.err
+}
+
+// lead runs compute as the singleflight leader for key and publishes the
+// outcome: on success the value is inserted (with LRU eviction), on error
+// nothing is cached, and in both cases the flight is resolved and removed
+// so later callers start fresh. The deferred block also runs when compute
+// panics — the waiters get errPanic instead of a deadlock and the panic
+// continues to the leader's recover boundary.
+func (c *Cache) lead(sh *shard, key Key, fl *flight, compute func() (any, error)) {
+	completed := false
+	defer func() {
+		if !completed {
+			fl.err = errPanic
+		}
+		sh.mu.Lock()
+		delete(sh.flights, key.canon)
+		if fl.err == nil {
+			el := sh.lru.PushFront(&entry{canon: key.canon, value: fl.value})
+			sh.entries[key.canon] = el
+			for sh.lru.Len() > c.perShard {
+				oldest := sh.lru.Back()
+				sh.lru.Remove(oldest)
+				delete(sh.entries, oldest.Value.(*entry).canon)
+				c.evictions.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.value, fl.err = compute()
+	completed = true
+}
+
+// errPanic is what coalesced waiters observe when the leader's compute
+// panicked; the leader itself re-raises the panic.
+var errPanic = fmt.Errorf("solvecache: compute panicked in another goroutine")
+
+// Stats returns a snapshot of the counters. The counter fields are each
+// individually consistent (atomics); Entries is summed per shard under the
+// shard locks.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Purge drops every resident entry (in-flight computations are unaffected
+// and will repopulate on completion). Counters are not reset.
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]*list.Element)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+}

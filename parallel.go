@@ -22,6 +22,17 @@ import (
 // ErrCanceled.
 func SweepParallelContext(ctx context.Context, p Protocol, w Workload, ns []int) (out []Result, err error) {
 	defer guard(&err)
+	return sweepParallel(ctx, ns, func(ctx context.Context, n int) (Result, error) {
+		return SolveContext(ctx, p, w, n)
+	})
+}
+
+// sweepParallel is the worker-pool core shared by SweepParallelContext and
+// CachedSolver.SweepParallelContext: it fans the sizes out over a bounded
+// pool of the given solve function, stops feeding on the first failure (or
+// cancellation) while letting in-flight sizes finish, and aggregates every
+// error.
+func sweepParallel(ctx context.Context, ns []int, solve func(ctx context.Context, n int) (Result, error)) ([]Result, error) {
 	results := make([]Result, len(ns))
 	errs := make([]error, len(ns))
 	workers := runtime.GOMAXPROCS(0)
@@ -39,7 +50,7 @@ func SweepParallelContext(ctx context.Context, p Protocol, w Workload, ns []int)
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				results[idx], errs[idx] = SolveContext(ctx, p, w, ns[idx])
+				results[idx], errs[idx] = solve(ctx, ns[idx])
 				if errs[idx] != nil {
 					failed.Store(true)
 				}

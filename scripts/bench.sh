@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerate the checked-in solve-layer benchmark baseline.
+#
+#   scripts/bench.sh            # full run, rewrites BENCH_solver.json
+#   scripts/bench.sh -quick     # CI-sized run (same flags as cmd/bench)
+#
+# Run from the repository root on an otherwise idle machine; the numbers
+# are wall-clock and noisy under load.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench -out BENCH_solver.json "$@"

@@ -2,7 +2,6 @@ package snoopmva
 
 import (
 	"context"
-	"fmt"
 	"io"
 
 	"snoopmva/internal/exp"
@@ -93,17 +92,15 @@ func Sweep(p Protocol, w Workload, ns []int) ([]Result, error) {
 }
 
 // Compare solves several protocols at the same workload and system size,
-// returned in input order.
-func Compare(ps []Protocol, w Workload, n int) ([]Result, error) {
-	out := make([]Result, 0, len(ps))
-	for _, p := range ps {
-		r, err := Solve(p, w, n)
-		if err != nil {
-			return nil, fmt.Errorf("snoopmva: %v: %w", p, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+// returned in input order. Every protocol is attempted; the returned error
+// joins the per-protocol failures, each identified by its protocol — the
+// same shape CompareParallelContext produces, so errors.Is classification
+// works identically through both paths.
+func Compare(ps []Protocol, w Workload, n int) (out []Result, err error) {
+	defer guard(&err)
+	return compareSerial(ps, func(p Protocol) (Result, error) {
+		return Solve(p, w, n)
+	})
 }
 
 // DetailedResult holds the GTPN (detailed-model) outputs.
