@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"snoopmva/internal/obs"
 	"snoopmva/internal/solvecache"
 )
 
@@ -84,6 +85,14 @@ func (c *CachedSolver) Stats() CacheStats {
 
 // Purge drops every cached result (counters are preserved).
 func (c *CachedSolver) Purge() { c.cache.Purge() }
+
+// RegisterMetrics bridges this solver's cache counters into reg as
+// "snoopmva_solvecache_*" gauges labeled cache=label, read fresh at every
+// exposition (see DESIGN.md §12). Several CachedSolvers can share a
+// registry under distinct labels.
+func (c *CachedSolver) RegisterMetrics(reg *obs.Registry, label string) {
+	c.cache.RegisterMetrics(reg, "snoopmva_solvecache", label)
+}
 
 // Solve is the cached Solve: identical to the package-level function,
 // bitwise, except that repeated and concurrent identical calls solve once.

@@ -176,6 +176,12 @@ const (
 // run picks up exactly where this one stopped.
 func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, err error) {
 	defer guard(&err)
+	started := time.Now()
+	defer func() {
+		if err == nil {
+			recordCampaign(res, time.Since(started))
+		}
+	}()
 	if len(spec.Points) == 0 {
 		return CampaignResult{}, fmt.Errorf("snoopmva: campaign has no points: %w", ErrInvalidInput)
 	}
@@ -302,11 +308,19 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 			}
 		}()
 	}
+feed:
 	for _, idx := range pending {
 		if ctx.Err() != nil || crashed.Load() {
 			break
 		}
-		work <- idx
+		// Select on the send: with every worker busy in a slow solve, a
+		// bare send would park the feeder with no cancellation path and
+		// could hand a point to a worker after ctx had already fired.
+		select {
+		case work <- idx:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -461,10 +475,12 @@ func solveCampaignPoint(ctx context.Context, spec CampaignSpec, breaker *resilie
 		if budget.MaxStates >= 0 && !breaker.Allow(stageGTPN) {
 			budget.MaxStates = -1
 			skipped = append(skipped, stageGTPN)
+			campaignStageSkipped[stageGTPN].Inc()
 		}
 		if budget.SimCycles >= 0 && !breaker.Allow(stageSim) {
 			budget.SimCycles = -1
 			skipped = append(skipped, stageSim)
+			campaignStageSkipped[stageSim].Inc()
 		}
 	}
 

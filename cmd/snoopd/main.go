@@ -1,0 +1,87 @@
+// Command snoopd serves the snoopmva solvers over HTTP: JSON solve
+// endpoints (POST /v1/solve, /v1/sweep, /v1/compare), Prometheus metrics
+// at /metrics, liveness at /healthz, expvar at /debug/vars, and pprof at
+// /debug/pprof. Shutdown is graceful: SIGINT/SIGTERM stops accepting new
+// requests and drains in-flight solves before exiting.
+//
+// Examples:
+//
+//	snoopd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/solve -d '{
+//	    "protocol": {"name": "Illinois"},
+//	    "workload": {"appendix_a": 5},
+//	    "n": 10
+//	}'
+//	curl -s localhost:8080/metrics | grep snoopmva_mva_solves_total
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"snoopmva"
+	"snoopmva/internal/snoopd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheCap := flag.Int("cache", 16384, "shared solve-cache capacity (0 disables caching)")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline applied to requests without timeout_ms (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeout_ms (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+	flag.Parse()
+
+	cfg := snoopd.Config{
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if *cacheCap != 0 {
+		cfg.Cache = snoopmva.NewCachedSolver(*cacheCap)
+	}
+	handler := snoopd.New(cfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "snoopd: listening on %s\n", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "snoopd: serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "snoopd: %v, draining in-flight solves\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "snoopd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "snoopd: serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "snoopd: drained, bye")
+}

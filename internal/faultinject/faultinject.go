@@ -53,6 +53,12 @@ type Set struct {
 	// disk produces — exercising partial-record rollback and the campaign
 	// runner's journaling latch.
 	JournalAppendFault func(path string) error
+	// JournalRotateFault is consulted by Rotate before each fallible stage
+	// ("write", "sync", "close", "rename", "dirsync", "reopen") with the
+	// journal path; a non-nil error fails that stage. Tests use it to
+	// assert that a failed rotation leaves no temp-file residue and that
+	// post-rename failures latch the journal broken.
+	JournalRotateFault func(path, stage string) error
 	// CampaignCrash is consulted by the campaign runner after each
 	// journaled record with the number of records this run has written;
 	// returning true makes the runner stop abruptly — no further points,

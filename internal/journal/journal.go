@@ -221,54 +221,99 @@ func (j *Journal) rollback(cause error) {
 // fsynced, and renamed over the journal, so a crash at any instant leaves
 // either the old or the new contents, never a mixture. The open handle is
 // switched to the new file.
+//
+// On a failure before the rename the temporary file is removed — a failed
+// rotation never leaves *.rotate-* residue on disk — and the journal
+// itself is untouched and stays usable. On a failure after the rename
+// (directory sync, reopen) the on-disk contents are already the new ones
+// but the open handle still refers to the replaced file, so the journal
+// latches broken and refuses further appends; reopening the path recovers.
 func (j *Journal) Rotate(payloads [][]byte) error {
 	dir := filepath.Dir(j.path)
+	fault := func(stage string) error {
+		if h := faultinject.Hooks(); h != nil && h.JournalRotateFault != nil {
+			return h.JournalRotateFault(j.path, stage)
+		}
+		return nil
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".rotate-*")
 	if err != nil {
 		return fmt.Errorf("journal: rotate %s: %w", j.path, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	// discard cleans up after a failure before the rename: close (a second
+	// Close after a close failure is harmless) and remove the temp file so
+	// no residue outlives the failed rotation.
+	discard := func(ferr error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return ferr
+	}
 	var written int64
 	for _, data := range payloads {
 		line, err := json.Marshal(envelope{CRC: checksum(data), Data: data})
 		if err != nil {
-			tmp.Close()
-			return fmt.Errorf("journal: rotate %s: marshal: %w", j.path, err)
+			return discard(fmt.Errorf("journal: rotate %s: marshal: %w", j.path, err))
+		}
+		if ferr := fault("write"); ferr != nil {
+			return discard(fmt.Errorf("journal: rotate %s: write: %w", j.path, ferr))
 		}
 		if _, err := tmp.Write(append(line, '\n')); err != nil {
-			tmp.Close()
-			return fmt.Errorf("journal: rotate %s: write: %w", j.path, err)
+			return discard(fmt.Errorf("journal: rotate %s: write: %w", j.path, err))
 		}
 		written += int64(len(line)) + 1
 	}
+	if ferr := fault("sync"); ferr != nil {
+		return discard(fmt.Errorf("journal: rotate %s: sync: %w", j.path, ferr))
+	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("journal: rotate %s: sync: %w", j.path, err)
+		return discard(fmt.Errorf("journal: rotate %s: sync: %w", j.path, err))
+	}
+	if ferr := fault("close"); ferr != nil {
+		return discard(fmt.Errorf("journal: rotate %s: close temp: %w", j.path, ferr))
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("journal: rotate %s: close temp: %w", j.path, err)
+		return discard(fmt.Errorf("journal: rotate %s: close temp: %w", j.path, err))
+	}
+	if ferr := fault("rename"); ferr != nil {
+		return discard(fmt.Errorf("journal: rotate %s: rename: %w", j.path, ferr))
 	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
-		return fmt.Errorf("journal: rotate %s: rename: %w", j.path, err)
+		return discard(fmt.Errorf("journal: rotate %s: rename: %w", j.path, err))
+	}
+	// From here on the rename has happened: the path already holds the new
+	// contents, but j.f still refers to the replaced (unlinked) file. Any
+	// failure below therefore latches the journal broken — appending
+	// through the stale handle would write records no reader of the path
+	// ever sees.
+	latch := func(ferr error) error {
+		j.broken = ferr
+		return ferr
 	}
 	// The rename is only durable once the directory entry is synced; a
 	// failure here is a failure of the rotation's atomicity claim, so it
 	// propagates like Append's file sync does.
 	d, err := os.Open(dir)
 	if err != nil {
-		return fmt.Errorf("journal: rotate %s: open dir: %w", j.path, err)
+		return latch(fmt.Errorf("journal: rotate %s: open dir: %w", j.path, err))
+	}
+	if ferr := fault("dirsync"); ferr != nil {
+		d.Close()
+		return latch(fmt.Errorf("journal: rotate %s: sync dir: %w", j.path, ferr))
 	}
 	if err := d.Sync(); err != nil {
 		d.Close()
-		return fmt.Errorf("journal: rotate %s: sync dir: %w", j.path, err)
+		return latch(fmt.Errorf("journal: rotate %s: sync dir: %w", j.path, err))
 	}
 	if err := d.Close(); err != nil {
-		return fmt.Errorf("journal: rotate %s: close dir: %w", j.path, err)
+		return latch(fmt.Errorf("journal: rotate %s: close dir: %w", j.path, err))
 	}
 	old := j.f
+	if ferr := fault("reopen"); ferr != nil {
+		return latch(fmt.Errorf("journal: reopen rotated %s: %w", j.path, ferr))
+	}
 	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("journal: reopen rotated %s: %w", j.path, err)
+		return latch(fmt.Errorf("journal: reopen rotated %s: %w", j.path, err))
 	}
 	j.f = f
 	j.size = written

@@ -238,3 +238,105 @@ func TestAppendRawRejectsNewlines(t *testing.T) {
 		t.Fatal("AppendRaw accepted a payload containing a newline")
 	}
 }
+
+// listTempResidue returns all rotation temp files left in the journal's
+// directory.
+func listTempResidue(t *testing.T, path string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), "*.rotate-*"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	return matches
+}
+
+// TestRotateFailureLeavesNoTempResidue drives Rotate into every injected
+// pre-rename failure and asserts the contract: the rotation fails, no
+// *.rotate-* temp file survives, and the journal keeps its old contents
+// and stays appendable.
+func TestRotateFailureLeavesNoTempResidue(t *testing.T) {
+	for _, stage := range []string{"write", "sync", "close", "rename"} {
+		t.Run(stage, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.jsonl")
+			j, _ := open(t, path)
+			if err := j.Append(rec{0, 1.5}); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+
+			boom := errors.New("injected " + stage + " failure")
+			restore := faultinject.Activate(&faultinject.Set{
+				JournalRotateFault: func(_, s string) error {
+					if s == stage {
+						return boom
+					}
+					return nil
+				},
+			})
+			err := j.Rotate([][]byte{[]byte(`{"index":9}`)})
+			restore()
+			if !errors.Is(err, boom) {
+				t.Fatalf("Rotate with injected %s failure: err = %v, want %v", stage, err, boom)
+			}
+			if residue := listTempResidue(t, path); len(residue) != 0 {
+				t.Fatalf("failed rotation left temp residue: %v", residue)
+			}
+			// The journal is untouched and still appendable.
+			if err := j.Append(rec{1, 2.5}); err != nil {
+				t.Fatalf("Append after failed rotation: %v", err)
+			}
+			j.Close()
+			_, info := open(t, path)
+			if len(info.Payloads) != 2 {
+				t.Fatalf("journal holds %d records after failed rotation + append, want 2", len(info.Payloads))
+			}
+		})
+	}
+}
+
+// TestRotatePostRenameFailureLatchesBroken covers the stages after the
+// rename: the path already holds the new contents but the open handle
+// still refers to the replaced file, so the journal must refuse further
+// appends (writing through the stale handle would produce records no
+// reader of the path ever sees). Reopening the path recovers cleanly.
+func TestRotatePostRenameFailureLatchesBroken(t *testing.T) {
+	for _, stage := range []string{"dirsync", "reopen"} {
+		t.Run(stage, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.jsonl")
+			j, _ := open(t, path)
+			if err := j.Append(rec{0, 1.5}); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+
+			boom := errors.New("injected " + stage + " failure")
+			restore := faultinject.Activate(&faultinject.Set{
+				JournalRotateFault: func(_, s string) error {
+					if s == stage {
+						return boom
+					}
+					return nil
+				},
+			})
+			newPayload := []byte(`{"index":9}`)
+			err := j.Rotate([][]byte{newPayload})
+			restore()
+			if !errors.Is(err, boom) {
+				t.Fatalf("Rotate with injected %s failure: err = %v, want %v", stage, err, boom)
+			}
+			if residue := listTempResidue(t, path); len(residue) != 0 {
+				t.Fatalf("failed rotation left temp residue: %v", residue)
+			}
+			if aerr := j.Append(rec{1, 2.5}); aerr == nil {
+				t.Fatalf("Append after post-rename rotation failure succeeded; want broken-latch refusal")
+			}
+			j.Close()
+			// The renamed contents are what a fresh Open sees.
+			j2, info := open(t, path)
+			if len(info.Payloads) != 1 || string(info.Payloads[0]) != string(newPayload) {
+				t.Fatalf("reopened journal = %q, want the rotated payload %q", info.Payloads, newPayload)
+			}
+			if err := j2.Append(rec{2, 3.5}); err != nil {
+				t.Fatalf("Append after reopen: %v", err)
+			}
+		})
+	}
+}

@@ -49,6 +49,10 @@ var solverPackages = map[string]bool{
 	"cachesim":   true,
 	"resilience": true,
 	"ctxloop":    true,
+	// The observability and serving layers run unbounded retry (CAS) and
+	// accept/drain shapes of their own; the same discipline applies.
+	"obs":    true,
+	"snoopd": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

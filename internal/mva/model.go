@@ -147,6 +147,10 @@ type Result struct {
 
 	// Iterations is the number of fixed-point iterations used.
 	Iterations int
+	// Residual is the final joint fixed-point delta over (R, w_bus,
+	// w_mem) at convergence — the quantity compared against the
+	// tolerance. Zero on a failed solve.
+	Residual float64
 }
 
 // String renders the headline metrics.

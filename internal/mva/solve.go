@@ -56,7 +56,8 @@ func (m Model) Solve(n int, opts Options) (Result, error) {
 
 // SolveContext is Solve with cancellation: the fixed-point loop checks ctx
 // every few iterations and returns ctx.Err() (wrapped) when it fires.
-func (m Model) SolveContext(ctx context.Context, n int, opts Options) (Result, error) {
+func (m Model) SolveContext(ctx context.Context, n int, opts Options) (res Result, err error) {
+	defer func() { recordSolve(res, opts.Warm != nil, err) }()
 	if opts.Damping == 0 {
 		var lastErr error
 		for _, d := range []float64{1, 0.5, 0.2} {
@@ -259,6 +260,7 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 			math.Max(math.Abs(wBus-prevWBus), math.Abs(wMem-prevWMem)))
 
 		if delta < o.Tol*(1+math.Abs(r)) && !stalled {
+			res.Residual = delta
 			res.R = r
 			res.RLocal = rLocal
 			res.RBroadcast = rBroadcast

@@ -1,0 +1,477 @@
+// Package obs is the observability layer of the repository: a stdlib-only,
+// concurrency-safe metrics registry (counters, gauges, histograms with
+// fixed buckets) with Prometheus text-format exposition and an expvar
+// bridge.
+//
+// The design point is the solver hot path: recording an event costs one or
+// two atomic operations and never allocates, so instrumentation can stay
+// on permanently in library code (the cold-solve median is the benchmark
+// budget it must not move). Series are materialized once — instrumented
+// packages create their metrics at init time (or memoize per label set)
+// and pay only the atomic update per event; the registry lookup happens at
+// creation, not at observation.
+//
+// The package sits at the very bottom of the import graph: it imports only
+// the standard library, so every layer (internal/mva, internal/resilience,
+// the root package, cmd/snoopd) can report into the shared Default
+// registry without cycles.
+//
+// Metric identity follows the Prometheus data model: a family (name, type,
+// help) holds one series per distinct label set. Asking the registry for
+// the same name and labels again returns the same instance, so package
+// init order never double-registers.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// floatBits and floatFromBits name the IEEE-754 reinterpretations used by
+// the lock-free float accumulators.
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Label is one name=value pair attached to a series.
+type Label struct {
+	Name, Value string
+}
+
+// L builds a Label (shorthand for composite-literal noise at call sites).
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metric is the per-series state behind one label set of a family.
+type metric interface {
+	// expose appends the series' exposition lines. fullName is the family
+	// name, labels the canonical rendering ("" or `{a="b"}`).
+	expose(b *strings.Builder, fullName, labels string)
+	// snapshot returns the expvar representation of the series.
+	snapshot() any
+}
+
+// family is one metric family: a name with a fixed type and help string
+// and one series per label set.
+type family struct {
+	name, help, typ string
+	series          map[string]metric // canonical label rendering → series
+}
+
+// Registry is a set of metric families. The zero value is not usable;
+// construct with NewRegistry (or use Default). All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry that library instrumentation
+// (internal/mva, internal/resilience, the campaign runner, …) reports
+// into; cmd/snoopd exposes it at /metrics.
+var Default = NewRegistry()
+
+// lookup returns the series for (name, labels), creating it with mk on
+// first use. It panics when name is already registered as a different
+// metric type or with different help — mixed-type families cannot be
+// exposed and the mismatch is a programming error at the call site.
+func (r *Registry) lookup(name, typ, help string, labels []Label, mk func() metric) metric {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]metric{}}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: internal invariant violated: metric %s registered as both %s and %s", name, f.typ, typ))
+	}
+	m, ok := f.series[key]
+	if !ok {
+		m = mk()
+		f.series[key] = m
+	}
+	return m
+}
+
+// Counter returns the monotonically increasing counter named name with the
+// given labels, creating it on first use. Repeated calls with the same
+// name and labels return the same counter. It panics when name already
+// names a metric of a different type.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.lookup(name, "counter", help, labels, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic("obs: internal invariant violated: counter series holds a different type")
+	}
+	return c
+}
+
+// Gauge returns the gauge named name with the given labels, creating it on
+// first use. It panics when name already names a metric of a different
+// type.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.lookup(name, "gauge", help, labels, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic("obs: internal invariant violated: gauge series holds a different type")
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time — the bridge for state that already has its own counters (e.g. the
+// solve cache's Stats). Re-registering the same name and labels replaces
+// fn. It panics when name already names a metric of a different type.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: "gauge", series: map[string]metric{}}
+		r.families[name] = f
+	}
+	if f.typ != "gauge" {
+		panic(fmt.Sprintf("obs: internal invariant violated: metric %s registered as both %s and gauge", name, f.typ))
+	}
+	f.series[key] = gaugeFunc(fn)
+}
+
+// Histogram returns the fixed-bucket histogram named name with the given
+// labels, creating it on first use. buckets are the inclusive upper bounds
+// of the finite buckets, in strictly increasing order; a final +Inf bucket
+// is implicit. All series of one family must use equal buckets (first
+// registration wins; the bucket layout is part of the family's identity).
+// It panics when name already names a metric of a different type or when
+// buckets are not strictly increasing.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: internal invariant violated: histogram %s buckets not strictly increasing at index %d", name, i))
+		}
+	}
+	m := r.lookup(name, "histogram", help, labels, func() metric {
+		upper := make([]float64, len(buckets))
+		copy(upper, buckets)
+		return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(buckets)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic("obs: internal invariant violated: histogram series holds a different type")
+	}
+	return h
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) expose(b *strings.Builder, fullName, labels string) {
+	b.WriteString(fullName)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+func (c *Counter) snapshot() any { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is usable and
+// reads 0.
+type Gauge struct {
+	bits atomic.Uint64 // IEEE-754 bits of the current value
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Add adds d (negative d subtracts).
+func (g *Gauge) Add(d float64) {
+	// CAS loop over the float bits; trips are bounded by write contention
+	// on this one gauge, not by any data size or iteration budget.
+	//lint:allow ctxloop CAS retry loop, bounded by contention on a single word
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFromBits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatFromBits(g.bits.Load()) }
+
+func (g *Gauge) expose(b *strings.Builder, fullName, labels string) {
+	b.WriteString(fullName)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(g.Value()))
+	b.WriteByte('\n')
+}
+
+func (g *Gauge) snapshot() any { return g.Value() }
+
+// gaugeFunc is a gauge computed at exposition time.
+type gaugeFunc func() float64
+
+func (f gaugeFunc) expose(b *strings.Builder, fullName, labels string) {
+	b.WriteString(fullName)
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(f()))
+	b.WriteByte('\n')
+}
+
+func (f gaugeFunc) snapshot() any { return f() }
+
+// Histogram counts observations into fixed buckets and tracks their sum.
+type Histogram struct {
+	upper []float64 // inclusive upper bounds of the finite buckets
+	// counts[i] counts observations in bucket i (counts[len(upper)] is the
+	// overflow/+Inf bucket). Exposition renders the Prometheus cumulative
+	// form; storage is per-bucket so Observe touches one slot.
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64 // IEEE-754 bits of the observation sum
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few and fixed (≤ ~20); linear scan beats binary search
+	// at this size and keeps the hot path branch-predictable.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	// CAS loop over the sum bits; trips are bounded by write contention.
+	//lint:allow ctxloop CAS retry loop, bounded by contention on a single word
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBits(floatFromBits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return floatFromBits(h.sumBits.Load()) }
+
+func (h *Histogram) expose(b *strings.Builder, fullName, labels string) {
+	var cum uint64
+	for i, up := range h.upper {
+		cum += h.counts[i].Load()
+		writeBucket(b, fullName, labels, formatFloat(up), cum)
+	}
+	cum += h.counts[len(h.upper)].Load()
+	writeBucket(b, fullName, labels, "+Inf", cum)
+	b.WriteString(fullName)
+	b.WriteString("_sum")
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(fullName)
+	b.WriteString("_count")
+	b.WriteString(labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+func writeBucket(b *strings.Builder, fullName, labels, le string, cum uint64) {
+	b.WriteString(fullName)
+	b.WriteString("_bucket")
+	if labels == "" {
+		b.WriteString(`{le="` + le + `"}`)
+	} else {
+		// splice le into the existing label set
+		b.WriteString(labels[:len(labels)-1] + `,le="` + le + `"}`)
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+func (h *Histogram) snapshot() any {
+	buckets := map[string]uint64{}
+	var cum uint64
+	for i, up := range h.upper {
+		cum += h.counts[i].Load()
+		buckets[formatFloat(up)] = cum
+	}
+	cum += h.counts[len(h.upper)].Load()
+	buckets["+Inf"] = cum
+	return map[string]any{"count": cum, "sum": h.Sum(), "buckets": buckets}
+}
+
+// WritePrometheus writes every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// rendering, a # HELP and # TYPE line per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		// Series creation is rare (init- or first-use-time); take the lock
+		// briefly per family for a consistent view of its series map.
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]metric, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+		}
+		r.mu.Unlock()
+		for i, k := range keys {
+			series[i].expose(&b, f.name, k)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Expvar returns an expvar.Func rendering a point-in-time snapshot of
+// every series as a JSON object keyed by "name" or `name{labels}`.
+func (r *Registry) Expvar() expvar.Func {
+	return func() any {
+		out := map[string]any{}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for name, f := range r.families {
+			for k, m := range f.series {
+				out[name+k] = m.snapshot()
+			}
+		}
+		return out
+	}
+}
+
+// PublishExpvar publishes the registry's snapshot under the given expvar
+// name (visible at /debug/vars). Publishing the same name again is a
+// no-op, so repeated setup (tests, multiple servers) is safe.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.Expvar())
+}
+
+// ExpBuckets returns n bucket upper bounds growing geometrically from
+// start by factor — the standard layout for latency and iteration-count
+// histograms. It panics when start or factor make the sequence
+// non-increasing.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: internal invariant violated: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// renderLabels renders a label set canonically: sorted by name,
+// `{a="x",b="y"}`, values escaped; "" for an empty set.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeValue escapes a label value per the exposition format.
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "events", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("events_total", "events", L("kind", "a")); again != c {
+		t.Fatalf("re-registering the same series returned a new instance")
+	}
+	other := r.Counter("events_total", "events", L("kind", "b"))
+	if other == c {
+		t.Fatalf("distinct label sets share a series")
+	}
+	if other.Value() != 0 {
+		t.Fatalf("fresh series not zero")
+	}
+
+	g := r.Gauge("level", "a level")
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Dec()
+	if got := g.Value(); got < 2.99 || got > 3.01 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got < 105.99 || got > 106.01 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`, // 0.5 and the inclusive 1
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMixedTypePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "m")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering m as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("m", "m")
+}
+
+// TestGoldenExposition pins the full exposition format: HELP/TYPE lines,
+// family sorting, series sorting, label escaping, histogram rendering.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last family", L("q", `va"l`)).Add(7)
+	r.Gauge("aa_level", "first family").Set(1.25)
+	r.GaugeFunc("mm_func", "computed gauge", func() float64 { return 42 })
+	h := r.Histogram("hh_seconds", "a histogram", []float64{0.1, 1}, L("op", "solve"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	const want = `# HELP aa_level first family
+# TYPE aa_level gauge
+aa_level 1.25
+# HELP hh_seconds a histogram
+# TYPE hh_seconds histogram
+hh_seconds_bucket{op="solve",le="0.1"} 1
+hh_seconds_bucket{op="solve",le="1"} 2
+hh_seconds_bucket{op="solve",le="+Inf"} 3
+hh_seconds_sum{op="solve"} 2.55
+hh_seconds_count{op="solve"} 3
+# HELP mm_func computed gauge
+# TYPE mm_func gauge
+mm_func 42
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total{q="va\"l"} 7
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpvarSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Add(3)
+	r.Gauge("g", "g", L("x", "y")).Set(1.5)
+	r.Histogram("h", "h", []float64{1}).Observe(0.5)
+	snap, ok := r.Expvar()().(map[string]any)
+	if !ok {
+		t.Fatalf("expvar snapshot is not a map")
+	}
+	if got := snap["c_total"]; got != uint64(3) {
+		t.Fatalf("c_total = %v (%T), want 3", got, got)
+	}
+	if got := snap[`g{x="y"}`]; got != 1.5 {
+		t.Fatalf("g = %v, want 1.5", got)
+	}
+	hm, ok := snap["h"].(map[string]any)
+	if !ok || hm["count"] != uint64(1) {
+		t.Fatalf("h snapshot = %v", snap["h"])
+	}
+	// Publishing twice under one name must not panic.
+	r.PublishExpvar("obs_test_registry")
+	r.PublishExpvar("obs_test_registry")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff < -1e-12 || diff > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRegistryStorm hammers one registry from many goroutines — creation,
+// updates, and exposition concurrently — and checks the final counts. Run
+// under -race this is the memory-safety storm the CI race job repeats.
+func TestRegistryStorm(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Re-look-up each time: creation path under contention.
+				r.Counter("storm_total", "storm", L("mod", string(rune('a'+g%4)))).Inc()
+				r.Gauge("storm_gauge", "storm").Add(1)
+				r.Histogram("storm_hist", "storm", []float64{10, 100, 1000}).Observe(float64(i))
+				if i%500 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, mod := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("storm_total", "storm", L("mod", mod)).Value()
+	}
+	if want := uint64(goroutines * perG); total != want {
+		t.Fatalf("storm counter total = %d, want %d", total, want)
+	}
+	if got := r.Gauge("storm_gauge", "storm").Value(); got < float64(goroutines*perG)-0.5 || got > float64(goroutines*perG)+0.5 {
+		t.Fatalf("storm gauge = %v, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("storm_hist", "storm", []float64{10, 100, 1000}).Count(); got != uint64(goroutines*perG) {
+		t.Fatalf("storm histogram count = %d, want %d", got, goroutines*perG)
+	}
+}

@@ -69,6 +69,7 @@ func (b *Breaker) Allow(k string) bool {
 	}
 	s.skipped++
 	if b.probe > 0 && s.skipped%b.probe == 0 {
+		breakerProbes.Inc()
 		return true // half-open probe
 	}
 	return false
@@ -79,6 +80,9 @@ func (b *Breaker) Success(k string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := b.key(k)
+	if s.open {
+		breakerClosed.Inc()
+	}
 	s.fails = 0
 	s.open = false
 	s.skipped = 0
@@ -91,8 +95,9 @@ func (b *Breaker) Failure(k string) (open bool) {
 	defer b.mu.Unlock()
 	s := b.key(k)
 	s.fails++
-	if s.fails >= b.threshold {
+	if s.fails >= b.threshold && !s.open {
 		s.open = true
+		breakerOpened.Inc()
 	}
 	return s.open
 }

@@ -129,6 +129,10 @@ func Retry(ctx context.Context, p RetryPolicy, classify Classifier, op func(ctx 
 			return attempts, cerr
 		}
 		attempts = attempt
+		retryAttempts.Inc()
+		if attempt > 1 {
+			retryRetries.Inc()
+		}
 		err = op(ctx, attempt)
 		if err == nil {
 			return attempts, nil

@@ -46,6 +46,7 @@ func Watchdog(ctx context.Context, op string, limit time.Duration, fn func(conte
 	case err := <-done:
 		if err != nil && errors.Is(wctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
 			// The budget, not the caller, ended the run: type it.
+			watchdogTimeouts.Inc()
 			return fmt.Errorf("%w: %w", &TimeoutError{Op: op, Limit: limit}, err)
 		}
 		return err
@@ -53,6 +54,7 @@ func Watchdog(ctx context.Context, op string, limit time.Duration, fn func(conte
 		if ctx.Err() != nil {
 			return ctx.Err() // caller cancellation, not a watchdog verdict
 		}
+		watchdogTimeouts.Inc()
 		return &TimeoutError{Op: op, Limit: limit}
 	}
 }

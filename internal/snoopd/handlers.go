@@ -1,0 +1,445 @@
+package snoopd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"snoopmva"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate request (a
+// compare of every preset with a fully spelled-out workload) is a few KB.
+const maxBodyBytes = 1 << 20
+
+// ProtocolSpec names a protocol either by preset name (case-insensitive:
+// "Write-Once", "Synapse", "Berkeley", "Illinois", "Dragon", "RWB",
+// "Write-Through") or as an explicit set of the paper's modifications.
+type ProtocolSpec struct {
+	Name string `json:"name,omitempty"`
+	Mods []int  `json:"mods,omitempty"`
+}
+
+func (ps ProtocolSpec) resolve() (snoopmva.Protocol, error) {
+	switch {
+	case ps.Name != "" && ps.Mods != nil:
+		return snoopmva.Protocol{}, fmt.Errorf("protocol: name and mods are mutually exclusive")
+	case ps.Name != "":
+		p, ok := snoopmva.ProtocolByName(ps.Name)
+		if !ok {
+			return snoopmva.Protocol{}, fmt.Errorf("protocol: unknown name %q", ps.Name)
+		}
+		return p, nil
+	case ps.Mods != nil:
+		return snoopmva.WithMods(ps.Mods...), nil
+	default:
+		return snoopmva.Protocol{}, fmt.Errorf("protocol: specify name or mods")
+	}
+}
+
+// WorkloadSpec selects a workload: one of the paper's Appendix A sharing
+// levels (1, 5 or 20), the Section 4.3 stress test, or fully spelled-out
+// parameters. Params may also be combined with appendix_a or stress, in
+// which case non-zero params override the base workload's fields.
+type WorkloadSpec struct {
+	AppendixA *int            `json:"appendix_a,omitempty"`
+	Stress    bool            `json:"stress,omitempty"`
+	Params    *WorkloadParams `json:"params,omitempty"`
+}
+
+// WorkloadParams mirrors snoopmva.Workload field-for-field on the wire.
+type WorkloadParams struct {
+	Tau         float64 `json:"tau"`
+	PPrivate    float64 `json:"p_private"`
+	PSro        float64 `json:"p_sro"`
+	PSw         float64 `json:"p_sw"`
+	HPrivate    float64 `json:"h_private"`
+	HSro        float64 `json:"h_sro"`
+	HSw         float64 `json:"h_sw"`
+	RPrivate    float64 `json:"r_private"`
+	RSw         float64 `json:"r_sw"`
+	AmodPrivate float64 `json:"amod_private"`
+	AmodSw      float64 `json:"amod_sw"`
+	CsupplySro  float64 `json:"csupply_sro"`
+	CsupplySw   float64 `json:"csupply_sw"`
+	WbCsupply   float64 `json:"wb_csupply"`
+	RepP        float64 `json:"rep_p"`
+	RepSw       float64 `json:"rep_sw"`
+	FixedParams bool    `json:"fixed_params,omitempty"`
+}
+
+func (wp WorkloadParams) workload() snoopmva.Workload {
+	return snoopmva.Workload{
+		Tau:      wp.Tau,
+		PPrivate: wp.PPrivate, PSro: wp.PSro, PSw: wp.PSw,
+		HPrivate: wp.HPrivate, HSro: wp.HSro, HSw: wp.HSw,
+		RPrivate: wp.RPrivate, RSw: wp.RSw,
+		AmodPrivate: wp.AmodPrivate, AmodSw: wp.AmodSw,
+		CsupplySro: wp.CsupplySro, CsupplySw: wp.CsupplySw,
+		WbCsupply: wp.WbCsupply,
+		RepP:      wp.RepP, RepSw: wp.RepSw,
+		FixedParams: wp.FixedParams,
+	}
+}
+
+func (ws WorkloadSpec) resolve() (snoopmva.Workload, error) {
+	if ws.AppendixA != nil && ws.Stress {
+		return snoopmva.Workload{}, fmt.Errorf("workload: appendix_a and stress are mutually exclusive")
+	}
+	switch {
+	case ws.AppendixA != nil:
+		lvl := *ws.AppendixA
+		if lvl != 1 && lvl != 5 && lvl != 20 {
+			return snoopmva.Workload{}, fmt.Errorf("workload: appendix_a sharing level must be 1, 5 or 20, got %d", lvl)
+		}
+		w := snoopmva.AppendixA(snoopmva.Sharing(lvl))
+		if ws.Params != nil {
+			return snoopmva.Workload{}, fmt.Errorf("workload: params with appendix_a is not supported; spell the workload out fully")
+		}
+		return w, nil
+	case ws.Stress:
+		if ws.Params != nil {
+			return snoopmva.Workload{}, fmt.Errorf("workload: params with stress is not supported; spell the workload out fully")
+		}
+		return snoopmva.StressWorkload(), nil
+	case ws.Params != nil:
+		return ws.Params.workload(), nil
+	default:
+		return snoopmva.Workload{}, fmt.Errorf("workload: specify appendix_a, stress, or params")
+	}
+}
+
+// TimingSpec mirrors snoopmva.Timing; omit (or zero) for the paper's
+// defaults.
+type TimingSpec struct {
+	TSupply   float64 `json:"t_supply,omitempty"`
+	TWrite    float64 `json:"t_write,omitempty"`
+	TInval    float64 `json:"t_inval,omitempty"`
+	DMem      float64 `json:"d_mem,omitempty"`
+	BlockSize int     `json:"block_size,omitempty"`
+	TBlock    float64 `json:"t_block,omitempty"`
+}
+
+func (ts *TimingSpec) timing() snoopmva.Timing {
+	if ts == nil {
+		return snoopmva.Timing{}
+	}
+	return snoopmva.Timing{
+		TSupply: ts.TSupply, TWrite: ts.TWrite, TInval: ts.TInval,
+		DMem: ts.DMem, BlockSize: ts.BlockSize, TBlock: ts.TBlock,
+	}
+}
+
+// OptionsSpec mirrors snoopmva.Options; omit for the paper's scheme.
+type OptionsSpec struct {
+	Tolerance            float64 `json:"tolerance,omitempty"`
+	MaxIterations        int     `json:"max_iterations,omitempty"`
+	NoCacheInterference  bool    `json:"no_cache_interference,omitempty"`
+	NoMemoryInterference bool    `json:"no_memory_interference,omitempty"`
+	NoResidualLife       bool    `json:"no_residual_life,omitempty"`
+	ExponentialBus       bool    `json:"exponential_bus,omitempty"`
+	NoArrivalCorrection  bool    `json:"no_arrival_correction,omitempty"`
+	SplitTransactionBus  bool    `json:"split_transaction_bus,omitempty"`
+}
+
+func (os *OptionsSpec) options() snoopmva.Options {
+	if os == nil {
+		return snoopmva.Options{}
+	}
+	return snoopmva.Options{
+		Tolerance:            os.Tolerance,
+		MaxIterations:        os.MaxIterations,
+		NoCacheInterference:  os.NoCacheInterference,
+		NoMemoryInterference: os.NoMemoryInterference,
+		NoResidualLife:       os.NoResidualLife,
+		ExponentialBus:       os.ExponentialBus,
+		NoArrivalCorrection:  os.NoArrivalCorrection,
+		SplitTransactionBus:  os.SplitTransactionBus,
+	}
+}
+
+// ResultJSON is the wire form of snoopmva.Result.
+type ResultJSON struct {
+	N               int     `json:"n"`
+	Speedup         float64 `json:"speedup"`
+	ProcessingPower float64 `json:"processing_power"`
+	R               float64 `json:"r"`
+	BusUtilization  float64 `json:"bus_utilization"`
+	BusWait         float64 `json:"bus_wait"`
+	MemUtilization  float64 `json:"mem_utilization"`
+	MemWait         float64 `json:"mem_wait"`
+	Iterations      int     `json:"iterations"`
+}
+
+func toResultJSON(r snoopmva.Result) ResultJSON {
+	return ResultJSON{
+		N:               r.N,
+		Speedup:         r.Speedup,
+		ProcessingPower: r.ProcessingPower,
+		R:               r.R,
+		BusUtilization:  r.BusUtilization,
+		BusWait:         r.BusWait,
+		MemUtilization:  r.MemUtilization,
+		MemWait:         r.MemWait,
+		Iterations:      r.Iterations,
+	}
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	Protocol  ProtocolSpec `json:"protocol"`
+	Workload  WorkloadSpec `json:"workload"`
+	N         int          `json:"n"`
+	Timing    *TimingSpec  `json:"timing,omitempty"`
+	Options   *OptionsSpec `json:"options,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve.
+type SolveResponse struct {
+	Result ResultJSON `json:"result"`
+}
+
+// SweepRequest is the body of POST /v1/sweep. Parallel selects the
+// worker-pool sweep (cold per-size solves) over the warm-started
+// sequential one.
+type SweepRequest struct {
+	Protocol  ProtocolSpec `json:"protocol"`
+	Workload  WorkloadSpec `json:"workload"`
+	Ns        []int        `json:"ns"`
+	Parallel  bool         `json:"parallel,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep; results are
+// in request order.
+type SweepResponse struct {
+	Results []ResultJSON `json:"results"`
+}
+
+// CompareRequest is the body of POST /v1/compare. An empty protocols list
+// means every named preset.
+type CompareRequest struct {
+	Protocols []ProtocolSpec `json:"protocols,omitempty"`
+	Workload  WorkloadSpec   `json:"workload"`
+	N         int            `json:"n"`
+	TimeoutMS int64          `json:"timeout_ms,omitempty"`
+}
+
+// CompareEntry pairs a protocol with its result.
+type CompareEntry struct {
+	Protocol string     `json:"protocol"`
+	Result   ResultJSON `json:"result"`
+}
+
+// CompareResponse is the body of a successful POST /v1/compare.
+type CompareResponse struct {
+	Results []CompareEntry `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// decode reads a strict JSON body into v: unknown fields, trailing
+// garbage and oversized bodies are errors.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// requestContext derives the solve context from the request: the client
+// disconnect cancellation from r.Context(), plus the requested (or
+// default) deadline, capped by cfg.MaxTimeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return nil, nil, fmt.Errorf("timeout_ms: must be non-negative, got %d", timeoutMS)
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d == 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if max := s.cfg.MaxTimeout; max > 0 && (d == 0 || d > max) {
+		d = max
+	}
+	if d == 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// badRequest writes a 400 with the given message.
+func badRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: msg, Code: "invalid_input"})
+}
+
+// writeSolveError maps a solver failure onto the HTTP status taxonomy.
+func writeSolveError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, snoopmva.ErrInvalidInput):
+		status, code = http.StatusBadRequest, "invalid_input"
+	case errors.Is(err, snoopmva.ErrCanceled):
+		status, code = http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, snoopmva.ErrNoConvergence):
+		status, code = http.StatusUnprocessableEntity, "no_convergence"
+	case errors.Is(err, snoopmva.ErrDiverged):
+		status, code = http.StatusUnprocessableEntity, "diverged"
+	case errors.Is(err, snoopmva.ErrStateExplosion):
+		status, code = http.StatusUnprocessableEntity, "state_explosion"
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	p, err := req.Protocol.resolve()
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	wl, err := req.Workload.resolve()
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	ctx, cancel, err := s.requestContext(r, req.TimeoutMS)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	defer cancel()
+	var res snoopmva.Result
+	if s.cfg.Cache != nil {
+		res, err = s.cfg.Cache.SolveWithContext(ctx, p, wl, req.Timing.timing(), req.N, req.Options.options())
+	} else {
+		res, err = snoopmva.SolveWithContext(ctx, p, wl, req.Timing.timing(), req.N, req.Options.options())
+	}
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{Result: toResultJSON(res)})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	if len(req.Ns) == 0 {
+		badRequest(w, "ns: at least one system size is required")
+		return
+	}
+	p, err := req.Protocol.resolve()
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	wl, err := req.Workload.resolve()
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	ctx, cancel, err := s.requestContext(r, req.TimeoutMS)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	defer cancel()
+	var results []snoopmva.Result
+	switch {
+	case s.cfg.Cache != nil && req.Parallel:
+		results, err = s.cfg.Cache.SweepParallelContext(ctx, p, wl, req.Ns)
+	case s.cfg.Cache != nil:
+		results, err = s.cfg.Cache.SweepContext(ctx, p, wl, req.Ns)
+	case req.Parallel:
+		results, err = snoopmva.SweepParallelContext(ctx, p, wl, req.Ns)
+	default:
+		results, err = snoopmva.SweepContext(ctx, p, wl, req.Ns)
+	}
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	out := make([]ResultJSON, len(results))
+	for i, res := range results {
+		out[i] = toResultJSON(res)
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{Results: out})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req CompareRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	var ps []snoopmva.Protocol
+	if len(req.Protocols) == 0 {
+		ps = snoopmva.Protocols()
+	} else {
+		ps = make([]snoopmva.Protocol, len(req.Protocols))
+		for i, spec := range req.Protocols {
+			p, err := spec.resolve()
+			if err != nil {
+				badRequest(w, fmt.Sprintf("protocols[%d]: %v", i, err))
+				return
+			}
+			ps[i] = p
+		}
+	}
+	wl, err := req.Workload.resolve()
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	ctx, cancel, err := s.requestContext(r, req.TimeoutMS)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	defer cancel()
+	var results []snoopmva.Result
+	if s.cfg.Cache != nil {
+		results, err = s.cfg.Cache.CompareContext(ctx, ps, wl, req.N)
+	} else {
+		results, err = snoopmva.CompareParallelContext(ctx, ps, wl, req.N)
+	}
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	out := make([]CompareEntry, len(results))
+	for i, res := range results {
+		out[i] = CompareEntry{Protocol: ps[i].String(), Result: toResultJSON(res)}
+	}
+	writeJSON(w, http.StatusOK, CompareResponse{Results: out})
+}

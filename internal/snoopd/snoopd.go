@@ -1,0 +1,134 @@
+// Package snoopd implements the snoopmva HTTP service: JSON solve
+// endpoints over the deterministic solvers (POST /v1/solve, /v1/sweep,
+// /v1/compare), Prometheus text-format metrics at /metrics, liveness at
+// /healthz, and the standard profiling surface at /debug/pprof. Request
+// deadlines are wired straight into the solvers' contexts, so a client
+// timeout (or disconnect) cancels the computation it was paying for, and
+// the failure taxonomy of the root package maps onto HTTP status codes:
+//
+//	ErrInvalidInput                              → 400
+//	ErrNoConvergence, ErrDiverged, ErrStateExplosion → 422
+//	ErrCanceled (deadline or disconnect)          → 504
+//	anything else                                → 500
+//
+// The Server is an http.Handler; graceful shutdown (draining in-flight
+// solves) is the enclosing http.Server's Shutdown, which cmd/snoopd wires
+// to SIGINT/SIGTERM.
+package snoopd
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"snoopmva"
+	"snoopmva/internal/obs"
+)
+
+// Config configures a Server. The zero value serves the uncached solvers
+// with metrics on obs.Default and no server-imposed deadlines.
+type Config struct {
+	// Registry receives the HTTP-layer metrics and the /metrics
+	// exposition. Nil means obs.Default — which is also where the solver
+	// libraries report, so the default wiring exposes everything.
+	Registry *obs.Registry
+	// Cache, when non-nil, serves every endpoint through the shared
+	// CachedSolver (its counters are bridged into Registry under
+	// cache="snoopd"). Nil serves the uncached package-level solvers.
+	Cache *snoopmva.CachedSolver
+	// DefaultTimeout is applied to requests that carry no timeout_ms.
+	// Zero means no server-imposed deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms. Zero means no cap.
+	MaxTimeout time.Duration
+}
+
+// Server is the snoopd HTTP handler. Construct with New.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	mux      *http.ServeMux
+	inflight *obs.Gauge
+	latency  map[string]*obs.Histogram // route → latency histogram
+}
+
+// New builds a Server from cfg and registers its routes and metrics.
+func New(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		mux:      http.NewServeMux(),
+		inflight: reg.Gauge("snoopmva_http_inflight_requests", "Requests currently being served."),
+		latency:  map[string]*obs.Histogram{},
+	}
+	if cfg.Cache != nil {
+		cfg.Cache.RegisterMetrics(reg, "snoopd")
+	}
+
+	s.route("POST /v1/solve", s.handleSolve)
+	s.route("POST /v1/sweep", s.handleSweep)
+	s.route("POST /v1/compare", s.handleCompare)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+
+	reg.PublishExpvar("snoopmva")
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// route registers pattern with the standard instrumentation: an in-flight
+// gauge, a per-route latency histogram, and a requests counter labeled by
+// route and status code.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	lat := s.reg.Histogram("snoopmva_http_request_seconds",
+		"Request latency by route.",
+		obs.ExpBuckets(1e-5, 4, 10), obs.L("route", pattern))
+	s.latency[pattern] = lat
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		// Series creation memoizes on (name, labels), so this is a map
+		// lookup plus one atomic add per request — fine off the hot path.
+		s.reg.Counter("snoopmva_http_requests_total", "Requests served, by route and status code.",
+			obs.L("route", pattern), obs.L("code", strconv.Itoa(sw.code))).Inc()
+	})
+}
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}

@@ -1,0 +1,374 @@
+package snoopd
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"snoopmva"
+	"snoopmva/internal/faultinject"
+	"snoopmva/internal/obs"
+)
+
+// newTestServer builds a Server on a fresh registry so metric assertions
+// are not polluted by other tests sharing obs.Default.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	return New(cfg)
+}
+
+func post(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decodeError(t *testing.T, w *httptest.ResponseRecorder) ErrorResponse {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not ErrorResponse JSON: %v\n%s", err, w.Body.String())
+	}
+	return e
+}
+
+const solveBody = `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 10}`
+
+func TestSolveSuccess(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/solve", solveBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Result.N != 10 || resp.Result.Speedup <= 1 || resp.Result.Iterations < 1 {
+		t.Fatalf("implausible result: %+v", resp.Result)
+	}
+	// The HTTP response must match the library bit-for-bit.
+	want, err := snoopmva.Solve(snoopmva.Illinois(), snoopmva.AppendixA(snoopmva.Sharing5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Speedup != want.Speedup || resp.Result.R != want.R {
+		t.Fatalf("served result diverges from library: got %+v want %+v", resp.Result, want)
+	}
+}
+
+func TestSolveWithTimingOptionsAndParams(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// Spell out the Appendix A 5% workload verbatim through params and a
+	// non-default timing; it must solve (exact values are the library's
+	// business — this pins the full wire surface end to end).
+	base := snoopmva.AppendixA(snoopmva.Sharing5)
+	params, err := json.Marshal(WorkloadParams{
+		Tau: base.Tau, PPrivate: base.PPrivate, PSro: base.PSro, PSw: base.PSw,
+		HPrivate: base.HPrivate, HSro: base.HSro, HSw: base.HSw,
+		RPrivate: base.RPrivate, RSw: base.RSw,
+		AmodPrivate: base.AmodPrivate, AmodSw: base.AmodSw,
+		CsupplySro: base.CsupplySro, CsupplySw: base.CsupplySw,
+		WbCsupply: base.WbCsupply, RepP: base.RepP, RepSw: base.RepSw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"protocol": {"mods": [1,2,3]}, "workload": {"params": ` + string(params) + `},
+		"n": 16, "timing": {"d_mem": 5, "block_size": 8, "t_block": 8},
+		"options": {"tolerance": 1e-8}}`
+	w := post(t, s, "/v1/solve", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+}
+
+func TestSolveMalformedBodies(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := map[string]string{
+		"not json":        `{`,
+		"unknown field":   `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 10, "bogus": 1}`,
+		"trailing data":   solveBody + `{"again": true}`,
+		"no protocol":     `{"workload": {"appendix_a": 5}, "n": 10}`,
+		"name and mods":   `{"protocol": {"name": "Illinois", "mods": [1]}, "workload": {"appendix_a": 5}, "n": 10}`,
+		"unknown preset":  `{"protocol": {"name": "MESIF"}, "workload": {"appendix_a": 5}, "n": 10}`,
+		"no workload":     `{"protocol": {"name": "Illinois"}, "n": 10}`,
+		"bad sharing":     `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 7}, "n": 10}`,
+		"stress+appendix": `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5, "stress": true}, "n": 10}`,
+		"negative n":      `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": -3}`,
+		"bad timeout":     `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 10, "timeout_ms": -1}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			w := post(t, s, "/v1/solve", body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body %s", w.Code, w.Body.String())
+			}
+			if e := decodeError(t, w); e.Code != "invalid_input" || e.Error == "" {
+				t.Fatalf("error = %+v", e)
+			}
+		})
+	}
+}
+
+func TestSolveNoConvergenceMapsTo422(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 10,
+		"options": {"max_iterations": 1}}`
+	w := post(t, s, "/v1/solve", body)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422; body %s", w.Code, w.Body.String())
+	}
+	if e := decodeError(t, w); e.Code != "no_convergence" {
+		t.Fatalf("error = %+v", e)
+	}
+}
+
+func TestSolveDeadlineMapsTo504(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// An already-fired request context is how both an expired deadline and
+	// a client disconnect reach the solver; it must surface as 504 via
+	// ErrCanceled, not as a 500. The MVA loop checks ctx every 64
+	// iterations and this configuration converges sooner, so stall
+	// convergence to guarantee the solver reaches a cancellation check.
+	restore := faultinject.Activate(&faultinject.Set{
+		MVAStall: func(int) bool { return true },
+	})
+	defer restore()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(solveBody)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", w.Code, w.Body.String())
+	}
+	if e := decodeError(t, w); e.Code != "deadline_exceeded" {
+		t.Fatalf("error = %+v", e)
+	}
+}
+
+func TestSweepSuccessAndParallel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"protocol": {"name": "Berkeley"}, "workload": {"appendix_a": 5}, "ns": [1, 2, 4, 8]}`,
+		`{"protocol": {"name": "Berkeley"}, "workload": {"appendix_a": 5}, "ns": [1, 2, 4, 8], "parallel": true}`,
+	} {
+		w := post(t, s, "/v1/sweep", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+		}
+		var resp SweepResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != 4 {
+			t.Fatalf("got %d results, want 4", len(resp.Results))
+		}
+		for i, n := range []int{1, 2, 4, 8} {
+			if resp.Results[i].N != n {
+				t.Fatalf("results[%d].N = %d, want %d (input order)", i, resp.Results[i].N, n)
+			}
+		}
+	}
+}
+
+func TestSweepEmptyNsIs400(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/sweep", `{"protocol": {"name": "Berkeley"}, "workload": {"appendix_a": 5}, "ns": []}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+}
+
+func TestCompareDefaultsToAllPresets(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/compare", `{"workload": {"appendix_a": 5}, "n": 10}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp CompareResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(snoopmva.Protocols()); len(resp.Results) != want {
+		t.Fatalf("got %d entries, want %d (every preset)", len(resp.Results), want)
+	}
+	for _, e := range resp.Results {
+		if e.Protocol == "" || e.Result.Speedup <= 0 {
+			t.Fatalf("implausible entry: %+v", e)
+		}
+	}
+}
+
+func TestCompareNamedSubset(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := post(t, s, "/v1/compare", `{"protocols": [{"name": "Illinois"}, {"mods": [2, 3]}],
+		"workload": {"appendix_a": 20}, "n": 8}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp CompareResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || !strings.HasPrefix(resp.Results[0].Protocol, "Illinois") {
+		t.Fatalf("entries: %+v", resp.Results)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Body.String() != "ok\n" {
+		t.Fatalf("healthz: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/solve", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve status = %d, want 405", w.Code)
+	}
+}
+
+// TestMetricsExposition drives one successful and one failed solve and
+// pins the exposition lines the HTTP layer must emit: the requests
+// counter split by route and code, the latency histogram's count, the
+// format's HELP/TYPE headers and content type.
+func TestMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Registry: reg})
+	if w := post(t, s, "/v1/solve", solveBody); w.Code != http.StatusOK {
+		t.Fatalf("solve: %d", w.Code)
+	}
+	if w := post(t, s, "/v1/solve", `{`); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed solve: %d", w.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# HELP snoopmva_http_requests_total Requests served, by route and status code.\n",
+		"# TYPE snoopmva_http_requests_total counter\n",
+		`snoopmva_http_requests_total{code="200",route="POST /v1/solve"} 1` + "\n",
+		`snoopmva_http_requests_total{code="400",route="POST /v1/solve"} 1` + "\n",
+		"# TYPE snoopmva_http_request_seconds histogram\n",
+		`snoopmva_http_request_seconds_count{route="POST /v1/solve"} 2` + "\n",
+		"# TYPE snoopmva_http_inflight_requests gauge\n",
+		// The /metrics request itself is in flight while it renders.
+		"snoopmva_http_inflight_requests 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, body)
+		}
+	}
+}
+
+// TestCachedServerSharesSolves pins the shared-CachedSolver wiring: a
+// repeated identical solve is a cache hit, visible through the bridged
+// cache gauges on /metrics.
+func TestCachedServerSharesSolves(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Registry: reg, Cache: snoopmva.NewCachedSolver(64)})
+	for i := 0; i < 3; i++ {
+		if w := post(t, s, "/v1/solve", solveBody); w.Code != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	body := w.Body.String()
+	for _, want := range []string{
+		`snoopmva_solvecache_hits_total{cache="snoopd"} 2` + "\n",
+		`snoopmva_solvecache_misses_total{cache="snoopd"} 1` + "\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, body)
+		}
+	}
+}
+
+// TestPprofIndex confirms the profiling surface is mounted.
+func TestPprofIndex(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: %d", w.Code)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight starts a real listener, parks a
+// request inside a handler, calls Shutdown, and verifies (a) Shutdown
+// waits for the in-flight request, (b) the request completes with 200.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	// Hold the solve hostage via a request deadline long enough for the
+	// shutdown to start first: use a sweep large enough to take a moment.
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/solve" {
+			close(entered)
+			<-release
+		}
+		s.ServeHTTP(w, r)
+	})
+	ts.Config.Handler = wrapped
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(solveBody))
+		if err != nil {
+			done <- -1
+			return
+		}
+		defer resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- ts.Config.Shutdown(context.Background()) }()
+
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a request was still in flight")
+	default:
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+}

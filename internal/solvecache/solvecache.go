@@ -27,6 +27,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"snoopmva/internal/obs"
 )
 
 // numShards is the shard count. Shard selection uses the key fingerprint,
@@ -141,9 +143,10 @@ type Stats struct {
 	Entries int
 }
 
-// HitRate returns Hits/(Hits+Misses+Coalesced), the fraction of lookups
-// that did not start a computation of their own beyond coalescing; zero
-// when no lookups have happened.
+// HitRate returns (Hits+Coalesced)/(Hits+Misses+Coalesced): the fraction
+// of lookups that did not run a computation of their own — served from a
+// resident entry or piggybacked on another caller's in-flight compute.
+// Zero when no lookups have happened.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses + s.Coalesced
 	if total == 0 {
@@ -286,6 +289,21 @@ func (c *Cache) Stats() Stats {
 		sh.mu.Unlock()
 	}
 	return s
+}
+
+// RegisterMetrics bridges the cache's Stats counters into reg as gauges
+// under the given metric-name prefix (e.g. "snoopmva_solvecache"),
+// labeled cache=label so several caches can share a registry. The gauges
+// read a fresh Stats snapshot at exposition time; nothing is added to the
+// lookup hot path.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, prefix, label string) {
+	l := obs.L("cache", label)
+	reg.GaugeFunc(prefix+"_hits_total", "Lookups served from a resident entry.", func() float64 { return float64(c.hits.Load()) }, l)
+	reg.GaugeFunc(prefix+"_misses_total", "Lookups that ran the underlying compute.", func() float64 { return float64(c.misses.Load()) }, l)
+	reg.GaugeFunc(prefix+"_coalesced_total", "Lookups that piggybacked on an in-flight compute.", func() float64 { return float64(c.coalesced.Load()) }, l)
+	reg.GaugeFunc(prefix+"_evictions_total", "Entries dropped by the per-shard LRU bound.", func() float64 { return float64(c.evictions.Load()) }, l)
+	reg.GaugeFunc(prefix+"_entries", "Current resident entries across all shards.", func() float64 { return float64(c.Stats().Entries) }, l)
+	reg.GaugeFunc(prefix+"_hit_rate", "(Hits+Coalesced)/(Hits+Misses+Coalesced) — the documented Stats.HitRate.", func() float64 { return c.Stats().HitRate() }, l)
 }
 
 // Purge drops every resident entry (in-flight computations are unaffected

@@ -230,3 +230,26 @@ func TestKeyStringIsStable(t *testing.T) {
 		t.Fatal("empty key string")
 	}
 }
+
+// TestHitRateCountsCoalescedAsHits pins the documented semantics of
+// Stats.HitRate: coalesced lookups count as served-without-computing in
+// the numerator AND as lookups in the denominator — the formula is
+// (Hits+Coalesced)/(Hits+Misses+Coalesced). The regression this guards:
+// the doc comment once described a miss-exclusive ratio while the code
+// computed the coalesced-inclusive one.
+func TestHitRateCountsCoalescedAsHits(t *testing.T) {
+	cases := []struct {
+		s    Stats
+		want float64
+	}{
+		{Stats{Hits: 1, Misses: 1, Coalesced: 2}, 0.75},
+		{Stats{Hits: 0, Misses: 1, Coalesced: 3}, 0.75},
+		{Stats{Hits: 0, Misses: 0, Coalesced: 4}, 1.0},
+		{Stats{Hits: 0, Misses: 5, Coalesced: 0}, 0.0},
+	}
+	for _, tc := range cases {
+		if got := tc.s.HitRate(); got != tc.want {
+			t.Errorf("Stats%+v.HitRate() = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}

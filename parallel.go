@@ -57,11 +57,21 @@ func sweepParallel(ctx context.Context, ns []int, solve func(ctx context.Context
 			}
 		}()
 	}
+feed:
 	for idx := range ns {
 		if failed.Load() || ctx.Err() != nil {
 			break
 		}
-		work <- idx
+		// Select on the send: the work channel is unbuffered, so with every
+		// worker busy in a slow solve a bare send would park the feeder with
+		// no cancellation path — cancellation latency would be bounded only
+		// by the slowest in-flight solve, and a size could be handed to a
+		// worker after ctx had already fired.
+		select {
+		case work <- idx:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()

@@ -3,9 +3,11 @@ package snoopmva
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"snoopmva/internal/faultinject"
 	"snoopmva/internal/stats"
@@ -188,5 +190,66 @@ func TestCompareParallelMatchesSequential(t *testing.T) {
 	}
 	if _, err := CompareParallel([]Protocol{WithMods(9)}, w, 4); err == nil {
 		t.Error("invalid protocol accepted")
+	}
+}
+
+// TestSweepParallelFeederCancellationWithBlockedWorkers pins the feeder's
+// cancellation path: with every worker parked inside a slow solve (one
+// that does not return until released), the feeder is blocked on the
+// unbuffered work channel. Cancelling the context must make the feeder
+// stop scheduling immediately — via the select on the send — rather than
+// handing the pending size to a worker after cancellation. The regression
+// this guards: a bare `work <- idx` send parks the feeder with no
+// ctx.Done() escape, so one extra solve always started after cancel.
+func TestSweepParallelFeederCancellationWithBlockedWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	workers := runtime.GOMAXPROCS(0)
+	ns := make([]int, workers+4) // more sizes than workers: the feeder must block on a send
+	for i := range ns {
+		ns[i] = i + 1
+	}
+
+	gate := make(chan struct{})
+	var started atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		_, err := sweepParallel(ctx, ns, func(ctx context.Context, n int) (Result, error) {
+			started.Add(1)
+			<-gate // a slow solve that ignores ctx: the worst case for the feeder
+			return Result{}, ctx.Err()
+		})
+		done <- err
+	}()
+
+	// Wait until every worker is parked inside a solve; the feeder is then
+	// blocked trying to hand over the next size.
+	deadline := time.After(10 * time.Second)
+	for int(started.Load()) < workers {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d workers started a solve", started.Load(), workers)
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	cancel()
+	// Give a regressed feeder the chance to (wrongly) deliver the pending
+	// size once a worker frees up; with the fix it has already exited.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("sweep did not return after cancellation and gate release")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := int(started.Load()); got != workers {
+		t.Fatalf("%d solves started, want exactly %d: the feeder scheduled new work after cancellation", got, workers)
 	}
 }

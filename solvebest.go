@@ -74,6 +74,11 @@ type BestResult struct {
 // immediately with ErrInvalidInput since no model could accept it.
 func SolveBest(ctx context.Context, p Protocol, w Workload, n int, b Budget) (best BestResult, err error) {
 	defer guard(&err)
+	defer func() {
+		if err == nil {
+			recordBestResult(best)
+		}
+	}()
 	// Validate once up front: an input no model accepts must not burn the
 	// GTPN and simulator budgets before failing.
 	if _, err := model(p, w, Timing{}); err != nil {
