@@ -161,6 +161,32 @@ type campaignRecord struct {
 // errCampaignCrash marks the injected mid-run crash of the chaos tests.
 var errCampaignCrash = errors.New("snoopmva: campaign: injected crash")
 
+// SpecMismatchError reports a Resume against a journal written by a
+// different campaign spec: the header fingerprint in the journal does not
+// match the fingerprint of the grid being resumed, so continuing would
+// silently mix results of different campaigns. It names both fingerprints
+// so the caller can tell which side changed; errors.Is matches
+// ErrInvalidInput.
+type SpecMismatchError struct {
+	// Path is the journal file that refused the resume.
+	Path string
+	// JournalFingerprint and JournalPoints describe the campaign the
+	// journal was written by.
+	JournalFingerprint string
+	JournalPoints      int
+	// SpecFingerprint and SpecPoints describe the campaign being resumed.
+	SpecFingerprint string
+	SpecPoints      int
+}
+
+func (e *SpecMismatchError) Error() string {
+	return fmt.Sprintf("snoopmva: journal %s was written by a different campaign spec: journal fingerprint %s (%d points) != spec fingerprint %s (%d points); resume with the original grid, or start a fresh journal",
+		e.Path, e.JournalFingerprint, e.JournalPoints, e.SpecFingerprint, e.SpecPoints)
+}
+
+// Unwrap classifies the mismatch as invalid input for errors.Is.
+func (e *SpecMismatchError) Unwrap() error { return ErrInvalidInput }
+
 // ladder stage keys, matching Method values.
 const (
 	stageGTPN = string(MethodGTPN)
@@ -198,17 +224,20 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 		breaker = resilience.NewBreaker(threshold, spec.BreakerProbe)
 	}
 
-	fp := campaignFingerprint(spec.Points)
+	fp := CampaignFingerprint(spec.Points)
 	completed := map[int]PointResult{}
-	var jn *journal.Journal
+	var cj *CampaignJournal
 	if spec.Journal != "" {
-		j, done, jerr := openCampaignJournal(spec, fp, breaker)
+		j, jerr := OpenCampaignJournal(spec.Journal, fp, len(spec.Points), spec.Resume)
 		if jerr != nil {
 			return CampaignResult{}, jerr
 		}
-		jn = j
-		defer jn.Close()
-		completed = done
+		cj = j
+		defer cj.Close()
+		completed = cj.Completed()
+		if breaker != nil {
+			breaker.Restore(cj.breakerStates())
+		}
 	}
 
 	results := make([]PointResult, len(spec.Points))
@@ -237,7 +266,6 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 		mu          sync.Mutex // serializes journal appends and crash checks
 		recorded    int        // records appended by this run
 		crashed     atomic.Bool
-		journalErr  error // latched: after one failed append, no worker appends again
 		lastBreaker = map[string]resilience.BreakerState{}
 	)
 	record := func(pr PointResult) error {
@@ -246,18 +274,11 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 		if crashed.Load() {
 			return errCampaignCrash
 		}
-		if journalErr != nil {
-			// A failed append may have left a partial record on disk (the
-			// journal rolls back, but the rollback itself can fail, e.g. on
-			// ENOSPC). Appending after it would concatenate onto that
-			// partial line and turn a recoverable torn tail into mid-file
-			// corruption, so journaling is latched off for the rest of the
-			// run and the campaign surfaces the original error.
-			return journalErr
-		}
-		if jn != nil {
-			if err := jn.Append(campaignRecord{Kind: "point", Point: &pr}); err != nil {
-				journalErr = err
+		if cj != nil {
+			// After one failed append, CampaignJournal latches itself off and
+			// every later Append returns the original error, so a partial
+			// record left by a failed rollback is never concatenated onto.
+			if err := cj.Append(pr); err != nil {
 				return err
 			}
 			recorded++
@@ -271,8 +292,7 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (res CampaignResult, er
 						continue
 					}
 					lastBreaker[st.Key] = st
-					if err := jn.Append(campaignRecord{Kind: "breaker", Stage: st.Key, Failures: st.Failures, Open: st.Open}); err != nil {
-						journalErr = err
+					if err := cj.appendBreaker(st); err != nil {
 						return err
 					}
 					recorded++
@@ -353,30 +373,53 @@ feed:
 	return res, nil
 }
 
-// openCampaignJournal opens (or creates) the campaign journal, verifies
-// the header against the spec fingerprint, loads completed points,
-// restores breaker state, and compacts the journal back to a canonical
+// CampaignJournal is an open campaign checkpoint log: the crash-safe
+// journal of DESIGN.md §10 with the campaign record schema (fingerprinted
+// header, point records, breaker records) layered on top. It is the
+// durability substrate shared by RunCampaign and the distributed
+// coordinator (internal/dispatch, cmd/campaignd) — both write the same
+// on-disk format, so their journals are mutually resumable for the same
+// grid.
+type CampaignJournal struct {
+	jn        *journal.Journal
+	completed map[int]PointResult
+	breakers  map[string]resilience.BreakerState
+	// appendErr latches the journal off after one failed append: the
+	// rollback of a failed append can itself fail (e.g. on ENOSPC), and
+	// appending after that would concatenate onto a partial record,
+	// turning a recoverable torn tail into mid-file corruption.
+	appendErr error
+}
+
+// OpenCampaignJournal opens (or creates) the campaign journal at path,
+// verifies its header against the given spec fingerprint and point count,
+// loads completed points, and compacts the journal back to a canonical
 // record sequence via an atomic rotation (this also rewrites away any
 // recovered torn tail).
-func openCampaignJournal(spec CampaignSpec, fp string, breaker *resilience.Breaker) (*journal.Journal, map[int]PointResult, error) {
-	j, info, err := journal.Open(spec.Journal)
+//
+// A fresh journal is stamped with a header carrying the fingerprint; a
+// non-empty journal requires resume (otherwise it is refused rather than
+// silently overwritten), and a resume against a journal written by a
+// different grid fails with a *SpecMismatchError naming both fingerprints.
+func OpenCampaignJournal(path, fingerprint string, points int, resume bool) (*CampaignJournal, error) {
+	j, info, err := journal.Open(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("snoopmva: campaign journal: %w", err)
+		return nil, fmt.Errorf("snoopmva: campaign journal: %w", err)
 	}
-	fail := func(err error) (*journal.Journal, map[int]PointResult, error) {
+	fail := func(err error) (*CampaignJournal, error) {
 		j.Close()
-		return nil, nil, err
+		return nil, err
 	}
 	if len(info.Payloads) == 0 {
-		header := campaignRecord{Kind: "header", Version: campaignJournalVersion, Fingerprint: fp, Points: len(spec.Points)}
+		header := campaignRecord{Kind: "header", Version: campaignJournalVersion, Fingerprint: fingerprint, Points: points}
 		if err := j.Append(header); err != nil {
 			return fail(fmt.Errorf("snoopmva: campaign journal: %w", err))
 		}
-		return j, map[int]PointResult{}, nil
+		return &CampaignJournal{jn: j, completed: map[int]PointResult{}, breakers: map[string]resilience.BreakerState{}}, nil
 	}
-	if !spec.Resume {
+	if !resume {
 		return fail(fmt.Errorf("snoopmva: journal %s already holds a campaign; set Resume to continue it: %w",
-			spec.Journal, ErrInvalidInput))
+			path, ErrInvalidInput))
 	}
 	records := make([]campaignRecord, 0, len(info.Payloads))
 	for i, p := range info.Payloads {
@@ -389,11 +432,16 @@ func openCampaignJournal(spec CampaignSpec, fp string, breaker *resilience.Break
 	head := records[0]
 	if head.Kind != "header" || head.Version != campaignJournalVersion {
 		return fail(fmt.Errorf("snoopmva: journal %s is not a version-%d campaign journal: %w",
-			spec.Journal, campaignJournalVersion, ErrInvalidInput))
+			path, campaignJournalVersion, ErrInvalidInput))
 	}
-	if head.Fingerprint != fp || head.Points != len(spec.Points) {
-		return fail(fmt.Errorf("snoopmva: journal %s was written by a different campaign spec (fingerprint %s, %d points): %w",
-			spec.Journal, head.Fingerprint, head.Points, ErrInvalidInput))
+	if head.Fingerprint != fingerprint || head.Points != points {
+		return fail(&SpecMismatchError{
+			Path:               path,
+			JournalFingerprint: head.Fingerprint,
+			JournalPoints:      head.Points,
+			SpecFingerprint:    fingerprint,
+			SpecPoints:         points,
+		})
 	}
 	completed := map[int]PointResult{}
 	order := []int{} // first-seen completion order, for canonical rewrite
@@ -401,7 +449,7 @@ func openCampaignJournal(spec CampaignSpec, fp string, breaker *resilience.Break
 	for i, rec := range records[1:] {
 		switch rec.Kind {
 		case "point":
-			if rec.Point == nil || rec.Point.Index < 0 || rec.Point.Index >= len(spec.Points) {
+			if rec.Point == nil || rec.Point.Index < 0 || rec.Point.Index >= points {
 				return fail(fmt.Errorf("snoopmva: campaign journal record %d: bad point index: %w", i+1, ErrInvalidInput))
 			}
 			if _, dup := completed[rec.Point.Index]; dup {
@@ -414,13 +462,6 @@ func openCampaignJournal(spec CampaignSpec, fp string, breaker *resilience.Break
 		default:
 			return fail(fmt.Errorf("snoopmva: campaign journal record %d: unknown kind %q: %w", i+1, rec.Kind, ErrInvalidInput))
 		}
-	}
-	if breaker != nil {
-		states := make([]resilience.BreakerState, 0, len(breakerState))
-		for _, st := range breakerState {
-			states = append(states, st)
-		}
-		breaker.Restore(states)
 	}
 	// Canonical rewrite: header, then unique point records in first-seen
 	// order, then the latest breaker states.
@@ -450,8 +491,52 @@ func openCampaignJournal(spec CampaignSpec, fp string, breaker *resilience.Break
 	if err := j.Rotate(canon); err != nil {
 		return fail(fmt.Errorf("snoopmva: campaign journal: %w", err))
 	}
-	return j, completed, nil
+	return &CampaignJournal{jn: j, completed: completed, breakers: breakerState}, nil
 }
+
+// Completed returns the points already journaled, by index. The map is
+// the journal's own state: callers must treat it as read-only.
+func (cj *CampaignJournal) Completed() map[int]PointResult { return cj.completed }
+
+// Append journals one completed point durably (fsynced before return).
+// After one failed append the journal latches off and every later Append
+// returns the original error, so a partial record left by a failed
+// rollback is never concatenated onto.
+func (cj *CampaignJournal) Append(pr PointResult) error {
+	if cj.appendErr != nil {
+		return cj.appendErr
+	}
+	if err := cj.jn.Append(campaignRecord{Kind: "point", Point: &pr}); err != nil {
+		cj.appendErr = err
+		return err
+	}
+	return nil
+}
+
+// appendBreaker journals one circuit-breaker state change, with the same
+// latch discipline as Append. The distributed coordinator does not
+// journal breaker records — its per-worker circuits track live processes,
+// which a resumed coordinator re-probes from scratch — so this stays
+// root-only.
+func (cj *CampaignJournal) appendBreaker(st resilience.BreakerState) error {
+	if cj.appendErr != nil {
+		return cj.appendErr
+	}
+	if err := cj.jn.Append(campaignRecord{Kind: "breaker", Stage: st.Key, Failures: st.Failures, Open: st.Open}); err != nil {
+		cj.appendErr = err
+		return err
+	}
+	return nil
+}
+
+// breakerStates returns the journaled breaker states in sorted order.
+func (cj *CampaignJournal) breakerStates() []resilience.BreakerState {
+	return resilienceStatesSorted(cj.breakers)
+}
+
+// Close releases the underlying journal file. Appended records remain
+// durable.
+func (cj *CampaignJournal) Close() error { return cj.jn.Close() }
 
 func resilienceStatesSorted(m map[string]resilience.BreakerState) []resilience.BreakerState {
 	b := resilience.NewBreaker(1, 0)
@@ -601,11 +686,13 @@ func recordBreakerOutcomes(breaker *resilience.Breaker, budget Budget, success M
 	}
 }
 
-// campaignFingerprint hashes the point grid so a journal can refuse a
+// CampaignFingerprint hashes a point grid so a journal can refuse a
 // resume under a different spec. It covers everything that changes
 // results: protocol, workload, system size and budget of every point, in
-// order.
-func campaignFingerprint(points []CampaignPoint) string {
+// order — but not the execution policy (workers, retries, transport), so
+// a campaign may be resumed under different parallelism, or by the
+// distributed coordinator, without being refused.
+func CampaignFingerprint(points []CampaignPoint) string {
 	type pointKey struct {
 		Protocol     string   `json:"protocol"`
 		WriteThrough bool     `json:"write_through"`

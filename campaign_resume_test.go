@@ -1,0 +1,133 @@
+package snoopmva
+
+// Resume-contract tests: the typed spec-mismatch refusal, and the
+// workers>1 half of the determinism contract (DESIGN.md §13) — a
+// parallel campaign resumed after a crash yields the same result *set*
+// as an uninterrupted run, even though journal record order may differ
+// run to run.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"snoopmva/internal/faultinject"
+)
+
+func TestResumeSpecMismatchIsTypedAndActionable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	grid := testGrid(4, mvaOnlyBudget)
+	if _, err := RunCampaign(context.Background(), CampaignSpec{
+		Points: grid, Journal: path, Workers: 1, BreakerThreshold: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same point count, different grid content: only the fingerprint can
+	// catch this.
+	other := testGrid(4, mvaOnlyBudget)
+	other[2].N += 100
+	_, err := RunCampaign(context.Background(), CampaignSpec{
+		Points: other, Journal: path, Resume: true, Workers: 1, BreakerThreshold: -1,
+	})
+	if err == nil {
+		t.Fatal("resume with a different grid succeeded")
+	}
+	var mismatch *SpecMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("err = %T (%v), want *SpecMismatchError", err, err)
+	}
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("SpecMismatchError should match ErrInvalidInput; got %v", err)
+	}
+	if mismatch.Path != path {
+		t.Errorf("Path = %q, want %q", mismatch.Path, path)
+	}
+	if mismatch.JournalFingerprint == "" || mismatch.SpecFingerprint == "" ||
+		mismatch.JournalFingerprint == mismatch.SpecFingerprint {
+		t.Errorf("fingerprints not distinguishing: journal %q, spec %q",
+			mismatch.JournalFingerprint, mismatch.SpecFingerprint)
+	}
+	if mismatch.JournalFingerprint != CampaignFingerprint(grid) {
+		t.Errorf("JournalFingerprint = %q, want the original grid's %q",
+			mismatch.JournalFingerprint, CampaignFingerprint(grid))
+	}
+	if mismatch.SpecFingerprint != CampaignFingerprint(other) {
+		t.Errorf("SpecFingerprint = %q, want the resuming grid's %q",
+			mismatch.SpecFingerprint, CampaignFingerprint(other))
+	}
+	// The message must name both fingerprints so the operator can tell
+	// which side changed.
+	msg := err.Error()
+	if !strings.Contains(msg, mismatch.JournalFingerprint) || !strings.Contains(msg, mismatch.SpecFingerprint) {
+		t.Errorf("message does not name both fingerprints: %q", msg)
+	}
+}
+
+func TestCampaignCrashResumeParallelWorkersSetEquality(t *testing.T) {
+	// With Workers > 1, completion order — and hence journal record
+	// order — is scheduling-dependent, so byte-identity is off the table.
+	// The contract is set equality: after crash + resume, every point's
+	// result equals the uninterrupted (and the sequential) run's.
+	points := testGrid(24, mvaOnlyBudget)
+	dir := t.TempDir()
+
+	ref, err := RunCampaign(context.Background(), CampaignSpec{
+		Points: points, Workers: 1, BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatalf("sequential reference: %v", err)
+	}
+
+	crashPath := filepath.Join(dir, "crash.jsonl")
+	restore := faultinject.Activate(&faultinject.Set{
+		CampaignCrash: func(recorded int) bool { return recorded >= 7 },
+	})
+	_, err = RunCampaign(context.Background(), CampaignSpec{
+		Points: points, Journal: crashPath, Workers: 4, BreakerThreshold: -1,
+	})
+	restore()
+	if !errors.Is(err, errCampaignCrash) {
+		t.Fatalf("crash run: err = %v, want injected crash", err)
+	}
+	crashed := journalPoints(t, crashPath)
+	if len(crashed) == 0 {
+		t.Fatal("crash run journaled nothing")
+	}
+
+	res, err := RunCampaign(context.Background(), CampaignSpec{
+		Points: points, Journal: crashPath, Resume: true, Workers: 4, BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatalf("parallel resume: %v", err)
+	}
+	if res.Resumed != len(crashed) || res.Resumed+res.Computed != len(points) {
+		t.Fatalf("resume accounting: resumed %d (want %d), computed %d", res.Resumed, len(crashed), res.Computed)
+	}
+
+	// Result-set equality against the sequential reference, point by
+	// point and order-independent over the journal.
+	for i := range points {
+		want, got := ref.Results[i], res.Results[i]
+		want.Resumed, got.Resumed = false, false
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("point %d: want %+v, got %+v", i, want, got)
+		}
+	}
+	final := journalPoints(t, crashPath) // fails on duplicate indexes
+	if len(final) != len(points) {
+		t.Fatalf("journal has %d points, want %d", len(final), len(points))
+	}
+	for i := range points {
+		pr, ok := final[i]
+		if !ok {
+			t.Fatalf("point %d missing from journal", i)
+		}
+		if pr.Speedup != ref.Results[i].Speedup || pr.Err != ref.Results[i].Err {
+			t.Errorf("journal point %d diverged from reference: %+v vs %+v", i, pr, ref.Results[i])
+		}
+	}
+}

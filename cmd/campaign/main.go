@@ -19,11 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"snoopmva"
+	"snoopmva/internal/gridspec"
 	"snoopmva/internal/tables"
 )
 
@@ -56,7 +56,7 @@ func main() {
 		defer cancel()
 	}
 
-	points, err := buildGrid(*protoNames, *sharings, *ns, snoopmva.Budget{
+	points, err := gridspec.BuildGrid(*protoNames, *sharings, *ns, snoopmva.Budget{
 		MaxStates: *maxStates,
 		SimCycles: *simCycles,
 		Seed:      *seed,
@@ -136,76 +136,6 @@ func main() {
 	if res.Failed > 0 {
 		os.Exit(2)
 	}
-}
-
-// buildGrid expands the protocol × sharing × N cross product.
-func buildGrid(protoNames, sharings, ns string, b snoopmva.Budget) ([]snoopmva.CampaignPoint, error) {
-	var protos []snoopmva.Protocol
-	if protoNames == "all" {
-		protos = snoopmva.Protocols()
-	} else {
-		for _, name := range strings.Split(protoNames, ",") {
-			p, ok := snoopmva.ProtocolByName(strings.TrimSpace(name))
-			if !ok {
-				return nil, fmt.Errorf("unknown protocol %q", name)
-			}
-			protos = append(protos, p)
-		}
-	}
-	var workloads []snoopmva.Workload
-	for _, s := range strings.Split(sharings, ",") {
-		lvl, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			return nil, fmt.Errorf("bad sharing level %q: %w", s, err)
-		}
-		switch lvl {
-		case 1, 5, 20:
-			workloads = append(workloads, snoopmva.AppendixA(snoopmva.Sharing(lvl)))
-		default:
-			return nil, fmt.Errorf("sharing must be 1, 5 or 20 (got %d)", lvl)
-		}
-	}
-	sizes, err := parseSizes(ns)
-	if err != nil {
-		return nil, err
-	}
-	var points []snoopmva.CampaignPoint
-	for _, p := range protos {
-		for _, w := range workloads {
-			for _, n := range sizes {
-				points = append(points, snoopmva.CampaignPoint{Protocol: p, Workload: w, N: n, Budget: b})
-			}
-		}
-	}
-	return points, nil
-}
-
-// parseSizes parses "1,2,4" and "1..16" (and mixtures of both).
-func parseSizes(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if lo, hi, ok := strings.Cut(part, ".."); ok {
-			a, err1 := strconv.Atoi(strings.TrimSpace(lo))
-			b, err2 := strconv.Atoi(strings.TrimSpace(hi))
-			if err1 != nil || err2 != nil || a > b {
-				return nil, fmt.Errorf("bad size range %q", part)
-			}
-			for n := a; n <= b; n++ {
-				out = append(out, n)
-			}
-			continue
-		}
-		n, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad size %q: %w", part, err)
-		}
-		out = append(out, n)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no system sizes given")
-	}
-	return out, nil
 }
 
 func fatal(err error) {

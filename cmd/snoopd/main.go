@@ -1,8 +1,10 @@
 // Command snoopd serves the snoopmva solvers over HTTP: JSON solve
-// endpoints (POST /v1/solve, /v1/sweep, /v1/compare), Prometheus metrics
-// at /metrics, liveness at /healthz, expvar at /debug/vars, and pprof at
-// /debug/pprof. Shutdown is graceful: SIGINT/SIGTERM stops accepting new
-// requests and drains in-flight solves before exiting.
+// endpoints (POST /v1/solve, /v1/solvebest, /v1/sweep, /v1/compare),
+// Prometheus metrics at /metrics, liveness at /healthz, expvar at
+// /debug/vars, and pprof at /debug/pprof. Shutdown is graceful:
+// SIGINT/SIGTERM first flips /healthz to 503 (so health-checked routing —
+// e.g. the campaignd coordinator — stops sending new work), then stops
+// accepting requests and drains in-flight solves before exiting.
 //
 // Examples:
 //
@@ -38,6 +40,7 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline applied to requests without timeout_ms (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
+	drainGrace := flag.Duration("drain-grace", 0, "after SIGTERM, keep serving for this long with /healthz at 503 so health-checked routing drains away first")
 	flag.Parse()
 
 	cfg := snoopd.Config{
@@ -71,6 +74,14 @@ func main() {
 		os.Exit(1)
 	case sig := <-stop:
 		fmt.Fprintf(os.Stderr, "snoopd: %v, draining in-flight solves\n", sig)
+	}
+
+	// Flip /healthz to 503 before closing the listener: a coordinator or
+	// load balancer probing health stops routing new work here while the
+	// grace window (and then Shutdown) drains what is already in flight.
+	handler.BeginDrain()
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

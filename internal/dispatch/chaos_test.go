@@ -1,0 +1,242 @@
+package dispatch
+
+// Chaos suite: the coordinator is subjected to worker death mid-grid, a
+// network partition (via the faultinject.HTTPFault hook), and its own
+// mid-run crash — and in every case the final result set must equal the
+// uninterrupted local run's. The out-of-process variant (real snoopd
+// processes, real SIGKILL) is scripts/dist_chaos_smoke.sh.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snoopmva"
+	"snoopmva/internal/faultinject"
+	"snoopmva/internal/obs"
+	"snoopmva/internal/snoopd"
+)
+
+func TestChaosWorkerDeathMidGrid(t *testing.T) {
+	points := testGrid(t, 24)
+	want := localReference(t, points)
+
+	// The victim dies — connections severed, listener closed, which is
+	// what the coordinator sees of a SIGKILL — once it has served a few
+	// solves.
+	var served atomic.Int32
+	var victim *httptest.Server
+	inner := snoopd.New(snoopd.Config{Registry: obs.NewRegistry()})
+	victim = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(w, r)
+		if r.URL.Path == routeSolveBest && served.Add(1) == 3 {
+			go func() {
+				victim.CloseClientConnections()
+				victim.Close()
+			}()
+		}
+	}))
+	t.Cleanup(victim.Close)
+	ts := transportsFor(victim, newWorker(t), newWorker(t))
+
+	cfg := quickCfg(ts)
+	cfg.QuarantineAfter = 2
+	cfg.BreakerThreshold = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got, stats, err := c.Run(context.Background(), points)
+	if err != nil {
+		t.Fatalf("Run with a dying worker: %v", err)
+	}
+	assertSameResults(t, want, got)
+	if served.Load() < 3 {
+		t.Fatalf("victim served only %d solves; the kill never triggered", served.Load())
+	}
+	t.Logf("stats after worker death: %+v", stats)
+}
+
+func TestChaosPartitionQuarantinesWorker(t *testing.T) {
+	points := testGrid(t, 16)
+	want := localReference(t, points)
+
+	cut, w2 := newWorker(t), newWorker(t)
+	ts := transportsFor(cut, w2)
+	cutAddr := ts[0].Addr()
+
+	// Partition the first worker for the whole run: every request to it
+	// fails without touching the network. Pace the healthy worker's
+	// solves so probes have time to observe the partition and quarantine.
+	restore := faultinject.Activate(&faultinject.Set{
+		HTTPFault: func(addr, route string) (time.Duration, error) {
+			if addr == cutAddr {
+				return 0, errors.New("faultinject: partitioned")
+			}
+			if route == routeSolveBest {
+				return 15 * time.Millisecond, nil
+			}
+			return 0, nil
+		},
+	})
+	defer restore()
+
+	cfg := quickCfg(ts)
+	cfg.HealthInterval = 20 * time.Millisecond
+	cfg.QuarantineAfter = 2
+	cfg.BreakerThreshold = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got, stats, err := c.Run(context.Background(), points)
+	if err != nil {
+		t.Fatalf("Run under partition: %v", err)
+	}
+	restore() // results must not depend on the hook staying active
+	assertSameResults(t, want, got)
+	if stats.Quarantined == 0 {
+		t.Error("expected the partitioned worker to be quarantined")
+	}
+	if n := stats.WorkerCommits[cutAddr]; n != 0 {
+		t.Errorf("partitioned worker committed %d points, want 0", n)
+	}
+	if len(stats.OpenWorkers) == 0 {
+		t.Error("expected the partitioned worker among OpenWorkers")
+	}
+}
+
+func TestChaosPartitionHealsAndWorkerReadmitted(t *testing.T) {
+	points := testGrid(t, 20)
+	want := localReference(t, points)
+
+	cut, w2 := newWorker(t), newWorker(t)
+	ts := transportsFor(cut, w2)
+	cutAddr := ts[0].Addr()
+
+	// Partition the first worker until the healthy one has served 6
+	// solves, then heal. The coordinator must quarantine it, readmit it
+	// after the heal, and may route tail work back to it.
+	var healthySolves atomic.Int32
+	restore := faultinject.Activate(&faultinject.Set{
+		HTTPFault: func(addr, route string) (time.Duration, error) {
+			healed := healthySolves.Load() >= 6
+			if addr == cutAddr && !healed {
+				return 0, errors.New("faultinject: partitioned")
+			}
+			if addr != cutAddr && route == routeSolveBest {
+				healthySolves.Add(1)
+				return 15 * time.Millisecond, nil
+			}
+			return 0, nil
+		},
+	})
+	defer restore()
+
+	cfg := quickCfg(ts)
+	cfg.HealthInterval = 15 * time.Millisecond
+	cfg.QuarantineAfter = 2
+	cfg.ReadmitAfter = 1
+	cfg.BreakerThreshold = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got, stats, err := c.Run(context.Background(), points)
+	if err != nil {
+		t.Fatalf("Run across partition-and-heal: %v", err)
+	}
+	restore()
+	assertSameResults(t, want, got)
+	if stats.Quarantined == 0 {
+		t.Error("expected a quarantine while partitioned")
+	}
+	if stats.Readmitted == 0 {
+		t.Error("expected a readmission after the partition healed")
+	}
+}
+
+func TestChaosCoordinatorCrashResume(t *testing.T) {
+	points := testGrid(t, 16)
+	want := localReference(t, points)
+	journal := filepath.Join(t.TempDir(), "dist.journal")
+
+	w1, w2, w3 := newWorker(t), newWorker(t), newWorker(t)
+	ts := transportsFor(w1, w2, w3)
+
+	// Crash the coordinator after the 5th journaled record — abrupt stop,
+	// journal unfinalized — exactly what kill -9 on campaignd leaves.
+	restore := faultinject.Activate(&faultinject.Set{
+		CampaignCrash: func(recorded int) bool { return recorded >= 5 },
+	})
+	c, err := New(Config{Transports: ts, Journal: journal,
+		HealthInterval: -1, AcquireRetry: 5 * time.Millisecond, PointTimeout: 5 * time.Second})
+	if err != nil {
+		restore()
+		t.Fatalf("New: %v", err)
+	}
+	_, _, err = c.Run(context.Background(), points)
+	restore()
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("crashed run: err = %v, want the injected crash", err)
+	}
+
+	// Resume with a different pool shape (two workers) — the journal is
+	// the contract, not the worker set.
+	c2, err := New(Config{Transports: ts[:2], Journal: journal, Resume: true,
+		HealthInterval: -1, AcquireRetry: 5 * time.Millisecond, PointTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("New (resume): %v", err)
+	}
+	got, _, err := c2.Run(context.Background(), points)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got.Resumed < 5 {
+		t.Errorf("resumed = %d, want >= 5 points loaded from the journal", got.Resumed)
+	}
+	if got.Resumed+got.Computed != len(points) {
+		t.Errorf("resumed+computed = %d, want %d", got.Resumed+got.Computed, len(points))
+	}
+	assertSameResults(t, want, got)
+}
+
+func TestChaosResumeInteropWithLocalRunner(t *testing.T) {
+	// A journal begun by the distributed coordinator must be resumable by
+	// the local runner (and produce the same result set) — the two
+	// runners share one journal format and one fingerprint.
+	points := testGrid(t, 12)
+	want := localReference(t, points)
+	journal := filepath.Join(t.TempDir(), "interop.journal")
+
+	restore := faultinject.Activate(&faultinject.Set{
+		CampaignCrash: func(recorded int) bool { return recorded >= 4 },
+	})
+	c, err := New(Config{Transports: transportsFor(newWorker(t), newWorker(t)),
+		Journal: journal, HealthInterval: -1, AcquireRetry: 5 * time.Millisecond, PointTimeout: 5 * time.Second})
+	if err != nil {
+		restore()
+		t.Fatalf("New: %v", err)
+	}
+	_, _, err = c.Run(context.Background(), points)
+	restore()
+	if !errors.Is(err, errCrash) {
+		t.Fatalf("crashed run: err = %v, want the injected crash", err)
+	}
+
+	got, err := snoopmva.RunCampaign(context.Background(), snoopmva.CampaignSpec{
+		Points: points, Journal: journal, Resume: true, Workers: 1, BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatalf("local resume of a distributed journal: %v", err)
+	}
+	if got.Resumed < 4 {
+		t.Errorf("resumed = %d, want >= 4", got.Resumed)
+	}
+	assertSameResults(t, want, got)
+}

@@ -11,7 +11,10 @@
 // in parallel with other tests of the same package.
 package faultinject
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Set is one collection of fault hooks. A nil member leaves the
 // corresponding instrumentation point inactive.
@@ -59,6 +62,16 @@ type Set struct {
 	// assert that a failed rotation leaves no temp-file residue and that
 	// post-rename failures latch the journal broken.
 	JournalRotateFault func(path, stage string) error
+	// HTTPFault is consulted by the dispatch HTTP transport before each
+	// request, with the worker base address and route (e.g.
+	// "/v1/solvebest", "/healthz"). A non-nil error fails the request
+	// without touching the network — a dropped packet or partition — and a
+	// positive delay stalls the request first, modeling a slow or
+	// congested link (delay then error composes into a timeout-then-drop
+	// path). Tests key on addr to partition individual workers and on
+	// route to let health probes through while solves are dropped, or vice
+	// versa.
+	HTTPFault func(addr, route string) (delay time.Duration, err error)
 	// CampaignCrash is consulted by the campaign runner after each
 	// journaled record with the number of records this run has written;
 	// returning true makes the runner stop abruptly — no further points,

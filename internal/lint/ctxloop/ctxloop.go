@@ -53,6 +53,10 @@ var solverPackages = map[string]bool{
 	// accept/drain shapes of their own; the same discipline applies.
 	"obs":    true,
 	"snoopd": true,
+	// The distributed coordinator's acquire-retry waits, health-probe
+	// ticker and worker loops all spin until cancellation; a missing
+	// ctx path would leave a crashed run's goroutines spinning forever.
+	"dispatch": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -204,6 +204,53 @@ type SolveResponse struct {
 	Result ResultJSON `json:"result"`
 }
 
+// BudgetSpec mirrors snoopmva.Budget on the wire: stage budgets for the
+// SolveBest degradation ladder, with wall-clock budgets in milliseconds.
+type BudgetSpec struct {
+	MaxStates     int    `json:"max_states,omitempty"`
+	GTPNTimeoutMS int64  `json:"gtpn_timeout_ms,omitempty"`
+	SimCycles     int64  `json:"sim_cycles,omitempty"`
+	SimTimeoutMS  int64  `json:"sim_timeout_ms,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+}
+
+func (bs *BudgetSpec) budget() snoopmva.Budget {
+	if bs == nil {
+		return snoopmva.Budget{}
+	}
+	return snoopmva.Budget{
+		MaxStates:   bs.MaxStates,
+		GTPNTimeout: time.Duration(bs.GTPNTimeoutMS) * time.Millisecond,
+		SimCycles:   bs.SimCycles,
+		SimTimeout:  time.Duration(bs.SimTimeoutMS) * time.Millisecond,
+		Seed:        bs.Seed,
+	}
+}
+
+// SolveBestRequest is the body of POST /v1/solvebest: one grid point of a
+// campaign, driven through the GTPN → simulation → MVA degradation
+// ladder under the given budget. This is the endpoint the distributed
+// campaign coordinator (internal/dispatch) shards grids over.
+type SolveBestRequest struct {
+	Protocol  ProtocolSpec `json:"protocol"`
+	Workload  WorkloadSpec `json:"workload"`
+	N         int          `json:"n"`
+	Budget    *BudgetSpec  `json:"budget,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// SolveBestResponse is the body of a successful POST /v1/solvebest: the
+// provenance-tagged headline measures of snoopmva.BestResult.
+type SolveBestResponse struct {
+	Method         string  `json:"method"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	FallbackReason string  `json:"fallback_reason,omitempty"`
+	N              int     `json:"n"`
+	Speedup        float64 `json:"speedup"`
+	R              float64 `json:"r"`
+	BusUtilization float64 `json:"bus_utilization"`
+}
+
 // SweepRequest is the body of POST /v1/sweep. Parallel selects the
 // worker-pool sweep (cold per-size solves) over the warm-started
 // sequential one.
@@ -346,6 +393,96 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SolveResponse{Result: toResultJSON(res)})
+}
+
+func (s *Server) handleSolveBest(w http.ResponseWriter, r *http.Request) {
+	var req SolveBestRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	p, err := req.Protocol.resolve()
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	wl, err := req.Workload.resolve()
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	ctx, cancel, err := s.requestContext(r, req.TimeoutMS)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	defer cancel()
+	solve := snoopmva.SolveBest
+	if s.cfg.Cache != nil {
+		solve = s.cfg.Cache.SolveBest
+	}
+	best, err := solve(ctx, p, wl, req.N, req.Budget.budget())
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveBestResponse{
+		Method:         string(best.Method),
+		Degraded:       best.Degraded,
+		FallbackReason: best.FallbackReason,
+		N:              best.N,
+		Speedup:        best.Speedup,
+		R:              best.R,
+		BusUtilization: best.BusUtilization,
+	})
+}
+
+// The SpecFor helpers build wire specs that resolve back to the given
+// in-memory values; the dispatch HTTP transport uses them to put campaign
+// points on the wire. A protocol with a preset name travels by name,
+// anything else by its modification set (a protocol carrying invalid
+// modification numbers is not representable and is sanitized by the
+// round-trip; campaign grids are validated before dispatch).
+
+// SpecForProtocol returns the ProtocolSpec that resolves back to p.
+func SpecForProtocol(p snoopmva.Protocol) ProtocolSpec {
+	if name := p.Name(); name != "" {
+		return ProtocolSpec{Name: name}
+	}
+	mods := p.Mods()
+	if mods == nil {
+		mods = []int{} // non-nil so resolve picks the mods arm
+	}
+	return ProtocolSpec{Mods: mods}
+}
+
+// SpecForWorkload returns the fully spelled-out WorkloadSpec for w.
+func SpecForWorkload(w snoopmva.Workload) WorkloadSpec {
+	return WorkloadSpec{Params: &WorkloadParams{
+		Tau:      w.Tau,
+		PPrivate: w.PPrivate, PSro: w.PSro, PSw: w.PSw,
+		HPrivate: w.HPrivate, HSro: w.HSro, HSw: w.HSw,
+		RPrivate: w.RPrivate, RSw: w.RSw,
+		AmodPrivate: w.AmodPrivate, AmodSw: w.AmodSw,
+		CsupplySro: w.CsupplySro, CsupplySw: w.CsupplySw,
+		WbCsupply: w.WbCsupply,
+		RepP:      w.RepP, RepSw: w.RepSw,
+		FixedParams: w.FixedParams,
+	}}
+}
+
+// SpecForBudget returns the BudgetSpec for b (nil for the zero budget).
+func SpecForBudget(b snoopmva.Budget) *BudgetSpec {
+	if b == (snoopmva.Budget{}) {
+		return nil
+	}
+	return &BudgetSpec{
+		MaxStates:     b.MaxStates,
+		GTPNTimeoutMS: int64(b.GTPNTimeout / time.Millisecond),
+		SimCycles:     b.SimCycles,
+		SimTimeoutMS:  int64(b.SimTimeout / time.Millisecond),
+		Seed:          b.Seed,
+	}
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

@@ -1,7 +1,8 @@
 // Package snoopd implements the snoopmva HTTP service: JSON solve
-// endpoints over the deterministic solvers (POST /v1/solve, /v1/sweep,
-// /v1/compare), Prometheus text-format metrics at /metrics, liveness at
-// /healthz, and the standard profiling surface at /debug/pprof. Request
+// endpoints over the deterministic solvers (POST /v1/solve, /v1/solvebest,
+// /v1/sweep, /v1/compare), Prometheus text-format metrics at /metrics,
+// liveness at /healthz, and the standard profiling surface at
+// /debug/pprof. Request
 // deadlines are wired straight into the solvers' contexts, so a client
 // timeout (or disconnect) cancels the computation it was paying for, and
 // the failure taxonomy of the root package maps onto HTTP status codes:
@@ -13,13 +14,16 @@
 //
 // The Server is an http.Handler; graceful shutdown (draining in-flight
 // solves) is the enclosing http.Server's Shutdown, which cmd/snoopd wires
-// to SIGINT/SIGTERM.
+// to SIGINT/SIGTERM — after calling BeginDrain, which flips /healthz to
+// 503 so health-checked routing stops sending new work to a worker that
+// is about to refuse it.
 package snoopd
 
 import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"snoopmva"
@@ -51,6 +55,10 @@ type Server struct {
 	mux      *http.ServeMux
 	inflight *obs.Gauge
 	latency  map[string]*obs.Histogram // route → latency histogram
+	// draining flips once shutdown begins; /healthz then answers 503 so
+	// load balancers and the campaign coordinator stop routing new work
+	// here while in-flight solves drain.
+	draining atomic.Bool
 }
 
 // New builds a Server from cfg and registers its routes and metrics.
@@ -71,6 +79,7 @@ func New(cfg Config) *Server {
 	}
 
 	s.route("POST /v1/solve", s.handleSolve)
+	s.route("POST /v1/solvebest", s.handleSolveBest)
 	s.route("POST /v1/sweep", s.handleSweep)
 	s.route("POST /v1/compare", s.handleCompare)
 	s.route("GET /healthz", s.handleHealthz)
@@ -123,8 +132,23 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// BeginDrain marks the server as draining: /healthz switches to 503 so
+// health-checked routing (load balancers, the campaign coordinator's
+// worker pool) stops sending new work, while the solve endpoints keep
+// serving whatever arrives until the enclosing http.Server shuts down.
+// cmd/snoopd calls this on SIGINT/SIGTERM before Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
 	_, _ = w.Write([]byte("ok\n"))
 }
 

@@ -372,3 +372,99 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 		t.Fatalf("in-flight request finished with %d, want 200", code)
 	}
 }
+
+func TestSolveBestSuccessMatchesLibrary(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"protocol": {"name": "Dragon"}, "workload": {"appendix_a": 5}, "n": 8,
+		"budget": {"max_states": -1, "sim_cycles": -1}}`
+	w := post(t, s, "/v1/solvebest", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var resp SolveBestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want, err := snoopmva.SolveBest(context.Background(), snoopmva.Dragon(),
+		snoopmva.AppendixA(snoopmva.Sharing5), 8, snoopmva.Budget{MaxStates: -1, SimCycles: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != string(want.Method) || resp.N != want.N ||
+		resp.Speedup != want.Speedup || resp.R != want.R || resp.BusUtilization != want.BusUtilization {
+		t.Fatalf("served BestResult diverges from library: got %+v want %+v", resp, want)
+	}
+	if resp.Method != string(snoopmva.MethodMVA) || resp.Degraded {
+		t.Fatalf("MVA-only budget should land on a non-degraded mva result: %+v", resp)
+	}
+}
+
+func TestSolveBestInvalidInputs(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := map[string]string{
+		"no protocol":   `{"workload": {"appendix_a": 5}, "n": 4}`,
+		"bad n":         `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 0}`,
+		"unknown field": `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 4, "budgets": {}}`,
+	}
+	for name, body := range cases {
+		w := post(t, s, "/v1/solvebest", body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", name, w.Code, w.Body.String())
+		}
+	}
+}
+
+func TestSpecHelpersRoundTrip(t *testing.T) {
+	// Every named preset and an anonymous mod set must survive the wire
+	// encoding the dispatch transport uses.
+	protos := append(snoopmva.Protocols(), snoopmva.WithMods(1, 3))
+	for _, p := range protos {
+		spec := SpecForProtocol(p)
+		got, err := spec.resolve()
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", p, err)
+		}
+		if got.String() != p.String() {
+			t.Fatalf("protocol round-trip: got %s want %s", got, p)
+		}
+	}
+	w := snoopmva.AppendixA(snoopmva.Sharing20)
+	got, err := SpecForWorkload(w).resolve()
+	if err != nil {
+		t.Fatalf("workload resolve: %v", err)
+	}
+	if got != w {
+		t.Fatalf("workload round-trip: got %+v want %+v", got, w)
+	}
+	b := snoopmva.Budget{MaxStates: -1, SimCycles: 50000, Seed: 7}
+	if gb := SpecForBudget(b).budget(); gb != b {
+		t.Fatalf("budget round-trip: got %+v want %+v", gb, b)
+	}
+	if SpecForBudget(snoopmva.Budget{}) != nil {
+		t.Fatal("zero budget should travel as an omitted field")
+	}
+}
+
+func TestHealthzDrainingReturns503(t *testing.T) {
+	s := newTestServer(t, Config{})
+	get := func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return w
+	}
+	if w := get(); w.Code != http.StatusOK || strings.TrimSpace(w.Body.String()) != "ok" {
+		t.Fatalf("pre-drain healthz: %d %q", w.Code, w.Body.String())
+	}
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() should report true after BeginDrain")
+	}
+	if w := get(); w.Code != http.StatusServiceUnavailable || strings.TrimSpace(w.Body.String()) != "draining" {
+		t.Fatalf("draining healthz: %d %q, want 503 draining", w.Code, w.Body.String())
+	}
+	// The solve endpoints keep serving while draining: work already routed
+	// here must complete, only health-checked routing of new work stops.
+	if w := post(t, s, "/v1/solve", solveBody); w.Code != http.StatusOK {
+		t.Fatalf("solve while draining: %d, want 200", w.Code)
+	}
+}

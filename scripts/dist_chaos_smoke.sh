@@ -1,0 +1,135 @@
+#!/usr/bin/env sh
+# Distributed chaos smoke test: real snoopd worker processes, a real
+# campaignd coordinator, a real SIGKILL of a worker mid-grid, then a real
+# SIGKILL of the coordinator, then a resume against a shrunken pool — and
+# the final result set must equal an uninterrupted local cmd/campaign
+# run's, point for point. The in-process chaos suite
+# (internal/dispatch/chaos_test.go) covers the same failures with
+# simulated transports; this exercises the real binaries end to end.
+set -eu
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -KILL "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/snoopd" ./cmd/snoopd
+go build -o "$workdir/campaign" ./cmd/campaign
+go build -o "$workdir/campaignd" ./cmd/campaignd
+
+# The grid: MVA-only would finish in microseconds, so enable the
+# simulator stage to give each kill a window. 24 points.
+grid="-protocols Write-Once,Illinois -sharing 5,20 -ns 2,4,6,8,10,12"
+budget="-max-states -1 -sim-cycles 400000"
+
+# start_worker <port> — starts a snoopd, waits for /healthz, and leaves
+# the pid in $wpid. Not a command substitution: the backgrounded server
+# would hold the $() stdout pipe open forever.
+start_worker() {
+    addr="127.0.0.1:$1"
+    "$workdir/snoopd" -addr "$addr" >"$workdir/snoopd.$1.log" 2>&1 &
+    wpid=$!
+    pids="$pids $wpid"
+    waited=0
+    until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+        if ! kill -0 "$wpid" 2>/dev/null; then
+            echo "dist_chaos: worker on $addr died at startup" >&2
+            cat "$workdir/snoopd.$1.log" >&2
+            exit 1
+        fi
+        waited=$((waited + 1))
+        if [ "$waited" -gt 100 ]; then
+            echo "dist_chaos: worker on $addr not healthy after 10s" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "dist_chaos: starting 3 snoopd workers"
+start_worker 18091; w1=$wpid
+start_worker 18092; w2=$wpid
+start_worker 18093; w3=$wpid
+pool="http://127.0.0.1:18091,http://127.0.0.1:18092,http://127.0.0.1:18093"
+
+# Reference: the uninterrupted single-process runner, same grid.
+echo "dist_chaos: local reference run"
+"$workdir/campaign" $grid $budget -workers 1 -breaker -1 -quiet \
+    -journal "$workdir/ref.jsonl"
+
+# Chaos run: distributed, with a worker SIGKILLed mid-grid and then the
+# coordinator SIGKILLed too.
+echo "dist_chaos: distributed run (worker + coordinator will be killed)"
+"$workdir/campaignd" -workers "$pool" $grid $budget -quiet \
+    -health-interval 200ms -quarantine-after 2 -breaker 2 \
+    -journal "$workdir/run.jsonl" >"$workdir/campaignd.log" 2>&1 &
+cpid=$!
+pids="$pids $cpid"
+
+# Wait for journaled progress (header + 2 points), then SIGKILL a worker.
+waited=0
+while :; do
+    lines=0
+    [ -f "$workdir/run.jsonl" ] && lines=$(wc -l < "$workdir/run.jsonl")
+    [ "$lines" -ge 3 ] && break
+    if ! kill -0 "$cpid" 2>/dev/null; then
+        echo "dist_chaos: coordinator finished before the worker kill; grid too fast" >&2
+        exit 1
+    fi
+    waited=$((waited + 1))
+    if [ "$waited" -gt 600 ]; then
+        echo "dist_chaos: no journal progress after 60s" >&2
+        cat "$workdir/campaignd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "dist_chaos: SIGKILL worker 1 (journal at $lines lines)"
+kill -KILL "$w1" 2>/dev/null || true
+
+# A little more progress on the surviving workers, then kill the
+# coordinator itself.
+target=$((lines + 3))
+waited=0
+while :; do
+    lines=$(wc -l < "$workdir/run.jsonl")
+    [ "$lines" -ge "$target" ] && break
+    if ! kill -0 "$cpid" 2>/dev/null; then
+        echo "dist_chaos: coordinator finished before it could be killed; grid too fast" >&2
+        exit 1
+    fi
+    waited=$((waited + 1))
+    if [ "$waited" -gt 600 ]; then
+        echo "dist_chaos: no progress after the worker kill" >&2
+        cat "$workdir/campaignd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "dist_chaos: SIGKILL coordinator (journal at $lines lines)"
+kill -KILL "$cpid" 2>/dev/null || true
+wait "$cpid" 2>/dev/null || true
+
+# Resume with the two surviving workers; the journal is the contract.
+echo "dist_chaos: resume with 2 surviving workers"
+pool2="http://127.0.0.1:18092,http://127.0.0.1:18093"
+"$workdir/campaignd" -workers "$pool2" $grid $budget -quiet -resume \
+    -health-interval 200ms -quarantine-after 2 -breaker 2 \
+    -journal "$workdir/run.jsonl"
+
+# Result-set equality: with >1 workers the journal's point order is
+# scheduling-dependent, so compare the sorted point records. The solvers
+# are deterministic, so every point's line must be byte-identical to the
+# reference's line for that point.
+grep '"kind":"point"' "$workdir/ref.jsonl" | sort > "$workdir/ref.points"
+grep '"kind":"point"' "$workdir/run.jsonl" | sort > "$workdir/run.points"
+if ! cmp -s "$workdir/ref.points" "$workdir/run.points"; then
+    echo "dist_chaos: FAIL — distributed result set differs from local reference" >&2
+    diff "$workdir/ref.points" "$workdir/run.points" >&2 || true
+    exit 1
+fi
+count=$(wc -l < "$workdir/run.points")
+echo "dist_chaos: PASS — $count points survived a worker kill + coordinator kill, set-identical to local run"
