@@ -263,7 +263,11 @@ func keyOptions(b *solvecache.KeyBuilder, o Options) {
 	b.Bool(o.NoArrivalCorrection).Bool(o.SplitTransactionBus)
 }
 
+// solveKey canonicalizes one Solve input for the memo cache.
+//
+//snoop:hotpath runs on every cached solve; only the builder's own allocations allowed
 func solveKey(p Protocol, w Workload, t Timing, n int, opts Options) solvecache.Key {
+	//lint:allow hotalloc inlined NewKey buffer, the encoder's one allocation until the pooled-scratch PR (ROADMAP item 2)
 	b := solvecache.NewKey()
 	b.String("mva")
 	keyProtocol(b, p)
@@ -274,7 +278,11 @@ func solveKey(p Protocol, w Workload, t Timing, n int, opts Options) solvecache.
 	return b.Key()
 }
 
+// bestKey canonicalizes one SolveBest input for the memo cache.
+//
+//snoop:hotpath runs on every cached SolveBest; only the builder's own allocations allowed
 func bestKey(p Protocol, w Workload, n int, bg Budget) solvecache.Key {
+	//lint:allow hotalloc inlined NewKey buffer, the encoder's one allocation until the pooled-scratch PR (ROADMAP item 2)
 	b := solvecache.NewKey()
 	b.String("best")
 	keyProtocol(b, p)

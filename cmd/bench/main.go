@@ -1,348 +1,58 @@
-// Command bench measures the solve-layer performance baseline and writes
-// it as JSON (BENCH_solver.json at the repository root is the checked-in
-// reference run). Four suites cover the paths the high-throughput layer
-// (DESIGN.md §11) is built around:
+// Command bench runs the solver performance suites and writes the
+// machine-readable report that BENCH_solver.json is generated from. The
+// suites themselves live in internal/benchkit, shared with the
+// benchguard regression gate; this command is the thin writer:
 //
-//   - solve: cold MVA fixed-point latency (the unit everything multiplies)
-//   - sweep: warm-started sweep versus per-size cold solves — iteration
-//     and wall-clock savings
-//   - cache: memoized re-solve latency versus cold, for both the plain
-//     MVA path and the GTPN-backed SolveBest path (the headline ≥100×)
-//   - campaign: design-space grid throughput in points/sec, with and
-//     without a shared CachedSolver
-//
-// Examples:
-//
-//	bench -out BENCH_solver.json   # full run (the checked-in baseline)
-//	bench -quick                   # CI-sized run, prints to stdout too
+//	go run ./cmd/bench            # full run, writes BENCH_solver.json
+//	go run ./cmd/bench -quick     # CI-sized run
+//	go run ./cmd/bench -out -     # report to stdout
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
 
-	"snoopmva"
-	"snoopmva/internal/stats"
+	"snoopmva/internal/benchkit"
 )
 
-type report struct {
-	Generated  string `json:"generated"`
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Quick      bool   `json:"quick"`
-
-	Solve    solveReport    `json:"solve"`
-	Sweep    sweepReport    `json:"sweep"`
-	Cache    cacheReport    `json:"cache"`
-	Campaign campaignReport `json:"campaign"`
-}
-
-type solveReport struct {
-	Config       string  `json:"config"`
-	Reps         int     `json:"reps"`
-	MedianNs     float64 `json:"median_ns"`
-	P95Ns        float64 `json:"p95_ns"`
-	SolvesPerSec float64 `json:"solves_per_sec"`
-}
-
-type sweepReport struct {
-	Sizes              string  `json:"sizes"`
-	ColdNs             int64   `json:"cold_ns"`
-	WarmNs             int64   `json:"warm_ns"`
-	ColdIterations     int     `json:"cold_iterations"`
-	WarmIterations     int     `json:"warm_iterations"`
-	IterationsSavedPct float64 `json:"iterations_saved_pct"`
-	WarmPointsPerSec   float64 `json:"warm_points_per_sec"`
-}
-
-type cacheReport struct {
-	MVAColdNs   float64 `json:"mva_cold_ns"`
-	MVAHitNs    float64 `json:"mva_hit_ns"`
-	MVASpeedup  float64 `json:"mva_speedup"`
-	BestColdNs  float64 `json:"best_cold_ns"`
-	BestHitNs   float64 `json:"best_hit_ns"`
-	BestSpeedup float64 `json:"best_speedup"`
-}
-
-type campaignReport struct {
-	Points            int     `json:"points"`
-	UncachedNs        int64   `json:"uncached_ns"`
-	CachedNs          int64   `json:"cached_ns"`
-	UncachedPtsPerSec float64 `json:"uncached_points_per_sec"`
-	CachedPtsPerSec   float64 `json:"cached_points_per_sec"`
-	CacheHitRatePct   float64 `json:"cache_hit_rate_pct"`
-	CachedRunIsRepeat bool    `json:"cached_run_is_repeat"`
-}
-
 func main() {
-	var (
-		quick = flag.Bool("quick", false, "CI-sized run: fewer repetitions, smaller grids")
-		out   = flag.String("out", "BENCH_solver.json", "output path (\"-\" for stdout)")
-	)
+	quick := flag.Bool("quick", false, "smaller reps/grids for CI smoke runs")
+	out := flag.String("out", "BENCH_solver.json", "output path, or - for stdout")
 	flag.Parse()
 
-	rep := report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      *quick,
-	}
-
-	var err error
-	if rep.Solve, err = benchSolve(*quick); err != nil {
-		fatal(err)
-	}
-	if rep.Sweep, err = benchSweep(*quick); err != nil {
-		fatal(err)
-	}
-	if rep.Cache, err = benchCache(*quick); err != nil {
-		fatal(err)
-	}
-	if rep.Campaign, err = benchCampaign(*quick); err != nil {
-		fatal(err)
-	}
-
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	rep, err := benchkit.Run(*quick)
 	if err != nil {
 		fatal(err)
 	}
-	buf = append(buf, '\n')
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(buf)
+		os.Stdout.Write(blob)
 	} else {
-		err = os.WriteFile(*out, buf, 0o644)
-		fmt.Printf("bench: wrote %s (solve %.1fµs median, cache hit %.0f× on SolveBest, campaign %.0f pts/s cached)\n",
-			*out, rep.Solve.MedianNs/1e3, rep.Cache.BestSpeedup, rep.Campaign.CachedPtsPerSec)
-	}
-	if err != nil {
-		fatal(err)
-	}
-}
-
-// benchSolve times the cold MVA fixed point — the paper's Section 3 claim
-// is that this path is cheap enough to embed in design loops.
-func benchSolve(quick bool) (solveReport, error) {
-	reps := 2000
-	if quick {
-		reps = 200
-	}
-	p, w, n := snoopmva.WriteOnce(), snoopmva.AppendixA(snoopmva.Sharing5), 16
-	samples, err := sample(reps, func() error {
-		_, serr := snoopmva.Solve(p, w, n)
-		return serr
-	})
-	if err != nil {
-		return solveReport{}, err
-	}
-	med, err := stats.Quantile(samples, 0.5)
-	if err != nil {
-		return solveReport{}, err
-	}
-	p95, err := stats.Quantile(samples, 0.95)
-	if err != nil {
-		return solveReport{}, err
-	}
-	return solveReport{
-		Config:       "WriteOnce / Sharing5 / N=16",
-		Reps:         reps,
-		MedianNs:     med,
-		P95Ns:        p95,
-		SolvesPerSec: 1e9 / med,
-	}, nil
-}
-
-// benchSweep compares the warm-started sweep (each size seeded from the
-// previous converged state) against independent cold solves over the same
-// sizes.
-func benchSweep(quick bool) (sweepReport, error) {
-	hi := 64
-	if quick {
-		hi = 32
-	}
-	ns := make([]int, hi)
-	for i := range ns {
-		ns[i] = i + 1
-	}
-	p, w := snoopmva.Illinois(), snoopmva.AppendixA(snoopmva.Sharing20)
-
-	// Best-of-3 wall times: a single pass over a millisecond-scale sweep is
-	// at the mercy of the scheduler, and this file is a checked-in baseline.
-	var coldNs, warmNs int64
-	var coldIters, warmIters int
-	for round := 0; round < 3; round++ {
-		iters := 0
-		start := time.Now()
-		for _, n := range ns {
-			r, err := snoopmva.Solve(p, w, n)
-			if err != nil {
-				return sweepReport{}, err
-			}
-			iters += r.Iterations
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
 		}
-		if el := time.Since(start).Nanoseconds(); round == 0 || el < coldNs {
-			coldNs = el
-		}
-		coldIters = iters
-
-		iters = 0
-		start = time.Now()
-		warm, err := snoopmva.Sweep(p, w, ns)
-		if err != nil {
-			return sweepReport{}, err
-		}
-		el := time.Since(start).Nanoseconds()
-		for _, r := range warm {
-			iters += r.Iterations
-		}
-		if round == 0 || el < warmNs {
-			warmNs = el
-		}
-		warmIters = iters
-	}
-	return sweepReport{
-		Sizes:              fmt.Sprintf("1..%d", hi),
-		ColdNs:             coldNs,
-		WarmNs:             warmNs,
-		ColdIterations:     coldIters,
-		WarmIterations:     warmIters,
-		IterationsSavedPct: 100 * float64(coldIters-warmIters) / float64(coldIters),
-		WarmPointsPerSec:   float64(len(ns)) * 1e9 / float64(warmNs),
-	}, nil
-}
-
-// benchCache times the memoized hit path against the cold solve it
-// replaces, for the µs-scale MVA path and the ms-scale GTPN-backed
-// SolveBest path.
-func benchCache(quick bool) (cacheReport, error) {
-	hitReps := 10000
-	if quick {
-		hitReps = 1000
-	}
-	p, w := snoopmva.WriteOnce(), snoopmva.AppendixA(snoopmva.Sharing5)
-	ctx := context.Background()
-
-	// Plain MVA path.
-	cs := snoopmva.NewCachedSolver(0)
-	coldSamples, err := sample(200, func() error {
-		cs.Purge()
-		_, serr := cs.Solve(p, w, 16)
-		return serr
-	})
-	if err != nil {
-		return cacheReport{}, err
-	}
-	mvaCold, err := stats.Quantile(coldSamples, 0.5)
-	if err != nil {
-		return cacheReport{}, err
-	}
-	if _, err := cs.Solve(p, w, 16); err != nil {
-		return cacheReport{}, err
-	}
-	hitStart := time.Now()
-	for i := 0; i < hitReps; i++ {
-		if _, err := cs.Solve(p, w, 16); err != nil {
-			return cacheReport{}, err
-		}
-	}
-	mvaHit := float64(time.Since(hitStart).Nanoseconds()) / float64(hitReps)
-
-	// GTPN-backed SolveBest path: one cold ladder (the expensive
-	// comparator), then the hit loop.
-	cs.Purge()
-	budget := snoopmva.Budget{SimCycles: -1}
-	bestStart := time.Now()
-	if _, err := cs.SolveBest(ctx, p, w, 4, budget); err != nil {
-		return cacheReport{}, err
-	}
-	bestCold := float64(time.Since(bestStart).Nanoseconds())
-	bestStart = time.Now()
-	for i := 0; i < hitReps; i++ {
-		if _, err := cs.SolveBest(ctx, p, w, 4, budget); err != nil {
-			return cacheReport{}, err
-		}
-	}
-	bestHit := float64(time.Since(bestStart).Nanoseconds()) / float64(hitReps)
-
-	return cacheReport{
-		MVAColdNs:   mvaCold,
-		MVAHitNs:    mvaHit,
-		MVASpeedup:  mvaCold / mvaHit,
-		BestColdNs:  bestCold,
-		BestHitNs:   bestHit,
-		BestSpeedup: bestCold / bestHit,
-	}, nil
-}
-
-// benchCampaign drives the full campaign runner (watchdog, retry, journal
-// machinery disabled) over a protocol × size grid, then repeats the grid
-// through a shared cache — the steady-state of an interactive design
-// session revisiting configurations.
-func benchCampaign(quick bool) (campaignReport, error) {
-	hi := 32
-	if quick {
-		hi = 12
-	}
-	w := snoopmva.AppendixA(snoopmva.Sharing5)
-	var points []snoopmva.CampaignPoint
-	for _, p := range snoopmva.Protocols() {
-		for n := 1; n <= hi; n++ {
-			points = append(points, snoopmva.CampaignPoint{
-				Protocol: p, Workload: w, N: n,
-				Budget: snoopmva.Budget{MaxStates: -1, SimCycles: -1},
-			})
-		}
-	}
-	ctx := context.Background()
-
-	uncachedStart := time.Now()
-	res, err := snoopmva.RunCampaign(ctx, snoopmva.CampaignSpec{Points: points})
-	if err != nil {
-		return campaignReport{}, err
-	}
-	uncachedNs := time.Since(uncachedStart).Nanoseconds()
-	if res.Failed > 0 {
-		return campaignReport{}, fmt.Errorf("bench campaign: %d points failed", res.Failed)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
 
-	cache := snoopmva.NewCachedSolver(0)
-	// Warm pass populates the cache; the timed pass is the repeat.
-	if _, err := snoopmva.RunCampaign(ctx, snoopmva.CampaignSpec{Points: points, Cache: cache}); err != nil {
-		return campaignReport{}, err
+	fmt.Fprintf(os.Stderr, "solve   median %.1fµs  p95 %.1fµs  (%.0f solves/sec)\n",
+		rep.Solve.MedianNs/1e3, rep.Solve.P95Ns/1e3, rep.Solve.SolvesPerSec)
+	fmt.Fprintf(os.Stderr, "sweep   warm %.2fms vs cold %.2fms  (%.1f%% iterations saved)\n",
+		float64(rep.Sweep.WarmNs)/1e6, float64(rep.Sweep.ColdNs)/1e6, rep.Sweep.IterationsSavedPct)
+	fmt.Fprintf(os.Stderr, "cache   mva hit %.0fns (%.0fx)  best hit %.0fns (%.0fx)\n",
+		rep.Cache.MVAHitNs, rep.Cache.MVASpeedup, rep.Cache.BestHitNs, rep.Cache.BestSpeedup)
+	fmt.Fprintf(os.Stderr, "campaign %d points  %.0f pts/sec uncached, %.0f pts/sec cached\n",
+		rep.Campaign.Points, rep.Campaign.UncachedPtsPerSec, rep.Campaign.CachedPtsPerSec)
+	if rep.Allocs != nil {
+		fmt.Fprintf(os.Stderr, "allocs  solve %.1f/op  cache hit %.1f/op  key encode %.1f/op\n",
+			rep.Allocs.Solve.AllocsPerOp, rep.Allocs.CacheHit.AllocsPerOp, rep.Allocs.KeyEncode.AllocsPerOp)
 	}
-	cachedStart := time.Now()
-	if _, err := snoopmva.RunCampaign(ctx, snoopmva.CampaignSpec{Points: points, Cache: cache}); err != nil {
-		return campaignReport{}, err
-	}
-	cachedNs := time.Since(cachedStart).Nanoseconds()
-
-	return campaignReport{
-		Points:            len(points),
-		UncachedNs:        uncachedNs,
-		CachedNs:          cachedNs,
-		UncachedPtsPerSec: float64(len(points)) * 1e9 / float64(uncachedNs),
-		CachedPtsPerSec:   float64(len(points)) * 1e9 / float64(cachedNs),
-		CacheHitRatePct:   100 * cache.Stats().HitRate(),
-		CachedRunIsRepeat: true,
-	}, nil
-}
-
-// sample runs f reps times and returns the per-call wall time in
-// nanoseconds.
-func sample(reps int, f func() error) ([]float64, error) {
-	out := make([]float64, reps)
-	for i := range out {
-		start := time.Now()
-		if err := f(); err != nil {
-			return nil, err
-		}
-		out[i] = float64(time.Since(start).Nanoseconds())
-	}
-	return out, nil
 }
 
 func fatal(err error) {

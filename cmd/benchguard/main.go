@@ -1,0 +1,115 @@
+// Command benchguard is the performance regression gate: it runs the
+// benchkit suites (quick mode by default), compares the result against
+// the checked-in baseline report under configurable budgets, and fails
+// with a violations table when the candidate regresses past them.
+//
+//	benchguard                         # quick run vs BENCH_solver.json
+//	benchguard -quick=false            # full-size candidate run
+//	benchguard -candidate out.json     # compare a pre-generated report
+//	benchguard -update                 # regenerate the baseline instead
+//	benchguard -time-budget=-1         # alloc-only gate (cross-machine)
+//
+// Budgets: -time-budget bounds the fractional wall-clock regression on
+// the latency and throughput series (default 0.05; negative disables the
+// wall-clock checks for cross-machine comparisons). -alloc-budget bounds
+// the absolute allocs/op increase on the //snoop:hotpath series (default
+// 0 — new hotpath allocations must be argued into the baseline via
+// -update). -bytes-budget bounds the fractional bytes/op increase
+// (default 0.2). Baselines generated before the allocation series
+// existed skip the allocation checks.
+//
+// Wall-clock series are only compared between like-mode runs (both
+// quick or both full): quick's smaller reps and grids amortize fixed
+// overheads differently, so a quick candidate against the checked-in
+// full baseline gates allocations only. The allocation series are
+// mode-independent and always gated.
+//
+// Exit status: 0 when every series is within budget, 1 on an operational
+// error, 2 when the gate fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"snoopmva/internal/benchkit"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_solver.json", "baseline report to gate against")
+	candidatePath := flag.String("candidate", "", "pre-generated candidate report; empty runs the suites")
+	quick := flag.Bool("quick", true, "run the suites at CI size when generating the candidate")
+	update := flag.Bool("update", false, "regenerate the baseline from a fresh run and exit")
+	timeBudget := flag.Float64("time-budget", 0.05, "allowed fractional wall-clock regression; negative disables")
+	allocBudget := flag.Float64("alloc-budget", 0, "allowed absolute allocs/op increase on hotpath series")
+	bytesBudget := flag.Float64("bytes-budget", 0.2, "allowed fractional bytes/op increase")
+	flag.Parse()
+
+	if *update {
+		rep, err := benchkit.Run(*quick)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeReport(*baselinePath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: baseline %s regenerated\n", *baselinePath)
+		return
+	}
+
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var candidate *benchkit.Report
+	if *candidatePath != "" {
+		if candidate, err = readReport(*candidatePath); err != nil {
+			fatal(err)
+		}
+	} else {
+		if candidate, err = benchkit.Run(*quick); err != nil {
+			fatal(err)
+		}
+	}
+
+	budgets := benchkit.Budgets{Time: *timeBudget, Allocs: *allocBudget, Bytes: *bytesBudget}
+	if *timeBudget >= 0 && !benchkit.ModesMatch(baseline, candidate) {
+		fmt.Fprintln(os.Stderr, "benchguard: baseline and candidate ran in different modes (quick vs full); wall-clock series skipped, allocation series still gated")
+	}
+	violations := benchkit.Compare(baseline, candidate, budgets)
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: ok against %s (baseline %s)\n", *baselinePath, baseline.Generated)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchguard: %d series over budget against %s:\n\n", len(violations), *baselinePath)
+	fmt.Fprint(os.Stderr, benchkit.FormatViolations(violations))
+	fmt.Fprintf(os.Stderr, "\nIf the regression is intended, regenerate the baseline with benchguard -update.\n")
+	os.Exit(2)
+}
+
+func readReport(path string) (*benchkit.Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchkit.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func writeReport(path string, rep *benchkit.Report) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

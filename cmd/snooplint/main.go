@@ -1,22 +1,30 @@
-// Command snooplint runs the repo's custom analyzer suite (ctxloop,
-// floateq, senterr, naninf, panicmsg) over Go packages.
+// Command snooplint runs the repo's custom analyzer suite (atomicalign,
+// ctxloop, floateq, hotalloc, metricreg, naninf, panicmsg, senterr,
+// spawnbound) over Go packages.
 //
-// Two modes:
+// Modes:
 //
-//	snooplint [packages...]            standalone multichecker (default ./...)
+//	snooplint [-only a,b] [packages...]   standalone multichecker (default ./...)
+//	snooplint -stale [packages...]        report //lint:allow comments that
+//	                                      suppress nothing
 //	go vet -vettool=$(which snooplint) ./...
 //
-// In the second form the go command drives snooplint through the vet tool
+// In the vettool form the go command drives snooplint through the vet tool
 // protocol: it invokes the binary with -V=full for a tool fingerprint and
 // then once per package with a JSON vet.cfg file argument describing the
-// package's files and the export data of its dependencies.
+// package's files and the export data of its dependencies. The protocol
+// has no channel for compiler escape diagnostics, so hotalloc's
+// allocation check runs only in standalone mode; vettool runs still
+// validate //snoop:hotpath directive placement.
 //
-// Exit status: 0 clean, 1 usage/operational error, 2 diagnostics reported.
+// Exit status: 0 clean, 1 usage/operational error, 2 diagnostics (or, with
+// -stale, stale suppressions) reported.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -28,6 +36,7 @@ import (
 
 	"snoopmva/internal/lint"
 	"snoopmva/internal/lint/analysis"
+	"snoopmva/internal/lint/hotalloc"
 	"snoopmva/internal/lint/load"
 )
 
@@ -40,29 +49,19 @@ func main() {
 		fmt.Println("[]") // no tool flags: the suite always runs whole
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		os.Exit(runUnitchecker(args[0]))
-	case len(args) > 0 && strings.HasPrefix(args[0], "-"):
-		switch args[0] {
-		case "-h", "-help", "--help":
-			usage(os.Stdout)
-		default:
-			fmt.Fprintf(os.Stderr, "snooplint: unknown flag %s\n", args[0])
-			usage(os.Stderr)
-			os.Exit(1)
-		}
 	default:
-		if len(args) == 0 {
-			args = []string{"./..."}
-		}
 		os.Exit(runStandalone(args))
 	}
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, "usage: snooplint [packages]   (default ./...)\n")
-	fmt.Fprintf(w, "   or: go vet -vettool=$(which snooplint) [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(w, "usage: snooplint [-only analyzers] [-stale] [packages]   (default ./...)\n")
+	fmt.Fprintf(w, "   or: go vet -vettool=$(which snooplint) [packages]\n\nflags:\n")
+	fmt.Fprintf(w, "  -only a,b   run only the named analyzers\n")
+	fmt.Fprintf(w, "  -stale      report //lint:allow comments that suppress nothing\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers() {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
-		fmt.Fprintf(w, "  %-10s %s\n", a.Name, doc)
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, doc)
 	}
 }
 
@@ -80,23 +79,114 @@ func printVersion() {
 	fmt.Printf("snooplint version devel buildID=%s\n", h)
 }
 
-func runStandalone(patterns []string) int {
+// selectAnalyzers resolves a comma-separated -only list against the
+// suite, preserving suite order.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := lint.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for name := range want {
+		return nil, fmt.Errorf("unknown analyzer %q", name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return out, nil
+}
+
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("snooplint", flag.ContinueOnError)
+	fs.Usage = func() { usage(os.Stderr) }
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	stale := fs.Bool("stale", false, "report //lint:allow comments that suppress nothing")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *stale && *only != "" {
+		// A partial suite cannot tell a stale allow from one whose
+		// analyzer simply did not run.
+		fmt.Fprintf(os.Stderr, "snooplint: -stale requires the full suite; drop -only\n")
+		return 1
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
 	pkgs, err := load.Packages(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
 		return 1
 	}
-	total := 0
+	// hotalloc consumes compiler escape diagnostics; one -gcflags=-m build
+	// over the same patterns covers every loaded package. Skip the build
+	// when the selection leaves hotalloc out.
+	var escapes *analysis.EscapeSet
+	for _, a := range analyzers {
+		if a == hotalloc.Analyzer {
+			escapes, err = load.Escapes(".", patterns...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
+				return 1
+			}
+			break
+		}
+	}
+
+	total, staleTotal := 0, 0
 	for _, p := range pkgs {
-		findings, err := analysis.Run(lint.Analyzers(), p.Fset, p.Files, p.Pkg, p.TypesInfo)
+		out, err := analysis.RunTarget(analyzers, analysis.Target{
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.TypesInfo,
+			Escapes:   escapes,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
 			return 1
 		}
-		for _, f := range findings {
+		if *stale {
+			for _, d := range out.Unused {
+				why := "finding no longer reported"
+				if d.Reason == "" {
+					why = "missing reason, suppresses nothing"
+				}
+				fmt.Printf("%s: stale //lint:allow %s (%s)\n", relativePos(d.Pos), d.Analyzer, why)
+				staleTotal++
+			}
+			continue
+		}
+		for _, f := range out.Findings {
 			fmt.Println(relativize(f))
 		}
-		total += len(findings)
+		total += len(out.Findings)
+	}
+	if *stale {
+		if staleTotal > 0 {
+			fmt.Fprintf(os.Stderr, "snooplint: %d stale suppression(s)\n", staleTotal)
+			return 2
+		}
+		return 0
 	}
 	if total > 0 {
 		fmt.Fprintf(os.Stderr, "snooplint: %d diagnostic(s)\n", total)
@@ -108,12 +198,17 @@ func runStandalone(patterns []string) int {
 // relativize shortens absolute file paths to the current directory for
 // readable, clickable output.
 func relativize(f analysis.Finding) string {
+	f.Pos = relativePos(f.Pos)
+	return f.String()
+}
+
+func relativePos(p token.Position) token.Position {
 	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			f.Pos.Filename = rel
+		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
 		}
 	}
-	return f.String()
+	return p
 }
 
 // vetConfig is the subset of the go command's vet.cfg the checker needs
@@ -183,6 +278,8 @@ func runUnitchecker(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "snooplint: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
+	// Escapes stays nil here: the vet protocol cannot carry compiler
+	// escape output, so hotalloc only validates directive placement.
 	findings, err := analysis.Run(lint.Analyzers(), fset, files, pkg, info)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)

@@ -1,0 +1,141 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// baseReport is a plausible baseline for the comparison tests; candidate
+// reports are mutated copies of it.
+func baseReport() *Report {
+	return &Report{
+		Solve: SolveReport{MedianNs: 10000, P95Ns: 14000, SolvesPerSec: 1e5},
+		Sweep: SweepReport{WarmPointsPerSec: 50000},
+		Cache: CacheReport{MVAHitNs: 300, BestHitNs: 400},
+		Campaign: CampaignReport{
+			CachedPtsPerSec: 200000,
+		},
+		Allocs: &AllocReport{
+			Runs:      1000,
+			Solve:     AllocSeries{AllocsPerOp: 40, BytesPerOp: 6000},
+			CacheHit:  AllocSeries{AllocsPerOp: 3, BytesPerOp: 320},
+			KeyEncode: AllocSeries{AllocsPerOp: 3, BytesPerOp: 352},
+		},
+	}
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	if vs := Compare(baseReport(), baseReport(), DefaultBudgets()); len(vs) != 0 {
+		t.Fatalf("identical reports violated the gate: %v", vs)
+	}
+}
+
+func TestCompareWithinBudgetsPass(t *testing.T) {
+	cand := baseReport()
+	cand.Solve.MedianNs *= 1.04          // inside the 5% time budget
+	cand.Sweep.WarmPointsPerSec *= 0.96  // inside
+	cand.Allocs.Solve.BytesPerOp *= 1.15 // inside the 20% bytes budget
+	cand.Allocs.CacheHit.AllocsPerOp = 3 // unchanged
+	if vs := Compare(baseReport(), cand, DefaultBudgets()); len(vs) != 0 {
+		t.Fatalf("within-budget candidate violated the gate: %v", vs)
+	}
+}
+
+// TestCompareFailsWhenBudgetsExceeded is the gate's core acceptance
+// check: a candidate that regresses past the budgets must produce
+// violations on exactly the offending series.
+func TestCompareFailsWhenBudgetsExceeded(t *testing.T) {
+	cand := baseReport()
+	cand.Solve.MedianNs *= 1.10             // 10% > 5% time budget
+	cand.Sweep.WarmPointsPerSec *= 0.90     // 10% throughput loss
+	cand.Allocs.CacheHit.AllocsPerOp = 4    // one new hotpath alloc
+	cand.Allocs.KeyEncode.BytesPerOp *= 1.5 // 50% > 20% bytes budget
+
+	vs := Compare(baseReport(), cand, DefaultBudgets())
+	got := map[string]bool{}
+	for _, v := range vs {
+		got[v.Series] = true
+	}
+	for _, want := range []string{
+		"solve.median_ns",
+		"sweep.warm_points_per_sec",
+		"allocs.cache_hit.allocs_per_op",
+		"allocs.key_encode.bytes_per_op",
+	} {
+		if !got[want] {
+			t.Errorf("violations %v missing series %s", vs, want)
+		}
+	}
+	if len(vs) != 4 {
+		t.Errorf("got %d violations, want 4: %v", len(vs), vs)
+	}
+}
+
+func TestCompareZeroAllocBudgetIsExact(t *testing.T) {
+	cand := baseReport()
+	cand.Allocs.CacheHit.AllocsPerOp += 0.01 // even a fractional drift fails at budget 0
+	vs := Compare(baseReport(), cand, DefaultBudgets())
+	if len(vs) != 1 || vs[0].Series != "allocs.cache_hit.allocs_per_op" {
+		t.Fatalf("violations = %v, want exactly the cache-hit alloc drift", vs)
+	}
+}
+
+func TestCompareSkipsAllocsForOldBaselines(t *testing.T) {
+	base := baseReport()
+	base.Allocs = nil // pre-gate baseline
+	cand := baseReport()
+	cand.Allocs.Solve.AllocsPerOp = 1000
+	if vs := Compare(base, cand, DefaultBudgets()); len(vs) != 0 {
+		t.Fatalf("old baseline without an allocation section must skip alloc checks, got %v", vs)
+	}
+}
+
+func TestCompareFlagsMissingCandidateAllocs(t *testing.T) {
+	cand := baseReport()
+	cand.Allocs = nil
+	vs := Compare(baseReport(), cand, DefaultBudgets())
+	if len(vs) != 1 || vs[0].Series != "allocs" {
+		t.Fatalf("violations = %v, want the missing-candidate-allocs one", vs)
+	}
+}
+
+// TestCompareModeMismatchSkipsWallClock pins the like-mode rule: a quick
+// candidate against a full baseline is not wall-clock comparable, but the
+// allocation series (mode-independent) are still gated.
+func TestCompareModeMismatchSkipsWallClock(t *testing.T) {
+	cand := baseReport()
+	cand.Quick = true
+	cand.Solve.MedianNs *= 3 // incomparable, must be skipped
+	cand.Allocs.CacheHit.AllocsPerOp = 4
+	vs := Compare(baseReport(), cand, DefaultBudgets())
+	if len(vs) != 1 || vs[0].Series != "allocs.cache_hit.allocs_per_op" {
+		t.Fatalf("violations = %v, want only the alloc one across a quick/full mode boundary", vs)
+	}
+}
+
+func TestCompareNegativeTimeBudgetDisablesWallClock(t *testing.T) {
+	cand := baseReport()
+	cand.Solve.MedianNs *= 10 // wildly slower, but wall-clock checks are off
+	cand.Allocs.Solve.AllocsPerOp++
+	b := DefaultBudgets()
+	b.Time = -1
+	vs := Compare(baseReport(), cand, b)
+	if len(vs) != 1 || vs[0].Series != "allocs.solve.allocs_per_op" {
+		t.Fatalf("violations = %v, want only the alloc one with wall-clock disabled", vs)
+	}
+}
+
+func TestFormatViolationsTable(t *testing.T) {
+	cand := baseReport()
+	cand.Solve.MedianNs *= 2
+	vs := Compare(baseReport(), cand, DefaultBudgets())
+	table := FormatViolations(vs)
+	for _, want := range []string{"SERIES", "solve.median_ns", "10000", "20000", "slower"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	if lines := strings.Count(strings.TrimRight(table, "\n"), "\n") + 1; lines != 2 {
+		t.Errorf("table has %d lines, want header + 1 row:\n%s", lines, table)
+	}
+}

@@ -34,6 +34,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Escapes holds the compiler's escape-analysis diagnostics for the
+	// package, when the driver supplied them (standalone snooplint does;
+	// the vet-tool protocol has no channel for them, so vettool runs see
+	// nil and escape-dependent analyzers skip their allocation checks).
+	Escapes *EscapeSet
 	// Report delivers one diagnostic. It is never nil.
 	Report func(Diagnostic)
 }
@@ -65,15 +70,30 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 // its justification into the tree.
 const AllowDirective = "//lint:allow"
 
+// Directive is one //lint:allow comment, resolved to a position. Reason
+// is empty for a malformed (reasonless) directive, which suppresses
+// nothing; Used reports whether the directive filtered at least one
+// diagnostic during the run that parsed it.
+type Directive struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	Used     bool
+}
+
 // Suppressions indexes the lint:allow directives of a package.
 type Suppressions struct {
-	// byLine maps file -> line -> analyzer names allowed there.
-	byLine map[string]map[int][]string
+	// byLine maps file -> line -> indices into directives.
+	byLine     map[string]map[int][]int
+	directives []*Directive
 }
 
 // ParseSuppressions collects the lint:allow directives of files.
+// Directives without a reason are recorded (so the stale reporter can
+// name them) but never indexed for matching: a bare allow suppresses
+// nothing.
 func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
-	s := &Suppressions{byLine: make(map[string]map[int][]string)}
+	s := &Suppressions{byLine: make(map[string]map[int][]int)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -82,16 +102,24 @@ func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 					continue
 				}
 				fields := strings.Fields(text)
-				if len(fields) < 2 { // analyzer name plus a non-empty reason
+				if len(fields) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d := &Directive{Pos: pos, Analyzer: fields[0]}
+				if len(fields) >= 2 { // analyzer name plus a non-empty reason
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				s.directives = append(s.directives, d)
+				if d.Reason == "" {
+					continue
+				}
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]int)
 					s.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], fields[0])
+				lines[pos.Line] = append(lines[pos.Line], len(s.directives)-1)
 			}
 		}
 	}
@@ -99,7 +127,8 @@ func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 }
 
 // Allows reports whether a diagnostic from the named analyzer at pos is
-// suppressed by a directive on the same line or the line above.
+// suppressed by a directive on the same line or the line above, marking
+// the matching directive used.
 func (s *Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) bool {
 	p := fset.Position(pos)
 	lines, ok := s.byLine[p.Filename]
@@ -107,8 +136,9 @@ func (s *Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) b
 		return false
 	}
 	for _, line := range []int{p.Line, p.Line - 1} {
-		for _, n := range lines[line] {
-			if n == name {
+		for _, i := range lines[line] {
+			if s.directives[i].Analyzer == name {
+				s.directives[i].Used = true
 				return true
 			}
 		}
@@ -116,31 +146,78 @@ func (s *Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) b
 	return false
 }
 
+// Unused returns the directives that suppressed nothing: stale allows
+// (the finding they silenced is gone, or the named analyzer does not
+// exist) and malformed reasonless allows. Meaningful only after a run of
+// the full analyzer suite — under a partial suite, directives for the
+// analyzers that did not run look unused.
+func (s *Suppressions) Unused() []Directive {
+	var out []Directive
+	for _, d := range s.directives {
+		if !d.Used {
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// Target is one type-checked package plus the optional auxiliary data
+// some analyzers consume.
+type Target struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Escapes carries compiler escape diagnostics (nil when the driver
+	// cannot supply them; escape-dependent checks then no-op).
+	Escapes *EscapeSet
+}
+
+// Outcome is the result of running a suite over one Target.
+type Outcome struct {
+	// Findings are the diagnostics that survived suppression, sorted.
+	Findings []Finding
+	// Unused are the //lint:allow directives that suppressed nothing
+	// (see Suppressions.Unused for the partial-suite caveat).
+	Unused []Directive
+}
+
 // Run applies analyzers to one package and returns the diagnostics that
 // survive suppression filtering, in file/position order.
 func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
-	sup := ParseSuppressions(fset, files)
+	out, err := RunTarget(analyzers, Target{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info})
+	if err != nil {
+		return nil, err
+	}
+	return out.Findings, nil
+}
+
+// RunTarget applies analyzers to one Target and reports both the
+// surviving diagnostics and the suppression directives that went unused.
+func RunTarget(analyzers []*Analyzer, t Target) (Outcome, error) {
+	sup := ParseSuppressions(t.Fset, t.Files)
 	var out []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.TypesInfo,
+			Escapes:   t.Escapes,
 		}
 		pass.Report = func(d Diagnostic) {
-			if sup.Allows(fset, a.Name, d.Pos) {
+			if sup.Allows(t.Fset, a.Name, d.Pos) {
 				return
 			}
-			out = append(out, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+			out = append(out, Finding{Analyzer: a.Name, Pos: t.Fset.Position(d.Pos), Message: d.Message})
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+			return Outcome{}, fmt.Errorf("analyzer %s on %s: %w", a.Name, t.Pkg.Path(), err)
 		}
 	}
 	SortFindings(out)
-	return out, nil
+	return Outcome{Findings: out, Unused: sup.Unused()}, nil
 }
 
 // Finding is a resolved diagnostic (position translated, analyzer named).

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// EscapeSite is one heap allocation the compiler's escape analysis
+// attributed to a source position: an "escapes to heap" or "moved to
+// heap" diagnostic. Positions follow the compiler's attribution, so an
+// allocation in an inlined callee is charged to the callee's own source
+// line, not the call site.
+type EscapeSite struct {
+	Line, Col int
+	Message   string
+}
+
+// EscapeSet indexes the escape-analysis diagnostics of a build by
+// absolute file path. Construct with load.Escapes (or NewEscapeSet in
+// tests); a nil *EscapeSet is valid and empty.
+type EscapeSet struct {
+	byFile map[string][]EscapeSite
+}
+
+// NewEscapeSet builds an EscapeSet from sites keyed by absolute file
+// path. The per-file slices are sorted by line then column.
+func NewEscapeSet(byFile map[string][]EscapeSite) *EscapeSet {
+	for _, sites := range byFile {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Line != sites[j].Line {
+				return sites[i].Line < sites[j].Line
+			}
+			return sites[i].Col < sites[j].Col
+		})
+	}
+	return &EscapeSet{byFile: byFile}
+}
+
+// Sites returns the escape sites recorded for the file, sorted by
+// position.
+func (s *EscapeSet) Sites(file string) []EscapeSite {
+	if s == nil {
+		return nil
+	}
+	return s.byFile[file]
+}
+
+// SitesIn returns the escape sites attributed to lines within the span
+// of node n (typically a function declaration), in position order.
+func (s *EscapeSet) SitesIn(fset *token.FileSet, n ast.Node) []EscapeSite {
+	if s == nil {
+		return nil
+	}
+	from := fset.Position(n.Pos())
+	to := fset.Position(n.End())
+	var out []EscapeSite
+	for _, site := range s.byFile[from.Filename] {
+		if site.Line >= from.Line && site.Line <= to.Line {
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+// SitePos converts a site in file back to a token.Pos inside fset, for
+// reporting. The file must already be parsed into fset; reference is any
+// position inside it (e.g. the file's package clause). Falls back to
+// reference when the line is out of range.
+func SitePos(fset *token.FileSet, reference token.Pos, site EscapeSite) token.Pos {
+	tf := fset.File(reference)
+	if tf == nil || site.Line < 1 || site.Line > tf.LineCount() {
+		return reference
+	}
+	p := tf.LineStart(site.Line)
+	// Advance to the column when it stays within the same line.
+	if site.Col > 1 {
+		end := tf.Pos(tf.Size())
+		if site.Line < tf.LineCount() {
+			end = tf.LineStart(site.Line + 1)
+		}
+		if q := p + token.Pos(site.Col-1); q < end {
+			p = q
+		}
+	}
+	return p
+}

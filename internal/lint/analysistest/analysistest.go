@@ -11,7 +11,11 @@
 // diagnostic reported on that line; diagnostics without a matching
 // expectation, and expectations without a matching diagnostic, fail the
 // test. Lines carrying a //lint:allow directive verify the suppression
-// path: they must produce no diagnostic.
+// path: they must produce no diagnostic. When the flagged line is itself
+// a comment directive (so a separate trailing comment is impossible), the
+// expectation may be embedded in the directive's own text:
+//
+//	//snoop:hotpath // want `misplaced`
 package analysistest
 
 import (
@@ -50,17 +54,30 @@ type expectation struct {
 // Run applies a to each fixture package testdata/src/<pkg> and diffs the
 // surviving diagnostics against the // want expectations.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	run(t, testdata, a, pkgs, false)
+}
+
+// RunWithEscapes is Run for analyzers that consume compiler escape
+// diagnostics: each fixture package is additionally compiled with
+// `go build -gcflags=-m=1` (so its files must build for real, not just
+// type-check) and the resulting escape set is supplied on the pass, the
+// way standalone snooplint supplies it.
+func RunWithEscapes(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	run(t, testdata, a, pkgs, true)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs []string, escapes bool) {
 	t.Helper()
 	for _, pkg := range pkgs {
 		pkg := pkg
 		t.Run(a.Name+"/"+pkg, func(t *testing.T) {
 			t.Helper()
-			runOne(t, filepath.Join(testdata, "src", pkg), a, pkg)
+			runOne(t, filepath.Join(testdata, "src", pkg), a, pkg, escapes)
 		})
 	}
 }
 
-func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string) {
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string, escapes bool) {
 	t.Helper()
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil || len(names) == 0 {
@@ -96,12 +113,20 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string) {
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", dir, err)
 	}
-	findings, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	target := analysis.Target{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if escapes {
+		es, err := load.Escapes(dir, ".")
+		if err != nil {
+			t.Fatalf("compiling fixture %s for escape analysis: %v", dir, err)
+		}
+		target.Escapes = es
+	}
+	out, err := analysis.RunTarget([]*analysis.Analyzer{a}, target)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	for _, f := range findings {
+	for _, f := range out.Findings {
 		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
 		ok := false
 		for _, e := range expects[key] {
@@ -124,10 +149,18 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer, path string) {
 }
 
 // parseWant extracts the quoted regexps of a `// want "rx" `+"`rx`"+` ...`
-// comment, or nil if the comment is not a want comment.
+// comment, or nil if the comment is not a want comment. A want marker may
+// also be embedded after other comment text (`//snoop:hotpath // want ...`)
+// for lines whose finding is the comment itself.
 func parseWant(t *testing.T, pos token.Position, text string) []string {
 	t.Helper()
-	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	rest, ok := strings.CutPrefix(body, "want ")
+	if !ok {
+		if i := strings.Index(body, "// want "); i >= 0 {
+			rest, ok = body[i+len("// want "):], true
+		}
+	}
 	if !ok {
 		return nil
 	}

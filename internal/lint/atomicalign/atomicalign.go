@@ -1,0 +1,241 @@
+// Package atomicalign checks that 64-bit atomic fields sit at 64-bit-
+// aligned offsets when the enclosing struct is laid out for a 32-bit
+// target. The obs hot path is one or two uncontended atomics per event,
+// and sync/atomic's 64-bit operations panic on unaligned words on
+// 386/arm — platforms CI never exercises, so only a layout rule catches
+// the regression before a user's 32-bit build does.
+//
+// The analyzer computes field offsets with the go/types size model for
+// GOARCH=386 (4-byte words — the worst case). A field needs the check
+// when its type is sync/atomic's Int64 or Uint64, or when it is a plain
+// (u)int64 whose address is passed to one of the sync/atomic 64-bit
+// functions anywhere in the package. The typed atomics carry the
+// compiler's align64 marker, which both gc and this size model honor
+// with 8-byte alignment on every target, so in practice only the plain
+// integer fields — the pre-atomic-types style — can land misaligned;
+// the typed fields are checked anyway as insurance against a future
+// size-model divergence. Nested structs are walked with accumulated
+// offsets, and an array of atomic-carrying elements is flagged when the
+// element size is not a multiple of 8 (every element past the first
+// would drift out of alignment).
+//
+// The fix is layout, not locking: move the atomic fields to the front of
+// the struct (the runtime 8-aligns the start of every allocation, even
+// on 32-bit targets) or pad them to an 8-byte boundary.
+package atomicalign
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"snoopmva/internal/lint/analysis"
+)
+
+// Analyzer is the atomicalign check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicalign",
+	Doc: `require 64-bit alignment for 64-bit atomic struct fields on 32-bit layouts
+
+A struct field of type atomic.Int64/atomic.Uint64 — or a plain (u)int64
+field used with the sync/atomic 64-bit functions — must land on an
+8-byte offset under the GOARCH=386 size model: first in the struct, or
+behind fields whose 32-bit sizes sum to a multiple of 8.`,
+	Run: run,
+}
+
+// sizes32 is the layout model of the strictest supported target: 4-byte
+// words, 4-byte maximal alignment, so int64 fields pack on 4-byte
+// boundaries unless the layout is arranged.
+var sizes32 = types.SizesFor("gc", "386")
+
+func run(pass *analysis.Pass) (any, error) {
+	atomicInts := atomicIntFields(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			checkStruct(pass, ts, st, 0, atomicInts, make(map[*types.Struct]bool))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkStruct reports misaligned 64-bit atomic fields of st, whose own
+// base offset within the outermost allocation is base. seen breaks
+// recursive struct cycles (impossible by value, cheap to guard).
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *types.Struct, base int64, atomicInts map[*types.Var]bool, seen map[*types.Struct]bool) {
+	if seen[st] {
+		return
+	}
+	seen[st] = true
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes32.Offsetsof(fields)
+	for i, fld := range fields {
+		off := base + offsets[i]
+		switch {
+		case is64BitAtomicType(fld.Type()) || atomicInts[fld]:
+			if off%8 != 0 {
+				pass.Reportf(fieldPos(pass, ts, fld), "64-bit atomic field %s is at offset %d on 32-bit targets; move it to the front of %s or pad to an 8-byte boundary", fieldPath(ts, fld), off, ts.Name.Name)
+			}
+		default:
+			switch t := fld.Type().Underlying().(type) {
+			case *types.Struct:
+				checkStruct(pass, ts, t, off, atomicInts, seen)
+			case *types.Array:
+				if elem, ok := t.Elem().Underlying().(*types.Struct); ok && containsAtomic(elem, atomicInts, make(map[*types.Struct]bool)) {
+					if esz := sizes32.Sizeof(t.Elem()); esz%8 != 0 {
+						pass.Reportf(fieldPos(pass, ts, fld), "array field %s has element size %d (not a multiple of 8) but its elements carry 64-bit atomics; elements past the first misalign on 32-bit targets", fieldPath(ts, fld), esz)
+					} else {
+						checkStruct(pass, ts, elem, off, atomicInts, seen)
+					}
+				}
+			}
+		}
+	}
+}
+
+// containsAtomic reports whether st transitively contains a 64-bit
+// atomic field.
+func containsAtomic(st *types.Struct, atomicInts map[*types.Var]bool, seen map[*types.Struct]bool) bool {
+	if seen[st] {
+		return false
+	}
+	seen[st] = true
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if is64BitAtomicType(fld.Type()) || atomicInts[fld] {
+			return true
+		}
+		switch t := fld.Type().Underlying().(type) {
+		case *types.Struct:
+			if containsAtomic(t, atomicInts, seen) {
+				return true
+			}
+		case *types.Array:
+			if elem, ok := t.Elem().Underlying().(*types.Struct); ok && containsAtomic(elem, atomicInts, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// is64BitAtomicType reports whether t is sync/atomic.Int64 or
+// sync/atomic.Uint64.
+func is64BitAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return obj.Name() == "Int64" || obj.Name() == "Uint64"
+}
+
+// atomic64Funcs names the sync/atomic package-level functions operating
+// on 64-bit words through a pointer argument.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// atomicIntFields collects the plain (u)int64 struct fields whose
+// address is passed to a sync/atomic 64-bit function anywhere in the
+// package — the pre-atomic-types style of atomic field.
+func atomicIntFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, isAtomic := atomicFuncName(pass, call)
+			if !isAtomic || !atomic64Funcs[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// atomicFuncName resolves call to a sync/atomic package-level function
+// name, when it is one.
+func atomicFuncName(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// fieldPos locates the AST position of fld within the struct type of ts,
+// falling back to the type spec itself for fields of nested types
+// declared elsewhere.
+func fieldPos(pass *analysis.Pass, ts *ast.TypeSpec, fld *types.Var) (pos token.Pos) {
+	pos = ts.Pos()
+	ast.Inspect(ts, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && pass.TypesInfo.Defs[id] == fld {
+			pos = id.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+// fieldPath names the field for the diagnostic, qualifying nested fields
+// with their struct type when it differs from the reported one.
+func fieldPath(ts *ast.TypeSpec, fld *types.Var) string {
+	return fmt.Sprintf("%s.%s", ts.Name.Name, fld.Name())
+}

@@ -1,0 +1,175 @@
+// Package metricreg enforces the obs registry's usage discipline: metric
+// families are registered once, at constructor or package-var time, with
+// label values drawn from closed sets.
+//
+// The obs registry is get-or-create, so a registration call inside a
+// request handler "works" — it just re-hashes the family key and walks
+// the label match on every event, and it hides the family list from
+// anyone reading the constructor. Worse, a label value derived from
+// request data (an fmt.Sprintf, a strconv.Itoa of a status code) makes
+// the family's cardinality unbounded: every new value mints a new
+// time series that lives until process exit. Both faults type-check
+// cleanly and pass tests; only the scrape output ever shows them.
+//
+// Two rules:
+//
+//  1. A Registry registration call (Counter, Gauge, Histogram,
+//     GaugeFunc) must not appear inside a function literal. Closures are
+//     how per-request code is written in this tree — handlers, solver
+//     callbacks, GaugeFunc bodies — and none of them should mint
+//     families. Registration belongs in constructors, package vars, and
+//     named setup methods.
+//
+//  2. A label value passed to obs.L must be closed: a constant, or a
+//     variable that carries one (a parameter, a range variable over a
+//     fixed array). Building the value in place — any function call or
+//     string concatenation inside the argument — is the open-cardinality
+//     shape and is reported.
+//
+// Rule 2 deliberately trusts plain identifiers: whether a parameter
+// ranges over a closed set is a property of the call sites, which a
+// single-package analyzer cannot see. The rule catches the way unbounded
+// labels are actually written, not every way they could be.
+package metricreg
+
+import (
+	"go/ast"
+	"go/types"
+
+	"snoopmva/internal/lint/analysis"
+)
+
+// Analyzer is the metricreg check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricreg",
+	Doc: `register obs metric families once, with closed label sets
+
+Registry.Counter/Gauge/Histogram/GaugeFunc calls may not appear inside
+function literals (register in a constructor or package var instead),
+and obs.L label values may not be built by a call or concatenation
+(derive them from a closed set: constants, status classes, fixed
+arrays).`,
+	Run: run,
+}
+
+// registerMethods are the Registry methods that mint a metric family.
+var registerMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "GaugeFunc": true,
+}
+
+// obsPackages names the packages whose Registry/L the rules govern: the
+// real observability package and the analyzer's test fixture.
+var obsPackages = map[string]bool{
+	"obs":       true,
+	"metricreg": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// Walk with an explicit function-literal depth so rule 1 knows
+		// whether a registration call sits inside a closure.
+		var inspect func(n ast.Node, litDepth int)
+		inspect = func(n ast.Node, litDepth int) {
+			ast.Inspect(n, func(node ast.Node) bool {
+				switch x := node.(type) {
+				case *ast.FuncLit:
+					if x != n {
+						inspect(x.Body, litDepth+1)
+						return false
+					}
+				case *ast.CallExpr:
+					checkCall(pass, x, litDepth > 0)
+				}
+				return true
+			})
+		}
+		inspect(f, 0)
+	}
+	return nil, nil
+}
+
+// checkCall applies both rules to one call expression.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inLit bool) {
+	if name, ok := registrationMethod(pass, call); ok && inLit {
+		pass.Reportf(call.Pos(), "metric family registered inside a function literal: hoist this %s call to a constructor or package variable so the family is minted once", name)
+	}
+	if isLabelCtor(pass, call) && len(call.Args) == 2 {
+		arg := call.Args[1]
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+			return // constant however it is spelled, e.g. "a" + "b"
+		}
+		if open := openValueExpr(arg); open != nil {
+			pass.Reportf(open.Pos(), "label value is built in place, so its cardinality is unbounded: derive it from a closed set (a constant, a status class, a fixed array) instead")
+		}
+	}
+}
+
+// registrationMethod reports whether call is a family-minting method on
+// an obs Registry, and which one.
+func registrationMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] {
+		return "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !obsPackages[pkg.Name()] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isLabelCtor reports whether call is obs.L (or the fixture's L).
+func isLabelCtor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	if id.Name != "L" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && obsPackages[fn.Pkg().Name()]
+}
+
+// openValueExpr returns the first sub-expression of a label value that
+// opens its cardinality — a function call or a concatenation — or nil
+// when the value is closed. Constant expressions are closed whatever
+// their syntax.
+func openValueExpr(e ast.Expr) ast.Expr {
+	var open ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if open != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			open = x
+			return false
+		case *ast.BinaryExpr:
+			open = x
+			return false
+		}
+		return true
+	})
+	return open
+}

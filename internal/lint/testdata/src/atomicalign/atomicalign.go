@@ -1,0 +1,78 @@
+// Package atomicalign is the golden fixture for the atomicalign
+// analyzer. Offsets in the want comments are the GOARCH=386 layout the
+// analyzer computes.
+package atomicalign
+
+import "sync/atomic"
+
+// alignedFirst keeps its atomic word at offset 0: the recommended layout.
+type alignedFirst struct {
+	n    uint64
+	flag int32
+}
+
+// misaligned packs the atomically-accessed uint64 behind a 4-byte field.
+type misaligned struct {
+	flag int32
+	n    uint64 // want `64-bit atomic field misaligned.n is at offset 4`
+}
+
+// typedOK uses the typed atomics, which carry the compiler's align64
+// marker: the layout model 8-aligns them even behind a 4-byte field.
+type typedOK struct {
+	flag int32
+	n    atomic.Uint64
+}
+
+// padded restores alignment with explicit padding.
+type padded struct {
+	flag int32
+	_    int32
+	n    uint64
+}
+
+// plainCold holds a uint64 at offset 4 that is never accessed atomically,
+// so it needs no alignment.
+type plainCold struct {
+	flag int32
+	n    uint64
+}
+
+// inner is aligned on its own; outer shifts it to offset 4.
+type inner struct {
+	n uint64
+}
+
+type outer struct { // want `64-bit atomic field outer.n is at offset 4`
+	flag  int32
+	inner inner
+}
+
+// elem carries an atomic counter and is 12 bytes on 32-bit layouts, so
+// array elements past the first drift out of alignment.
+type elem struct {
+	n   uint64
+	tag int32
+}
+
+type counters struct {
+	slots [4]elem // want `array field counters.slots has element size 12`
+}
+
+// legacy keeps its historical layout under a reasoned allow.
+type legacy struct {
+	flag int32
+	//lint:allow atomicalign fixture: 32-bit targets unsupported here
+	n uint64
+}
+
+func bump(m *misaligned, a *alignedFirst, o *outer, e *elem, l *legacy, p *plainCold, t *typedOK, pd *padded) {
+	atomic.AddUint64(&m.n, 1)
+	atomic.AddUint64(&a.n, 1)
+	atomic.AddUint64(&o.inner.n, 1)
+	atomic.AddUint64(&e.n, 1)
+	atomic.AddUint64(&l.n, 1)
+	atomic.AddUint64(&pd.n, 1)
+	p.n++ // non-atomic use only
+	t.n.Add(1)
+}

@@ -1,0 +1,54 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer. It is
+// compiled for real (analysistest.RunWithEscapes), so the want comments
+// below track the compiler's actual escape diagnostics.
+package hotalloc
+
+// sum is annotated and allocation-free: the negative case.
+//
+//snoop:hotpath
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// grow is annotated and allocates: the heap escape is a finding.
+//
+//snoop:hotpath
+func grow(n int) []int {
+	s := make([]int, n) // want `heap allocation in //snoop:hotpath function grow`
+	return s
+}
+
+// boxed returns a pointer to a local, which moves the local to the heap.
+//
+//snoop:hotpath
+func boxed() *int {
+	v := 42 // want `heap allocation in //snoop:hotpath function boxed: moved to heap: v`
+	return &v
+}
+
+// unannotated allocates but carries no budget: no finding.
+func unannotated(n int) []int {
+	return make([]int, n)
+}
+
+// suppressed is annotated; its one allocation carries a reasoned allow.
+//
+//snoop:hotpath
+func suppressed(n int) []int {
+	//lint:allow hotalloc fixture: intentional one-off allocation
+	return make([]int, n)
+}
+
+// The directive only means something on a function declaration.
+//
+//snoop:hotpath
+var sink []int // want `misplaced //snoop:hotpath directive`
+
+func host() {
+	//snoop:hotpath // want `misplaced //snoop:hotpath directive`
+	_ = sink
+}

@@ -1,0 +1,64 @@
+// Package metricreg is the golden fixture for the metricreg analyzer. It
+// mirrors the shape of internal/obs — a Registry with family-minting
+// methods and an L label constructor — which the analyzer matches by
+// name.
+package metricreg
+
+import "fmt"
+
+type Label struct{ Name, Value string }
+
+func L(name, value string) Label { return Label{name, value} }
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return new(Counter) }
+func (r *Registry) Gauge(name, help string, labels ...Label) *Counter   { return new(Counter) }
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Counter {
+	return new(Counter)
+}
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {}
+
+var reg = &Registry{}
+
+// Package-var registration with constant labels: the blessed shape.
+var requests = reg.Counter("requests_total", "requests", L("outcome", "ok"))
+
+// Constructor registration with a parameter-carried label value: whether
+// route ranges over a closed set is the call sites' contract, so a plain
+// identifier is trusted.
+func register(route string) *Counter {
+	return reg.Counter("route_total", "per-route", L("route", route))
+}
+
+// Constant concatenation is closed however it is spelled.
+var detail = reg.Counter("detail_total", "detail", L("kind", "a"+"b"))
+
+// Registration inside a closure mints the family per call.
+func handler() func() {
+	return func() {
+		reg.Counter("lazy_total", "lazy").Inc() // want `metric family registered inside a function literal`
+	}
+}
+
+func labeled(l Label) {}
+
+// A label value built in place opens the family's cardinality.
+func record(code int) {
+	labeled(L("code", fmt.Sprint(code))) // want `label value is built in place`
+}
+
+// Concatenation with a variable is just as open.
+func recordRoute(route string) {
+	labeled(L("route", "api/"+route)) // want `label value is built in place`
+}
+
+// An acknowledged exception carries a reasoned allow.
+func recordDebug(code int) {
+	//lint:allow metricreg fixture: debug-only family, bounded by test inputs
+	labeled(L("code", fmt.Sprint(code)))
+}

@@ -1,0 +1,63 @@
+// Package spawnbound is the golden fixture for the spawnbound analyzer:
+// its package path is in the governed set, so every go statement below is
+// checked for a provable exit path.
+package spawnbound
+
+import (
+	"context"
+	"sync"
+)
+
+func work(ctx context.Context) { <-ctx.Done() }
+
+func spawnCtxArg(ctx context.Context) {
+	go work(ctx) // ok: a context is threaded into the call
+}
+
+func spawnCtxBody(ctx context.Context) {
+	go func() { // ok: the body waits on ctx.Done
+		<-ctx.Done()
+	}()
+}
+
+func spawnJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: WaitGroup join
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func spawnRange(ch chan int) {
+	go func() { // ok: exits when the producer closes ch
+		for range ch {
+		}
+	}()
+}
+
+func spawnSingleSend(done chan error) {
+	go func() { done <- nil }() // ok: bounded single-send body
+}
+
+func spawnLeakNamed() {
+	go leak() // want `goroutine has no provable exit path`
+}
+
+func leak() {
+	for {
+	}
+}
+
+func spawnLeakLit(ch chan int) {
+	go func() { // want `goroutine has no provable exit path`
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+func spawnAllowed() {
+	//lint:allow spawnbound fixture: terminates by construction
+	go leak()
+}

@@ -1,0 +1,11 @@
+// Package spawnfree sits outside the import paths the spawnbound
+// invariant governs: the same leaky goroutine that is flagged in the
+// spawnbound fixture produces no finding here.
+package spawnfree
+
+func spawn() {
+	go func() {
+		for {
+		}
+	}()
+}

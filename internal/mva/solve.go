@@ -77,15 +77,21 @@ func (m Model) SolveContext(ctx context.Context, n int, opts Options) (res Resul
 	return m.solveOnce(ctx, n, opts)
 }
 
+// solveOnce runs the damped fixed-point iteration at one damping factor:
+// the inner loop every sweep point and campaign point reduces to.
+//
+//snoop:hotpath steady-state iterate must not allocate (ROADMAP item 2)
 func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, error) {
 	o := opts.withDefaults()
 	if h := faultinject.Hooks(); h != nil && h.MVAEnter != nil {
 		h.MVAEnter(n)
 	}
 	if n < 1 {
+		//lint:allow hotalloc invalid-input error exit, off the steady-state iterate
 		return Result{}, fmt.Errorf("mva: system size %d < 1: %w", n, workload.ErrInvalid)
 	}
 	if o.Damping <= 0 || o.Damping > 1 {
+		//lint:allow hotalloc invalid-input error exit, off the steady-state iterate
 		return Result{}, fmt.Errorf("mva: damping %v outside (0,1]: %w", o.Damping, workload.ErrInvalid)
 	}
 	d, err := m.Derive()
@@ -120,6 +126,7 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		if !isFinite(ws.R) || ws.R <= 0 || !isFinite(ws.WBus) || ws.WBus < 0 ||
 			!isFinite(ws.WMem) || ws.WMem < 0 {
 			return Result{}, fmt.Errorf("mva: warm-start state (R=%v, w_bus=%v, w_mem=%v) is not a converged solver state: %w",
+				//lint:allow hotalloc invalid-warm-start error exit, off the steady-state iterate
 				ws.R, ws.WBus, ws.WMem, workload.ErrInvalid)
 		}
 		r, wBus, wMem = ws.R, ws.WBus, ws.WMem
@@ -129,6 +136,7 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 	for iter := 1; iter <= o.MaxIter; iter++ {
 		if iter%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
+				//lint:allow hotalloc cancellation exit, taken at most once per solve
 				return res, fmt.Errorf("mva: solve interrupted at iteration %d (N=%d): %w", iter, n, err)
 			}
 		}
@@ -243,6 +251,7 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		// propagate silently through the damped update and either
 		// "converge" to garbage or spin out the iteration budget.
 		if !isFinite(newR) || !isFinite(newWBus) || !isFinite(newWMem) {
+			//lint:allow hotalloc divergence error exit, taken at most once per solve
 			return res, &DivergenceError{N: n, Iteration: iter, R: newR, WBus: newWBus, WMem: newWMem}
 		}
 
@@ -278,6 +287,7 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 			return res, nil
 		}
 	}
+	//lint:allow hotalloc no-convergence error exit, off the steady-state iterate
 	return res, fmt.Errorf("%w within %d iterations (N=%d, %v)", ErrNoConvergence, o.MaxIter, n, m.Mods)
 }
 

@@ -180,9 +180,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//snoop:hotpath one atomic add per solver event
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//snoop:hotpath one atomic add per solver event
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -205,9 +209,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//snoop:hotpath one atomic store per solver event
 func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
 
 // Add adds d (negative d subtracts).
+//
+//snoop:hotpath CAS loop over the float bits, no allocation
 func (g *Gauge) Add(d float64) {
 	// CAS loop over the float bits; trips are bounded by write contention
 	// on this one gauge, not by any data size or iteration budget.
@@ -221,9 +229,13 @@ func (g *Gauge) Add(d float64) {
 }
 
 // Inc adds one.
+//
+//snoop:hotpath delegates to Add
 func (g *Gauge) Inc() { g.Add(1) }
 
 // Dec subtracts one.
+//
+//snoop:hotpath delegates to Add
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
@@ -263,6 +275,8 @@ type Histogram struct {
 }
 
 // Observe records one observation.
+//
+//snoop:hotpath bucket scan plus two atomics, no allocation
 func (h *Histogram) Observe(v float64) {
 	// Buckets are few and fixed (≤ ~20); linear scan beats binary search
 	// at this size and keeps the hot path branch-predictable.

@@ -22,7 +22,6 @@ package snoopd
 import (
 	"net/http"
 	"net/http/pprof"
-	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -99,14 +98,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// statusClasses is the closed label set for the requests counter: HTTP
+// status classes rather than raw codes, so the family's cardinality is
+// routes × 5 regardless of what codes handlers invent.
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
 // route registers pattern with the standard instrumentation: an in-flight
 // gauge, a per-route latency histogram, and a requests counter labeled by
-// route and status code.
+// route and status class. All families are minted here, at registration
+// time; the handler closure only increments resolved series (metricreg
+// enforces this split).
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	lat := s.reg.Histogram("snoopmva_http_request_seconds",
 		"Request latency by route.",
 		obs.ExpBuckets(1e-5, 4, 10), obs.L("route", pattern))
 	s.latency[pattern] = lat
+	var requests [len(statusClasses)]*obs.Counter
+	for i, class := range statusClasses {
+		requests[i] = s.reg.Counter("snoopmva_http_requests_total",
+			"Requests served, by route and status class.",
+			obs.L("route", pattern), obs.L("code", class))
+	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Inc()
 		defer s.inflight.Dec()
@@ -114,10 +126,9 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		lat.Observe(time.Since(start).Seconds())
-		// Series creation memoizes on (name, labels), so this is a map
-		// lookup plus one atomic add per request — fine off the hot path.
-		s.reg.Counter("snoopmva_http_requests_total", "Requests served, by route and status code.",
-			obs.L("route", pattern), obs.L("code", strconv.Itoa(sw.code))).Inc()
+		if i := sw.code/100 - 1; i >= 0 && i < len(requests) {
+			requests[i].Inc()
+		}
 	})
 }
 

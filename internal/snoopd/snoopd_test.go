@@ -273,10 +273,13 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	body := w.Body.String()
 	for _, want := range []string{
-		"# HELP snoopmva_http_requests_total Requests served, by route and status code.\n",
+		"# HELP snoopmva_http_requests_total Requests served, by route and status class.\n",
 		"# TYPE snoopmva_http_requests_total counter\n",
-		`snoopmva_http_requests_total{code="200",route="POST /v1/solve"} 1` + "\n",
-		`snoopmva_http_requests_total{code="400",route="POST /v1/solve"} 1` + "\n",
+		`snoopmva_http_requests_total{code="2xx",route="POST /v1/solve"} 1` + "\n",
+		`snoopmva_http_requests_total{code="4xx",route="POST /v1/solve"} 1` + "\n",
+		// Families for every status class exist from registration time,
+		// even before a request of that class has been served.
+		`snoopmva_http_requests_total{code="5xx",route="POST /v1/solve"} 0` + "\n",
 		"# TYPE snoopmva_http_request_seconds histogram\n",
 		`snoopmva_http_request_seconds_count{route="POST /v1/solve"} 2` + "\n",
 		"# TYPE snoopmva_http_inflight_requests gauge\n",

@@ -69,6 +69,9 @@ type KeyBuilder struct {
 }
 
 // NewKey starts a canonical key encoding.
+//
+//snoop:hotpath runs on every cache lookup; one builder allocation allowed below
+//lint:allow hotalloc the builder and its 256-byte buffer are the encoder's one allocation until the pooled-scratch PR (ROADMAP item 2)
 func NewKey() *KeyBuilder { return &KeyBuilder{buf: make([]byte, 0, 256)} }
 
 func (b *KeyBuilder) tag(t byte) { b.buf = append(b.buf, t) }
@@ -78,6 +81,8 @@ func (b *KeyBuilder) u64(v uint64) {
 }
 
 // String appends a length-prefixed string field.
+//
+//snoop:hotpath appends into the builder's pre-sized buffer
 func (b *KeyBuilder) String(s string) *KeyBuilder {
 	b.tag('s')
 	b.u64(uint64(len(s)))
@@ -86,6 +91,8 @@ func (b *KeyBuilder) String(s string) *KeyBuilder {
 }
 
 // Int appends a signed integer field.
+//
+//snoop:hotpath appends into the builder's pre-sized buffer
 func (b *KeyBuilder) Int(v int64) *KeyBuilder {
 	b.tag('i')
 	b.u64(uint64(v))
@@ -93,6 +100,8 @@ func (b *KeyBuilder) Int(v int64) *KeyBuilder {
 }
 
 // Uint appends an unsigned integer field.
+//
+//snoop:hotpath appends into the builder's pre-sized buffer
 func (b *KeyBuilder) Uint(v uint64) *KeyBuilder {
 	b.tag('u')
 	b.u64(v)
@@ -102,6 +111,8 @@ func (b *KeyBuilder) Uint(v uint64) *KeyBuilder {
 // Float appends a float field by IEEE-754 bit pattern (NaNs with different
 // payloads are distinct keys; the solvers reject non-finite inputs before
 // any key is built, so this never matters in practice).
+//
+//snoop:hotpath appends into the builder's pre-sized buffer
 func (b *KeyBuilder) Float(v float64) *KeyBuilder {
 	b.tag('f')
 	b.u64(math.Float64bits(v))
@@ -109,6 +120,8 @@ func (b *KeyBuilder) Float(v float64) *KeyBuilder {
 }
 
 // Bool appends a boolean field.
+//
+//snoop:hotpath appends into the builder's pre-sized buffer
 func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
 	b.tag('b')
 	if v {
@@ -120,10 +133,13 @@ func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
 }
 
 // Key finalizes the encoding into a Key. The builder may not be reused
-// afterwards.
+// afterwards; one canonical-string allocation is allowed below.
+//
+//snoop:hotpath finalizes the encoding on every cache lookup
 func (b *KeyBuilder) Key() Key {
 	h := fnv.New64a()
 	h.Write(b.buf)
+	//lint:allow hotalloc the canonical string must outlive the builder; interning is part of the pooled-scratch PR (ROADMAP item 2)
 	return Key{sum: h.Sum64(), canon: string(b.buf)}
 }
 
@@ -213,6 +229,8 @@ func New(capacity int) *Cache {
 // returned to the leader and every coalesced waiter but is not cached. A
 // panic inside compute is re-raised in the leader after the waiters have
 // been released with an error, so no goroutine is left blocked.
+//
+//snoop:hotpath the hit path is a shard map lookup and an LRU move
 func (c *Cache) Do(key Key, compute func() (any, error)) (any, error) {
 	sh := &c.shards[key.sum%numShards]
 	sh.mu.Lock()
@@ -228,6 +246,7 @@ func (c *Cache) Do(key Key, compute func() (any, error)) (any, error) {
 		<-fl.done
 		return fl.value, fl.err
 	}
+	//lint:allow hotalloc miss-path flight record; the hit path above allocates nothing
 	fl := &flight{done: make(chan struct{})}
 	sh.flights[key.canon] = fl
 	sh.mu.Unlock()
