@@ -147,6 +147,19 @@ func (c *CachedSolver) SolveBest(ctx context.Context, p Protocol, w Workload, n 
 	return cloneBest(v.(BestResult)), nil
 }
 
+// PeekSolveBest probes the cache for a SolveBest result computed under
+// exactly this budget, never solving on a miss. It is the brownout
+// fast path of the serving layer: under overload a resident
+// full-fidelity answer beats a degraded fresh one, but starting a GTPN
+// stage is exactly what an overloaded server must not do.
+func (c *CachedSolver) PeekSolveBest(p Protocol, w Workload, n int, b Budget) (BestResult, bool) {
+	v, ok := c.cache.Peek(bestKey(p, w, n, b))
+	if !ok {
+		return BestResult{}, false
+	}
+	return cloneBest(v.(BestResult)), true
+}
+
 // Compare is the cached Compare: per-protocol solves go through the cache,
 // and like the package-level variants every protocol is attempted with the
 // failures joined (each identified by its protocol).

@@ -54,6 +54,8 @@ func main() {
 		strMin     = flag.Int("straggler-min-samples", 0, "completed solves required before speculation starts (0 = default 5)")
 		replicas   = flag.Int("max-replicas", 0, "max concurrent replicas of one point (0 = default 2)")
 		inflight   = flag.Int("max-inflight", 0, "concurrent points per worker (0 = default 1)")
+		bpLimit    = flag.Int("backpressure-limit", 0, "429/503 backpressure requeues per point before it is recorded failed (0 = default 32)")
+		bpCap      = flag.Duration("backpressure-delay-cap", 0, "upper bound on a worker's Retry-After park (0 = default 2s)")
 		stallTO    = flag.Duration("stall-timeout", 0, "abort when no progress for this long (0 = default 2m, negative disables)")
 		timeout    = flag.Duration("timeout", 0, "abort the whole campaign after this long (0 = no limit)")
 		format     = flag.String("format", "text", "output format: text, csv, markdown")
@@ -84,23 +86,25 @@ func main() {
 	}
 
 	cfg := dispatch.Config{
-		Transports:          transports,
-		Journal:             *journal,
-		Resume:              *resume,
-		PointTimeout:        *pointTO,
-		HealthInterval:      *healthIvl,
-		HealthTimeout:       *healthTO,
-		QuarantineAfter:     *quarantine,
-		ReadmitAfter:        *readmit,
-		BreakerThreshold:    *breaker,
-		BreakerProbe:        *probe,
-		StragglerFactor:     *strFactor,
-		StragglerFloor:      *strFloor,
-		StragglerMinSamples: *strMin,
-		MaxReplicas:         *replicas,
-		MaxInflight:         *inflight,
-		RequeueLimit:        *requeues,
-		StallTimeout:        *stallTO,
+		Transports:           transports,
+		Journal:              *journal,
+		Resume:               *resume,
+		PointTimeout:         *pointTO,
+		HealthInterval:       *healthIvl,
+		HealthTimeout:        *healthTO,
+		QuarantineAfter:      *quarantine,
+		ReadmitAfter:         *readmit,
+		BreakerThreshold:     *breaker,
+		BreakerProbe:         *probe,
+		StragglerFactor:      *strFactor,
+		StragglerFloor:       *strFloor,
+		StragglerMinSamples:  *strMin,
+		MaxReplicas:          *replicas,
+		MaxInflight:          *inflight,
+		RequeueLimit:         *requeues,
+		BackpressureLimit:    *bpLimit,
+		BackpressureDelayCap: *bpCap,
+		StallTimeout:         *stallTO,
 	}
 	if *verbose {
 		cfg.Logf = func(f string, args ...any) { fmt.Fprintf(os.Stderr, f+"\n", args...) }
@@ -159,8 +163,8 @@ func main() {
 	rate := float64(res.Computed) / elapsed.Seconds()
 	fmt.Printf("campaignd: %d points (%d computed, %d resumed, %d failed) in %v — %.1f points/sec\n",
 		len(res.Results), res.Computed, res.Resumed, res.Failed, elapsed.Round(time.Millisecond), rate)
-	fmt.Printf("campaignd: %d dispatches (%d redispatched, %d speculative, %d duplicates discarded); %d quarantined, %d readmitted\n",
-		stats.Dispatches, stats.Redispatches, stats.Speculative, stats.Duplicates, stats.Quarantined, stats.Readmitted)
+	fmt.Printf("campaignd: %d dispatches (%d redispatched, %d speculative, %d duplicates discarded); %d quarantined, %d readmitted, %d backpressured\n",
+		stats.Dispatches, stats.Redispatches, stats.Speculative, stats.Duplicates, stats.Quarantined, stats.Readmitted, stats.Backpressure)
 	if len(stats.WorkerCommits) > 0 {
 		addrs := make([]string, 0, len(stats.WorkerCommits))
 		for a := range stats.WorkerCommits {

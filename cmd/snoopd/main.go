@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"snoopmva"
+	"snoopmva/internal/admission"
 	"snoopmva/internal/snoopd"
 )
 
@@ -41,6 +42,11 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeout_ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight solves")
 	drainGrace := flag.Duration("drain-grace", 0, "after SIGTERM, keep serving for this long with /healthz at 503 so health-checked routing drains away first")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrent /v1/* requests (0 disables overload protection)")
+	admTargetMS := flag.Int64("admission-target-ms", 50, "admission control: per-solve latency target in ms the adaptive limit steers to")
+	admQueue := flag.Int("admission-queue", 0, "admission control: queued-request bound (0 = 2×max-inflight, negative = no queue)")
+	ratePerClient := flag.Float64("rate-per-client", 0, "admission control: per-client token-bucket rate in req/s, keyed by the "+snoopd.ClientIDHeader+" header (0 disables)")
+	brownoutPct := flag.Float64("brownout-shed-pct", 0, "admission control: shed-rate fraction in [0,1) above which /v1/solvebest browns out to cache-hit-or-MVA-only (0 disables)")
 	flag.Parse()
 
 	cfg := snoopd.Config{
@@ -49,6 +55,33 @@ func main() {
 	}
 	if *cacheCap != 0 {
 		cfg.Cache = snoopmva.NewCachedSolver(*cacheCap)
+	}
+	if *maxInflight < 0 {
+		fmt.Fprintf(os.Stderr, "snoopd: -max-inflight must be >= 0, got %d\n", *maxInflight)
+		os.Exit(2)
+	}
+	if *maxInflight == 0 && (*ratePerClient != 0 || *brownoutPct != 0) {
+		fmt.Fprintln(os.Stderr, "snoopd: -rate-per-client and -brownout-shed-pct require -max-inflight > 0")
+		os.Exit(2)
+	}
+	if *maxInflight > 0 {
+		if *admTargetMS <= 0 {
+			fmt.Fprintf(os.Stderr, "snoopd: -admission-target-ms must be > 0, got %d\n", *admTargetMS)
+			os.Exit(2)
+		}
+		adm, err := admission.New(admission.Config{
+			MaxInflight:     *maxInflight,
+			Target:          time.Duration(*admTargetMS) * time.Millisecond,
+			QueueLimit:      *admQueue,
+			RatePerClient:   *ratePerClient,
+			BrownoutShedPct: *brownoutPct,
+			Name:            "snoopd",
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snoopd: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Admission = adm
 	}
 	handler := snoopd.New(cfg)
 

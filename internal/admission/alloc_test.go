@@ -1,0 +1,46 @@
+// The alloc pin is meaningless under the race detector (its
+// instrumentation allocates), so this file is excluded from -race runs;
+// the plain CI test job keeps the gate.
+
+//go:build !race
+
+package admission
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"snoopmva/internal/obs"
+)
+
+// TestAdmitFastPathAllocFree pins the acceptance bound backing the
+// //snoop:hotpath annotation on Admit: an uncontended admit + release
+// round trip — including a warm per-client rate-limit bucket — performs
+// zero heap allocations.
+func TestAdmitFastPathAllocFree(t *testing.T) {
+	c, err := New(Config{
+		MaxInflight:   4,
+		RatePerClient: 1e9, // never empties: keeps the bucket on the token path
+		Registry:      obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	// Warm the client bucket so the steady state is measured, not the
+	// first-sight insert.
+	if err := c.Admit(ctx, "steady", time.Time{}); err != nil {
+		t.Fatalf("warm admit: %v", err)
+	}
+	c.Release(time.Millisecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := c.Admit(ctx, "steady", time.Time{}); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+		c.ReleaseWith(time.Millisecond, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("admitted fast path allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,97 @@
+package admission
+
+import "time"
+
+// brownoutBuckets is the sliding-window resolution: the window is split
+// into this many rotating buckets, so the measured shed rate covers
+// between (n-1)/n and n/n of the configured window.
+const brownoutBuckets = 8
+
+// brownoutWindow measures the capacity-shed rate (sheds over all
+// capacity decisions) across a sliding window and holds the brownout
+// mode with hysteresis: activate at the threshold, deactivate below
+// half of it, so the mode cannot flap on every sample. It is not
+// internally locked — the Controller's mutex guards it.
+type brownoutWindow struct {
+	threshold  float64
+	minSamples int
+	bucketDur  time.Duration
+
+	buckets  [brownoutBuckets]struct{ shed, total uint64 }
+	cur      int
+	curStart time.Time
+	active   bool
+}
+
+func (b *brownoutWindow) init(window time.Duration, threshold float64, minSamples int, now time.Time) {
+	b.threshold = threshold
+	b.minSamples = minSamples
+	b.bucketDur = window / brownoutBuckets
+	if b.bucketDur <= 0 {
+		b.bucketDur = time.Millisecond
+	}
+	b.curStart = now
+}
+
+// rotate advances the window to now, zeroing expired buckets.
+func (b *brownoutWindow) rotate(now time.Time) {
+	if b.threshold == 0 {
+		return
+	}
+	elapsed := now.Sub(b.curStart)
+	if elapsed < b.bucketDur {
+		return
+	}
+	adv := int(elapsed / b.bucketDur)
+	if adv >= brownoutBuckets {
+		// The whole window expired: reset rather than spin.
+		b.buckets = [brownoutBuckets]struct{ shed, total uint64 }{}
+		b.cur = 0
+		b.curStart = now
+		b.recompute()
+		return
+	}
+	for i := 0; i < adv; i++ {
+		b.cur = (b.cur + 1) % brownoutBuckets
+		b.buckets[b.cur] = struct{ shed, total uint64 }{}
+		b.curStart = b.curStart.Add(b.bucketDur)
+	}
+	b.recompute()
+}
+
+// note records one capacity decision and refreshes the mode.
+func (b *brownoutWindow) note(now time.Time, shed bool) {
+	if b.threshold == 0 {
+		return
+	}
+	b.rotate(now)
+	b.buckets[b.cur].total++
+	if shed {
+		b.buckets[b.cur].shed++
+	}
+	b.recompute()
+}
+
+// recompute re-evaluates the hysteresis state machine from the window
+// contents.
+func (b *brownoutWindow) recompute() {
+	var shed, total uint64
+	for i := range b.buckets {
+		shed += b.buckets[i].shed
+		total += b.buckets[i].total
+	}
+	if total == 0 {
+		b.active = false
+		return
+	}
+	frac := float64(shed) / float64(total)
+	if b.active {
+		if frac < b.threshold/2 {
+			b.active = false
+		}
+		return
+	}
+	if total >= uint64(b.minSamples) && frac >= b.threshold {
+		b.active = true
+	}
+}

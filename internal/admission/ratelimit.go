@@ -1,0 +1,69 @@
+package admission
+
+import "time"
+
+// bucket is one client's token bucket. Refill is lazy: tokens accrue at
+// the configured rate since the last take, capped at the burst depth.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	seen   time.Time // for least-recently-seen eviction
+}
+
+// clientTable is the per-client token-bucket table. It is not
+// internally locked — the Controller's mutex guards it, so one lock
+// covers the whole admission decision.
+type clientTable struct {
+	rate  float64 // tokens per second
+	burst float64
+	max   int
+	m     map[string]*bucket
+}
+
+func newClientTable(rate, burst float64, max int) *clientTable {
+	return &clientTable{rate: rate, burst: burst, max: max, m: make(map[string]*bucket)}
+}
+
+// take spends one token from client's bucket, creating it full on first
+// sight. It returns 0 when a token was available, otherwise the time
+// until the bucket refills one token (the exact Retry-After for this
+// client).
+func (t *clientTable) take(client string, now time.Time) time.Duration {
+	b, ok := t.m[client]
+	if !ok {
+		if len(t.m) >= t.max {
+			t.evictOldest()
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.m[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+		b.last = now
+	}
+	b.seen = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+}
+
+// evictOldest drops the least recently seen bucket. Linear scan: the
+// table is bounded and eviction only happens at the bound, so the scan
+// is rare and never on the common path.
+func (t *clientTable) evictOldest() {
+	var (
+		oldestKey string
+		oldest    time.Time
+		first     = true
+	)
+	for k, b := range t.m {
+		if first || b.seen.Before(oldest) {
+			oldestKey, oldest, first = k, b.seen, false
+		}
+	}
+	delete(t.m, oldestKey)
+}

@@ -29,6 +29,16 @@
 //   - Transport failures requeue the point (bounded by RequeueLimit);
 //     authoritative solver failures are committed as failed points, just
 //     like the local runner journals them.
+//   - Backpressure — a worker answering 429 (admission shed) or 503
+//     (draining) — is neither: the worker is alive and explicit about
+//     its state. The point goes straight back into the queue so an
+//     uncongested worker picks it up immediately, while the refusing
+//     worker honors its own Retry-After (capped by BackpressureDelayCap)
+//     by taking no new work until the delay passes — that is what
+//     shifts load across the pool. Refusals are bounded per point by
+//     BackpressureLimit, and the circuit breaker is NOT fed — otherwise
+//     a loaded or rolling-restarting worker set would quarantine itself
+//     into a total outage.
 //   - The journal is the same campaign journal format the local runner
 //     writes (snoopmva.OpenCampaignJournal), so a coordinator crash
 //     resumes — under either runner — with a result set identical to an
@@ -110,6 +120,16 @@ type Config struct {
 	// RequeueLimit bounds how many times a point is re-dispatched after
 	// transport failures before it is committed as failed. 0 means 8.
 	RequeueLimit int
+	// BackpressureLimit bounds how many times a point is requeued after
+	// worker backpressure (429/503) before it is committed as failed.
+	// Separate from RequeueLimit — and much larger by default — because
+	// backpressure is the pool working as designed, not failing. 0
+	// means 32.
+	BackpressureLimit int
+	// BackpressureDelayCap caps the honored Retry-After delay of a
+	// backpressure requeue, so a confused worker cannot park a point
+	// for an hour. 0 means 2s.
+	BackpressureDelayCap time.Duration
 	// AcquireRetry is the idle worker's poll period for newly eligible
 	// work (straggler thresholds trip on this clock even when no other
 	// event fires). 0 means 25ms.
@@ -136,6 +156,9 @@ type RunStats struct {
 	Redispatches int
 	// Speculative counts straggler replicas launched.
 	Speculative int
+	// Backpressure counts requeues caused by worker 429/503 answers
+	// (these do not count as Redispatches and never feed the breakers).
+	Backpressure int
 	// Duplicates counts answers discarded because another replica had
 	// already committed the point.
 	Duplicates int
@@ -164,15 +187,18 @@ type Coordinator struct {
 	flights   map[int][]*flight // outstanding replicas per point
 	committed map[int]snoopmva.PointResult
 	requeues  map[int]int // transport-failure count per point
-	durations []float64   // completed solve seconds, for the straggler p95
-	workers   []*worker
-	journal   *snoopmva.CampaignJournal
-	recorded  int   // journal records written this run (crash-hook clock)
-	runErr    error // first fatal error; latches
-	lastEvent time.Time
-	notifyCh  chan struct{}
-	stats     RunStats
-	cancelRun context.CancelFunc
+	// backpressures counts 429/503 refusals per point, for the
+	// BackpressureLimit bound.
+	backpressures map[int]int
+	durations     []float64 // completed solve seconds, for the straggler p95
+	workers       []*worker
+	journal       *snoopmva.CampaignJournal
+	recorded      int   // journal records written this run (crash-hook clock)
+	runErr        error // first fatal error; latches
+	lastEvent     time.Time
+	notifyCh      chan struct{}
+	stats         RunStats
+	cancelRun     context.CancelFunc
 }
 
 type worker struct {
@@ -181,6 +207,10 @@ type worker struct {
 	quarantined bool
 	probeFails  int
 	probeOKs    int
+	// congestedUntil parks the worker after it answered with
+	// backpressure: no new dispatches until its Retry-After passes,
+	// which is what shifts load to the uncongested rest of the pool.
+	congestedUntil time.Time
 }
 
 type flight struct {
@@ -228,6 +258,12 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.RequeueLimit == 0 {
 		cfg.RequeueLimit = 8
 	}
+	if cfg.BackpressureLimit == 0 {
+		cfg.BackpressureLimit = 32
+	}
+	if cfg.BackpressureDelayCap == 0 {
+		cfg.BackpressureDelayCap = 2 * time.Second
+	}
 	if cfg.AcquireRetry == 0 {
 		cfg.AcquireRetry = 25 * time.Millisecond
 	}
@@ -267,6 +303,7 @@ func (c *Coordinator) Run(ctx context.Context, points []snoopmva.CampaignPoint) 
 	c.flights = map[int][]*flight{}
 	c.committed = map[int]snoopmva.PointResult{}
 	c.requeues = map[int]int{}
+	c.backpressures = map[int]int{}
 	c.stats.WorkerCommits = map[string]int{}
 	c.lastEvent = start
 
@@ -409,14 +446,14 @@ func (c *Coordinator) tryAcquire(w *worker) (pt int, speculative bool, state int
 	if c.runErr != nil || len(c.committed) == len(c.points) {
 		return 0, false, acqDone
 	}
-	if w.quarantined || w.inflight >= c.cfg.MaxInflight {
+	if w.quarantined || w.inflight >= c.cfg.MaxInflight || time.Now().Before(w.congestedUntil) {
 		return 0, false, acqWait
 	}
 	if len(c.queue) > 0 {
 		if !c.allow(w) {
 			return 0, false, acqWait
 		}
-		pt = c.queue[0]
+		pt := c.queue[0]
 		c.queue = c.queue[1:]
 		return pt, false, acqGot
 	}
@@ -591,6 +628,43 @@ func (c *Coordinator) settle(ctx context.Context, w *worker, pt int, fl *flight,
 			N:        c.points[pt].N,
 			Err:      remote.Msg,
 		})
+		return
+	}
+
+	var bp *BackpressureError
+	if errors.As(err, &bp) {
+		// The worker answered "not now": requeue the point immediately —
+		// an uncongested worker should take it at once — and park only
+		// the refusing worker for its Retry-After. Do NOT feed its
+		// breaker: an admission shed or a drain 503 is the overload
+		// protocol working, and quarantining truthful workers turns load
+		// into an outage.
+		delay := bp.RetryAfter
+		if delay <= 0 {
+			delay = c.cfg.AcquireRetry
+		}
+		if delay > c.cfg.BackpressureDelayCap {
+			delay = c.cfg.BackpressureDelayCap
+		}
+		w.congestedUntil = time.Now().Add(delay)
+		c.stats.Backpressure++
+		c.backpressures[pt]++
+		c.cfg.Logf("dispatch: point %d on %s: backpressure (%s), requeued with %v delay", pt, w.t.Addr(), bp.Code, delay)
+		if len(c.flights[pt]) > 0 {
+			return // a replica is still flying; let it decide the point
+		}
+		if c.backpressures[pt] > c.cfg.BackpressureLimit {
+			// Deterministic message, like the requeue-limit one below.
+			c.commitLocked(w, pt, fl, snoopmva.PointResult{
+				Index:    pt,
+				Attempts: 1,
+				N:        c.points[pt].N,
+				Err:      fmt.Sprintf("dispatch: point %d: worker backpressure exhausted the requeue limit (%d)", pt, c.cfg.BackpressureLimit),
+			})
+			return
+		}
+		c.queue = append(c.queue, pt)
+		c.progressLocked()
 		return
 	}
 

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"snoopmva"
 	"snoopmva/internal/faultinject"
+	"snoopmva/internal/resilience"
 	"snoopmva/internal/snoopd"
 )
 
@@ -62,6 +64,30 @@ func (e *TransportError) Error() string {
 
 func (e *TransportError) Unwrap() error { return e.Err }
 
+// BackpressureError reports a worker that answered "not now": an
+// admission shed (429) or a drain refusal (503). Unlike a
+// *TransportError the worker is alive and explicit about its state, so
+// the coordinator must NOT feed the circuit breaker — quarantining a
+// worker for telling the truth about its load converts a local overload
+// into a cluster-wide one (and a rolling restart into a quarantine
+// storm). The point is requeued with the worker's own Retry-After delay
+// honored, and the worker is skipped until the delay passes. The inner
+// error wraps *resilience.RetryAfterError, so callers running plain
+// resilience.Retry loops over a Transport get the hint for free.
+type BackpressureError struct {
+	Addr       string
+	Route      string
+	Code       string // wire error code ("overloaded", "rate_limited", "draining")
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("dispatch: worker %s: %s: backpressure (%s), retry after %v", e.Addr, e.Route, e.Code, e.RetryAfter)
+}
+
+func (e *BackpressureError) Unwrap() error { return e.Err }
+
 // RemoteError is a worker's authoritative solver failure: the worker was
 // reachable and answered, the model itself failed on this point. Msg is
 // the worker's error text verbatim — the solvers are deterministic, so
@@ -102,6 +128,11 @@ func permanentSentinel(code string) (error, bool) {
 type HTTPTransport struct {
 	base   string
 	client *http.Client
+	// ClientID is sent as the worker's per-client rate-limiting identity
+	// (snoopd.ClientIDHeader) on every request. Defaults to "dispatch";
+	// set it before first use when several coordinators share a pool and
+	// should be policed separately.
+	ClientID string
 }
 
 // NewHTTPTransport returns a Transport for the snoopd worker at base
@@ -114,7 +145,7 @@ func NewHTTPTransport(base string, client *http.Client) *HTTPTransport {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &HTTPTransport{base: base, client: client}
+	return &HTTPTransport{base: base, client: client, ClientID: "dispatch"}
 }
 
 // Addr implements Transport.
@@ -165,6 +196,17 @@ func (t *HTTPTransport) SolveBest(ctx context.Context, p snoopmva.Protocol, w sn
 		return snoopmva.BestResult{}, &TransportError{Addr: t.base, Route: routeSolveBest, Err: err}
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if t.ClientID != "" {
+		hreq.Header.Set(snoopd.ClientIDHeader, t.ClientID)
+	}
+	// Tell the worker's admission queue how much deadline is left, so a
+	// request that would expire waiting is shed up front instead of
+	// burning worker capacity on an answer nobody will receive.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hreq.Header.Set(snoopd.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
 	resp, err := t.client.Do(hreq)
 	if err != nil {
 		return snoopmva.BestResult{}, &TransportError{Addr: t.base, Route: routeSolveBest, Err: err}
@@ -193,7 +235,14 @@ func (t *HTTPTransport) SolveBest(ctx context.Context, p snoopmva.Protocol, w sn
 			Err: fmt.Errorf("http %d: reading error body: %w", resp.StatusCode, rerr)}
 	}
 	var we snoopd.ErrorResponse
-	if derr := json.Unmarshal(raw, &we); derr != nil || we.Error == "" {
+	derr := json.Unmarshal(raw, &we)
+	// 429 and 503 are backpressure whatever the body looks like: an
+	// admission shed, a draining worker, or a fronting proxy refusing —
+	// in every case the worker set is congested, not broken.
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		return snoopmva.BestResult{}, t.backpressure(resp, routeSolveBest, we)
+	}
+	if derr != nil || we.Error == "" {
 		return snoopmva.BestResult{}, &TransportError{Addr: t.base, Route: routeSolveBest,
 			Err: fmt.Errorf("http %d: %s", resp.StatusCode, truncate(raw, 200))}
 	}
@@ -202,6 +251,29 @@ func (t *HTTPTransport) SolveBest(ctx context.Context, p snoopmva.Protocol, w sn
 	}
 	return snoopmva.BestResult{}, &TransportError{Addr: t.base, Route: routeSolveBest,
 		Err: fmt.Errorf("http %d (%s): %s", resp.StatusCode, we.Code, we.Error)}
+}
+
+// backpressure builds the *BackpressureError for a 429/503 answer. The
+// delay hint prefers the body's retry_after_ms (millisecond precision)
+// over the Retry-After header (whole seconds); absent both it is zero
+// and the coordinator applies its default. The inner error wraps
+// *resilience.RetryAfterError so generic Retry loops honor the hint.
+func (t *HTTPTransport) backpressure(resp *http.Response, route string, we snoopd.ErrorResponse) error {
+	after := time.Duration(we.RetryAfterMS) * time.Millisecond
+	if after == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+	}
+	code := we.Code
+	if code == "" {
+		code = fmt.Sprintf("http_%d", resp.StatusCode)
+	}
+	return &BackpressureError{
+		Addr: t.base, Route: route, Code: code, RetryAfter: after,
+		Err: &resilience.RetryAfterError{After: after,
+			Err: fmt.Errorf("http %d (%s): %s", resp.StatusCode, code, we.Error)},
+	}
 }
 
 // Healthz implements Transport over GET /healthz.

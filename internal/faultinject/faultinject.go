@@ -62,6 +62,13 @@ type Set struct {
 	// assert that a failed rotation leaves no temp-file residue and that
 	// post-rename failures latch the journal broken.
 	JournalRotateFault func(path, stage string) error
+	// SolveDelay is consulted once per MVA solve (before the fixed-point
+	// damping ladder) with the system size; a positive duration stalls
+	// the solve for that long, interruptible by the solve context. Tests
+	// use it to shrink a server's effective capacity deterministically —
+	// the overload storms slow every solve to a known service time so
+	// goodput and shed-rate assertions have a stable denominator.
+	SolveDelay func(n int) time.Duration
 	// HTTPFault is consulted by the dispatch HTTP transport before each
 	// request, with the worker base address and route (e.g.
 	// "/v1/solvebest", "/healthz"). A non-nil error fails the request

@@ -57,6 +57,9 @@ var solverPackages = map[string]bool{
 	// ticker and worker loops all spin until cancellation; a missing
 	// ctx path would leave a crashed run's goroutines spinning forever.
 	"dispatch": true,
+	// Admission queue waits sit on the serving hot path; an uncancelable
+	// wait there turns a client disconnect into a leaked slot.
+	"admission": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

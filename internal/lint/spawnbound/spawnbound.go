@@ -58,6 +58,7 @@ var governedPaths = []string{
 	"snoopmva/internal/obs",
 	"snoopmva/internal/snoopd",
 	"snoopmva/internal/dispatch",
+	"snoopmva/internal/admission",
 	"snoopmva/cmd/snoopd",
 	"snoopmva/cmd/campaign",
 	"snoopmva/cmd/campaignd",

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"snoopmva/internal/faultinject"
 	"snoopmva/internal/queueing"
@@ -58,6 +59,17 @@ func (m Model) Solve(n int, opts Options) (Result, error) {
 // every few iterations and returns ctx.Err() (wrapped) when it fires.
 func (m Model) SolveContext(ctx context.Context, n int, opts Options) (res Result, err error) {
 	defer func() { recordSolve(res, opts.Warm != nil, err) }()
+	if h := faultinject.Hooks(); h != nil && h.SolveDelay != nil {
+		if d := h.SolveDelay(n); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return Result{}, fmt.Errorf("mva: solve canceled during injected delay (N=%d): %w", n, ctx.Err())
+			case <-timer.C:
+			}
+		}
+	}
 	if opts.Damping == 0 {
 		var lastErr error
 		for _, d := range []float64{1, 0.5, 0.2} {

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"snoopmva"
+	"snoopmva/internal/admission"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate request (a
@@ -288,10 +290,15 @@ type CompareResponse struct {
 	Results []CompareEntry `json:"results"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. RetryAfterMS
+// accompanies 429/503 admission sheds: the same hint as the Retry-After
+// header, but in milliseconds, since the header's whole-second floor is
+// far too coarse for a limiter whose congestion clears in tens of
+// milliseconds.
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
 // decode reads a strict JSON body into v: unknown fields, trailing
@@ -360,6 +367,36 @@ func writeSolveError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }
 
+// writeShed maps an admission refusal onto the wire: 429 Too Many
+// Requests (503 while draining) with a Retry-After header in whole
+// seconds (rounded up, per RFC 9110) plus the precise retry_after_ms in
+// the body. Shed responses are written before the body is read, so a
+// storm of oversized requests costs the server nothing but headers.
+func writeShed(w http.ResponseWriter, err error) {
+	var se *admission.ShedError
+	if !errors.As(err, &se) {
+		writeSolveError(w, err)
+		return
+	}
+	status, code := http.StatusTooManyRequests, "overloaded"
+	switch se.Reason {
+	case admission.ReasonDraining:
+		status, code = http.StatusServiceUnavailable, "draining"
+	case admission.ReasonRateLimit:
+		code = "rate_limited"
+	}
+	secs := int64((se.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, ErrorResponse{
+		Error:        err.Error(),
+		Code:         code,
+		RetryAfterMS: se.RetryAfter.Milliseconds(),
+	})
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := decode(r, &req); err != nil {
@@ -421,12 +458,45 @@ func (s *Server) handleSolveBest(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Cache != nil {
 		solve = s.cfg.Cache.SolveBest
 	}
-	best, err := solve(ctx, p, wl, req.N, req.Budget.budget())
+	b := req.Budget.budget()
+	brownedOut := false
+	if s.adm != nil && s.adm.BrownoutActive() {
+		// Brownout ladder, cheapest first: a resident full-fidelity
+		// answer for exactly this budget beats any degradation…
+		if s.cfg.Cache != nil {
+			if best, ok := s.cfg.Cache.PeekSolveBest(p, wl, req.N, b); ok {
+				writeJSON(w, http.StatusOK, toSolveBestResponse(best))
+				return
+			}
+		}
+		// …otherwise shed the expensive GTPN/sim stages and answer with
+		// the microsecond MVA solve. A budget that was already MVA-only
+		// is served untouched — nothing was degraded, so nothing is
+		// marked Degraded.
+		if b.MaxStates >= 0 || b.SimCycles >= 0 {
+			b = snoopmva.Budget{MaxStates: -1, SimCycles: -1, Seed: b.Seed}
+			brownedOut = true
+		}
+	}
+	best, err := solve(ctx, p, wl, req.N, b)
 	if err != nil {
 		writeSolveError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SolveBestResponse{
+	if brownedOut {
+		best.Degraded = true
+		reason := "brownout: gtpn/sim stages shed under overload"
+		if best.FallbackReason != "" {
+			reason += "; " + best.FallbackReason
+		}
+		best.FallbackReason = reason
+	}
+	writeJSON(w, http.StatusOK, toSolveBestResponse(best))
+}
+
+// toSolveBestResponse projects a BestResult onto the wire.
+func toSolveBestResponse(best snoopmva.BestResult) SolveBestResponse {
+	return SolveBestResponse{
 		Method:         string(best.Method),
 		Degraded:       best.Degraded,
 		FallbackReason: best.FallbackReason,
@@ -434,7 +504,7 @@ func (s *Server) handleSolveBest(w http.ResponseWriter, r *http.Request) {
 		Speedup:        best.Speedup,
 		R:              best.R,
 		BusUtilization: best.BusUtilization,
-	})
+	}
 }
 
 // The SpecFor helpers build wire specs that resolve back to the given

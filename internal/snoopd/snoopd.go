@@ -22,10 +22,12 @@ package snoopd
 import (
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"snoopmva"
+	"snoopmva/internal/admission"
 	"snoopmva/internal/obs"
 )
 
@@ -45,6 +47,13 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps the per-request timeout_ms. Zero means no cap.
 	MaxTimeout time.Duration
+	// Admission, when non-nil, gates every /v1/* endpoint through the
+	// overload-protection controller: shed requests get 429 (503 while
+	// draining) with a Retry-After hint, and above the brownout
+	// threshold /v1/solvebest degrades to cache-hit-or-MVA-only instead
+	// of rejecting. /healthz, /metrics and the debug surface are always
+	// admitted. Nil serves everything unconditionally.
+	Admission *admission.Controller
 }
 
 // Server is the snoopd HTTP handler. Construct with New.
@@ -52,6 +61,7 @@ type Server struct {
 	cfg      Config
 	reg      *obs.Registry
 	mux      *http.ServeMux
+	adm      *admission.Controller
 	inflight *obs.Gauge
 	latency  map[string]*obs.Histogram // route → latency histogram
 	// draining flips once shutdown begins; /healthz then answers 503 so
@@ -70,6 +80,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		reg:      reg,
 		mux:      http.NewServeMux(),
+		adm:      cfg.Admission,
 		inflight: reg.Gauge("snoopmva_http_inflight_requests", "Requests currently being served."),
 		latency:  map[string]*obs.Histogram{},
 	}
@@ -77,10 +88,10 @@ func New(cfg Config) *Server {
 		cfg.Cache.RegisterMetrics(reg, "snoopd")
 	}
 
-	s.route("POST /v1/solve", s.handleSolve)
-	s.route("POST /v1/solvebest", s.handleSolveBest)
-	s.route("POST /v1/sweep", s.handleSweep)
-	s.route("POST /v1/compare", s.handleCompare)
+	s.route("POST /v1/solve", s.admitted("POST /v1/solve", s.handleSolve))
+	s.route("POST /v1/solvebest", s.admitted("POST /v1/solvebest", s.handleSolveBest))
+	s.route("POST /v1/sweep", s.admitted("POST /v1/sweep", s.handleSweep))
+	s.route("POST /v1/compare", s.admitted("POST /v1/compare", s.handleCompare))
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 
@@ -132,6 +143,67 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 	})
 }
 
+// Admission wire conventions: clients identify themselves for per-client
+// rate limiting with ClientIDHeader, and may carry their remaining
+// deadline in DeadlineHeader (milliseconds) so the admission queue can
+// shed a request that would outlive it instead of serving a dead one.
+// The dispatch HTTP transport sets both.
+const (
+	ClientIDHeader = "X-Snoop-Client"
+	DeadlineHeader = "X-Snoop-Deadline-Ms"
+)
+
+// admitTargetScale scales the admission controller's base latency
+// target per route: a sweep or compare runs many solves per request, so
+// holding them to the single-solve target would make every batch
+// request look like congestion.
+var admitTargetScale = map[string]int{
+	"POST /v1/solve":     1,
+	"POST /v1/solvebest": 4,
+	"POST /v1/sweep":     8,
+	"POST /v1/compare":   8,
+}
+
+// admitted wraps a /v1 handler with the admission gate: shed requests
+// are answered immediately with 429/503 + Retry-After and never reach
+// the handler; admitted ones release their slot (with the observed
+// service latency) when the handler returns.
+func (s *Server) admitted(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	if s.adm == nil {
+		return h
+	}
+	scale := admitTargetScale[pattern]
+	if scale < 1 {
+		scale = 1
+	}
+	target := time.Duration(scale) * s.adm.Target()
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.adm.Admit(r.Context(), r.Header.Get(ClientIDHeader), admissionDeadline(r)); err != nil {
+			writeShed(w, err)
+			return
+		}
+		start := time.Now()
+		defer func() { s.adm.ReleaseWith(time.Since(start), target) }()
+		h(w, r)
+	}
+}
+
+// admissionDeadline extracts the request's remaining-deadline hint: the
+// client-supplied DeadlineHeader if present (HTTP does not propagate the
+// client's context deadline, so cooperating clients state it), else the
+// server-side context deadline if one exists.
+func admissionDeadline(r *http.Request) time.Time {
+	if v := r.Header.Get(DeadlineHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Now().Add(time.Duration(ms) * time.Millisecond)
+		}
+	}
+	if dl, ok := r.Context().Deadline(); ok {
+		return dl
+	}
+	return time.Time{}
+}
+
 // statusWriter captures the status code a handler wrote.
 type statusWriter struct {
 	http.ResponseWriter
@@ -147,8 +219,16 @@ func (w *statusWriter) WriteHeader(code int) {
 // health-checked routing (load balancers, the campaign coordinator's
 // worker pool) stops sending new work, while the solve endpoints keep
 // serving whatever arrives until the enclosing http.Server shuts down.
+// With admission configured, queued-but-unadmitted requests are flushed
+// with 503 + Retry-After immediately — they would only steal drain time
+// from the admitted ones — and later arrivals shed the same way.
 // cmd/snoopd calls this on SIGINT/SIGTERM before Shutdown.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	if s.adm != nil {
+		s.adm.BeginDrain()
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }

@@ -256,6 +256,25 @@ func (c *Cache) Do(key Key, compute func() (any, error)) (any, error) {
 	return fl.value, fl.err
 }
 
+// Peek returns the cached value for key without computing on a miss and
+// without joining an in-flight computation — a probe for callers (e.g. a
+// browned-out server) that can only afford a resident answer right now.
+// A hit refreshes the entry's LRU position and counts as a hit; a miss
+// counts nothing, since no computation is ever started.
+func (c *Cache) Peek(key Key) (any, bool) {
+	sh := &c.shards[key.sum%numShards]
+	sh.mu.Lock()
+	el, ok := sh.entries[key.canon]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return el.Value.(*entry).value, true
+}
+
 // lead runs compute as the singleflight leader for key and publishes the
 // outcome: on success the value is inserted (with LRU eviction), on error
 // nothing is cached, and in both cases the flight is resolved and removed

@@ -25,19 +25,21 @@ go build -o "$workdir/campaignd" ./cmd/campaignd
 grid="-protocols Write-Once,Illinois -sharing 5,20 -ns 2,4,6,8,10,12"
 budget="-max-states -1 -sim-cycles 400000"
 
-# start_worker <port> — starts a snoopd, waits for /healthz, and leaves
-# the pid in $wpid. Not a command substitution: the backgrounded server
-# would hold the $() stdout pipe open forever.
+# start_worker <port> [snoopd flags...] — starts a snoopd, waits for
+# /healthz, and leaves the pid in $wpid. Not a command substitution: the
+# backgrounded server would hold the $() stdout pipe open forever.
 start_worker() {
-    addr="127.0.0.1:$1"
-    "$workdir/snoopd" -addr "$addr" >"$workdir/snoopd.$1.log" 2>&1 &
+    port=$1
+    shift
+    addr="127.0.0.1:$port"
+    "$workdir/snoopd" -addr "$addr" "$@" >"$workdir/snoopd.$port.log" 2>&1 &
     wpid=$!
     pids="$pids $wpid"
     waited=0
     until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
         if ! kill -0 "$wpid" 2>/dev/null; then
             echo "dist_chaos: worker on $addr died at startup" >&2
-            cat "$workdir/snoopd.$1.log" >&2
+            cat "$workdir/snoopd.$port.log" >&2
             exit 1
         fi
         waited=$((waited + 1))
@@ -133,3 +135,43 @@ if ! cmp -s "$workdir/ref.points" "$workdir/run.points"; then
 fi
 count=$(wc -l < "$workdir/run.points")
 echo "dist_chaos: PASS — $count points survived a worker kill + coordinator kill, set-identical to local run"
+
+# ------------------------------------------------------------------
+# Brownout phase: one fresh worker runs with a deliberately tiny
+# admission capacity (one slot, no queue, a 5 req/s per-client rate
+# limit, brownout armed), the other is healthy. The coordinator must
+# treat every 429/503 as backpressure — shifting load to the healthy
+# worker, tripping neither the breaker nor quarantine — and finish the
+# grid. The budgets are MVA-only, so brownout cannot rewrite any of
+# them: the result set must still match a local reference byte for
+# byte. /metrics on the tiny worker must show real admission sheds.
+echo "dist_chaos: brownout phase — tiny-capacity worker sheds, healthy worker absorbs"
+start_worker 18094 -max-inflight 1 -admission-queue -1 \
+    -rate-per-client 5 -brownout-shed-pct 0.2
+w4=$wpid
+start_worker 18095
+w5=$wpid
+
+mva_budget="-max-states -1 -sim-cycles -1"
+"$workdir/campaign" $grid $mva_budget -workers 1 -breaker -1 -quiet \
+    -journal "$workdir/bref.jsonl"
+"$workdir/campaignd" -workers "http://127.0.0.1:18094,http://127.0.0.1:18095" \
+    $grid $mva_budget -quiet -health-interval 200ms -breaker 2 \
+    -max-inflight 2 -journal "$workdir/brun.jsonl"
+
+grep '"kind":"point"' "$workdir/bref.jsonl" | sort > "$workdir/bref.points"
+grep '"kind":"point"' "$workdir/brun.jsonl" | sort > "$workdir/brun.points"
+if ! cmp -s "$workdir/bref.points" "$workdir/brun.points"; then
+    echo "dist_chaos: FAIL — brownout-phase result set differs from local reference" >&2
+    diff "$workdir/bref.points" "$workdir/brun.points" >&2 || true
+    exit 1
+fi
+sheds=$(curl -sf "http://127.0.0.1:18094/metrics" |
+    awk '/^snoopmva_admission_shed_total/ { s += $NF } END { printf "%d", s }')
+if [ "${sheds:-0}" -le 0 ]; then
+    echo "dist_chaos: FAIL — tiny-capacity worker shed nothing; overload protection never engaged" >&2
+    curl -s "http://127.0.0.1:18094/metrics" >&2 || true
+    exit 1
+fi
+bcount=$(wc -l < "$workdir/brun.points")
+echo "dist_chaos: PASS — brownout phase: $bcount points set-identical to local run with $sheds admission sheds"
