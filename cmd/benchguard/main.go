@@ -24,6 +24,14 @@
 // full baseline gates allocations only. The allocation series are
 // mode-independent and always gated.
 //
+// The serving layer is gated separately: -snoopd-baseline names a
+// BENCH_snoopd.json report and turns on the snoopd gate, which runs the
+// snoopbench suite (or reads -snoopd-candidate) and compares throughput
+// under the same budgets — plus the absolute batch-vs-JSON speedup
+// floor, which is machine-independent and enforced on every candidate.
+// -baseline "" skips the solver gate for a snoopd-only run; -update
+// regenerates whichever baselines are named.
+//
 // Exit status: 0 when every series is within budget, 1 on an operational
 // error, 2 when the gate fails.
 package main
@@ -33,57 +41,104 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"snoopmva/internal/benchkit"
 )
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_solver.json", "baseline report to gate against")
+	baselinePath := flag.String("baseline", "BENCH_solver.json", "baseline report to gate against (empty skips the solver gate)")
 	candidatePath := flag.String("candidate", "", "pre-generated candidate report; empty runs the suites")
 	quick := flag.Bool("quick", true, "run the suites at CI size when generating the candidate")
-	update := flag.Bool("update", false, "regenerate the baseline from a fresh run and exit")
+	update := flag.Bool("update", false, "regenerate the named baselines from fresh runs and exit")
 	timeBudget := flag.Float64("time-budget", 0.05, "allowed fractional wall-clock regression; negative disables")
 	allocBudget := flag.Float64("alloc-budget", 0, "allowed absolute allocs/op increase on hotpath series")
 	bytesBudget := flag.Float64("bytes-budget", 0.2, "allowed fractional bytes/op increase")
+	snoopdBaselinePath := flag.String("snoopd-baseline", "", "serving-layer baseline report (BENCH_snoopd.json); empty skips the snoopd gate")
+	snoopdCandidatePath := flag.String("snoopd-candidate", "", "pre-generated serving-layer candidate report; empty runs the snoopbench suite")
 	flag.Parse()
 
-	if *update {
-		rep, err := benchkit.Run(*quick)
-		if err != nil {
-			fatal(err)
-		}
-		if err := writeReport(*baselinePath, rep); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "benchguard: baseline %s regenerated\n", *baselinePath)
-		return
+	if *baselinePath == "" && *snoopdBaselinePath == "" {
+		fatal(fmt.Errorf("nothing to do: -baseline and -snoopd-baseline are both empty"))
 	}
 
-	baseline, err := readReport(*baselinePath)
-	if err != nil {
-		fatal(err)
-	}
-	var candidate *benchkit.Report
-	if *candidatePath != "" {
-		if candidate, err = readReport(*candidatePath); err != nil {
-			fatal(err)
+	if *update {
+		if *baselinePath != "" {
+			rep, err := benchkit.Run(*quick)
+			if err != nil {
+				fatal(err)
+			}
+			if err := writeReport(*baselinePath, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "benchguard: baseline %s regenerated\n", *baselinePath)
 		}
-	} else {
-		if candidate, err = benchkit.Run(*quick); err != nil {
-			fatal(err)
+		if *snoopdBaselinePath != "" {
+			rep, err := benchkit.RunSnoopd(benchkit.SnoopdConfig{Quick: *quick})
+			if err != nil {
+				fatal(err)
+			}
+			if err := writeReport(*snoopdBaselinePath, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "benchguard: baseline %s regenerated\n", *snoopdBaselinePath)
 		}
+		return
 	}
 
 	budgets := benchkit.Budgets{Time: *timeBudget, Allocs: *allocBudget, Bytes: *bytesBudget}
-	if *timeBudget >= 0 && !benchkit.ModesMatch(baseline, candidate) {
-		fmt.Fprintln(os.Stderr, "benchguard: baseline and candidate ran in different modes (quick vs full); wall-clock series skipped, allocation series still gated")
+	var violations []benchkit.Violation
+	var against []string
+
+	if *baselinePath != "" {
+		baseline, err := readReport(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var candidate *benchkit.Report
+		if *candidatePath != "" {
+			if candidate, err = readReport(*candidatePath); err != nil {
+				fatal(err)
+			}
+		} else {
+			if candidate, err = benchkit.Run(*quick); err != nil {
+				fatal(err)
+			}
+		}
+		if *timeBudget >= 0 && !benchkit.ModesMatch(baseline, candidate) {
+			fmt.Fprintln(os.Stderr, "benchguard: baseline and candidate ran in different modes (quick vs full); wall-clock series skipped, allocation series still gated")
+		}
+		violations = append(violations, benchkit.Compare(baseline, candidate, budgets)...)
+		against = append(against, fmt.Sprintf("%s (baseline %s)", *baselinePath, baseline.Generated))
 	}
-	violations := benchkit.Compare(baseline, candidate, budgets)
+
+	if *snoopdBaselinePath != "" {
+		baseline, err := readSnoopdReport(*snoopdBaselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var candidate *benchkit.SnoopdReport
+		if *snoopdCandidatePath != "" {
+			if candidate, err = readSnoopdReport(*snoopdCandidatePath); err != nil {
+				fatal(err)
+			}
+		} else {
+			if candidate, err = benchkit.RunSnoopd(benchkit.SnoopdConfig{Quick: *quick}); err != nil {
+				fatal(err)
+			}
+		}
+		if *timeBudget >= 0 && !benchkit.SnoopdModesMatch(baseline, candidate) {
+			fmt.Fprintln(os.Stderr, "benchguard: snoopd baseline and candidate ran at different load shapes; throughput series skipped, batch-speedup floor still gated")
+		}
+		violations = append(violations, benchkit.CompareSnoopd(baseline, candidate, budgets)...)
+		against = append(against, fmt.Sprintf("%s (baseline %s)", *snoopdBaselinePath, baseline.Generated))
+	}
+
 	if len(violations) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: ok against %s (baseline %s)\n", *baselinePath, baseline.Generated)
+		fmt.Fprintf(os.Stderr, "benchguard: ok against %s\n", strings.Join(against, ", "))
 		return
 	}
-	fmt.Fprintf(os.Stderr, "benchguard: %d series over budget against %s:\n\n", len(violations), *baselinePath)
+	fmt.Fprintf(os.Stderr, "benchguard: %d series over budget against %s:\n\n", len(violations), strings.Join(against, ", "))
 	fmt.Fprint(os.Stderr, benchkit.FormatViolations(violations))
 	fmt.Fprintf(os.Stderr, "\nIf the regression is intended, regenerate the baseline with benchguard -update.\n")
 	os.Exit(2)
@@ -101,7 +156,19 @@ func readReport(path string) (*benchkit.Report, error) {
 	return &rep, nil
 }
 
-func writeReport(path string, rep *benchkit.Report) error {
+func readSnoopdReport(path string) (*benchkit.SnoopdReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchkit.SnoopdReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func writeReport(path string, rep any) error {
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		workers    = flag.String("workers", "", "comma-separated snoopd base URLs (required), e.g. http://h1:8080,http://h2:8080")
+		workers    = flag.String("workers", "", "comma-separated snoopd worker URLs (required): http(s) base URLs, or wire://host:port[?http=base] for the binary protocol with optional JSON fallback")
 		protoNames = flag.String("protocols", "all", "comma-separated protocol names, or \"all\" for every named preset")
 		sharings   = flag.String("sharing", "5", "comma-separated Appendix A sharing levels (1, 5, 20)")
 		ns         = flag.String("ns", "1..16", "system sizes: comma-separated values and lo..hi ranges")
@@ -71,6 +72,25 @@ func main() {
 	for _, u := range strings.Split(*workers, ",") {
 		u = strings.TrimSpace(u)
 		if u == "" {
+			continue
+		}
+		// wire://host:port selects the binary protocol; an optional
+		// ?http=base names the worker's JSON API as the version-mismatch
+		// fallback. Plain http(s) URLs use the JSON transport.
+		if hostport, ok := strings.CutPrefix(u, "wire://"); ok {
+			httpBase := ""
+			if hp, q, found := strings.Cut(hostport, "?"); found {
+				hostport = hp
+				v, perr := url.ParseQuery(q)
+				if perr != nil {
+					fatal(fmt.Errorf("-workers: %s: %v", u, perr))
+				}
+				httpBase = v.Get("http")
+			}
+			if hostport == "" {
+				fatal(fmt.Errorf("-workers: %s: wire:// needs host:port", u))
+			}
+			transports = append(transports, dispatch.NewWireTransport(hostport, httpBase))
 			continue
 		}
 		transports = append(transports, dispatch.NewHTTPTransport(u, nil))

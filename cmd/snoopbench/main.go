@@ -1,0 +1,121 @@
+// Command snoopbench is the serving-layer load client: it drives a
+// snoopd through three phases — single-request JSON, single-request
+// binary, and batched binary — at high connection counts and writes the
+// machine-readable report BENCH_snoopd.json is generated from. The
+// suite itself lives in internal/benchkit, shared with the benchguard
+// regression gate; this command is the thin writer:
+//
+//	go run ./cmd/snoopbench                # self-hosted snoopd, 1000 conns
+//	go run ./cmd/snoopbench -quick         # CI-sized run (64 conns)
+//	go run ./cmd/snoopbench -out -         # report to stdout
+//	go run ./cmd/snoopbench \
+//	    -addr localhost:9090 -http http://localhost:8080   # external snoopd
+//
+// With no -addr, snoopbench hosts a snoopd in-process on loopback (a
+// shared solve cache, no admission control) so the phases measure
+// serving overhead, not solver arithmetic. -addr/-http point it at an
+// already-running server instead — its binary listener and JSON base
+// URL, which must name the same process for the ratio to mean anything.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime/pprof"
+
+	"snoopmva/internal/benchkit"
+	"snoopmva/internal/wire"
+)
+
+func main() {
+	conns := flag.Int("conns", 0, "concurrent connections per phase (0 = 1000, or 64 with -quick)")
+	rate := flag.Int("rate", 50, "requests per connection per phase")
+	batch := flag.Int("batch", 16, "in-flight window of the batch-binary phase (1.."+fmt.Sprint(wire.MaxBatchPoints)+")")
+	addr := flag.String("addr", "", "wire host:port of an already-running snoopd (empty self-hosts one)")
+	httpBase := flag.String("http", "", "JSON base URL of the same snoopd (required with -addr)")
+	quick := flag.Bool("quick", false, "smaller connection count and rate for CI smoke runs")
+	out := flag.String("out", "BENCH_snoopd.json", "output path, or - for stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.Parse()
+
+	if *conns < 0 {
+		fatalUsage(fmt.Errorf("-conns must be >= 0, got %d", *conns))
+	}
+	if *rate < 1 {
+		fatalUsage(fmt.Errorf("-rate must be >= 1, got %d", *rate))
+	}
+	if *batch < 1 || *batch > wire.MaxBatchPoints {
+		fatalUsage(fmt.Errorf("-batch must be in 1..%d, got %d", wire.MaxBatchPoints, *batch))
+	}
+	if *addr != "" {
+		if _, _, err := net.SplitHostPort(*addr); err != nil {
+			fatalUsage(fmt.Errorf("-addr: %v", err))
+		}
+		if *httpBase == "" {
+			fatalUsage(fmt.Errorf("-addr needs -http: the same snoopd's JSON base URL"))
+		}
+	} else if *httpBase != "" {
+		fatalUsage(fmt.Errorf("-http needs -addr: both name the same snoopd, or neither for a self-hosted run"))
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep, err := benchkit.RunSnoopd(benchkit.SnoopdConfig{
+		Quick:    *quick,
+		Conns:    *conns,
+		Rate:     *rate,
+		Batch:    *batch,
+		WireAddr: *addr,
+		HTTPBase: *httpBase,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	series := func(name string, s benchkit.SnoopdSeries) {
+		fmt.Fprintf(os.Stderr, "%-12s %8.0f req/s  p50 %.0fµs  p95 %.0fµs  p99 %.0fµs\n",
+			name, s.RequestsPerSec, s.P50Ns/1e3, s.P95Ns/1e3, s.P99Ns/1e3)
+	}
+	fmt.Fprintf(os.Stderr, "snoopbench: %d connections × %d requests, batch window %d\n",
+		rep.Connections, rep.RequestsPerConn, rep.Batch)
+	series("json_single", rep.JSONSingle)
+	series("wire_single", rep.WireSingle)
+	series("batch_binary", rep.BatchBinary)
+	fmt.Fprintf(os.Stderr, "batch binary vs single JSON: %.1fx\n", rep.BatchSpeedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snoopbench:", err)
+	os.Exit(1)
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "snoopbench:", err)
+	os.Exit(2)
+}

@@ -24,6 +24,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +38,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	wireAddr := flag.String("wire-addr", "", "binary wire-protocol listen address (empty disables the wire listener)")
 	cacheCap := flag.Int("cache", 16384, "shared solve-cache capacity (0 disables caching)")
 	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "deadline applied to requests without timeout_ms (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper bound on per-request timeout_ms (0 = none)")
@@ -95,6 +97,25 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The binary wire listener shares the handler's cores, cache and
+	// admission gate; its lifetime is the wireCtx canceled at shutdown.
+	// Bind it before the HTTP listener so a bad -wire-addr is a clean
+	// flag-validation exit, not a half-started server.
+	wireCtx, wireCancel := context.WithCancel(context.Background())
+	defer wireCancel()
+	wireDone := make(chan error, 1)
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snoopd: -wire-addr: %v\n", err)
+			os.Exit(2)
+		}
+		go func() { wireDone <- handler.ServeWire(wireCtx, ln) }()
+		fmt.Fprintf(os.Stderr, "snoopd: wire listening on %s\n", ln.Addr())
+	} else {
+		wireDone <- nil
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "snoopd: listening on %s\n", *addr)
@@ -119,8 +140,13 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	wireCancel() // close the wire listener; in-flight connections drain
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "snoopd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-wireDone; err != nil {
+		fmt.Fprintf(os.Stderr, "snoopd: wire serve: %v\n", err)
 		os.Exit(1)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

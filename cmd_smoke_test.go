@@ -4,11 +4,14 @@ package snoopmva
 // with small arguments, checking exit status and a sentinel in the output.
 
 import (
+	"bufio"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestCommandLineTools(t *testing.T) {
@@ -48,6 +51,8 @@ func TestCommandLineTools(t *testing.T) {
 			"-journal", journalPath}, "8 computed"},
 		{"campaign", []string{"-protocols", "Illinois", "-sharing", "5", "-ns", "1..8",
 			"-journal", journalPath, "-resume"}, "8 resumed"},
+		{"snoopbench", []string{"-quick", "-conns", "4", "-rate", "2", "-batch", "2",
+			"-out", "-"}, "batch_speedup_vs_json"},
 	}
 	for _, c := range cases {
 		c := c
@@ -63,22 +68,96 @@ func TestCommandLineTools(t *testing.T) {
 		})
 	}
 
-	// Error paths exit non-zero.
+	// Error paths exit non-zero; where want is set, the flag-validation
+	// message must name the offending flag so a user can act on it.
 	for _, c := range []struct {
 		name string
 		args []string
+		want string
 	}{
-		{"mvasolve", []string{"-sharing", "7"}},
-		{"paperrepro", []string{"-exp", "nonesuch"}},
-		{"protodoc", []string{"-protocol", "nonesuch"}},
-		{"hiersolve", []string{}},
-		{"campaign", []string{"-resume"}}, // resume needs -journal
-		{"campaign", []string{"-ns", "4..1"}},
+		{"mvasolve", []string{"-sharing", "7"}, ""},
+		{"paperrepro", []string{"-exp", "nonesuch"}, ""},
+		{"protodoc", []string{"-protocol", "nonesuch"}, ""},
+		{"hiersolve", []string{}, ""},
+		{"campaign", []string{"-resume"}, ""}, // resume needs -journal
+		{"campaign", []string{"-ns", "4..1"}, ""},
+		{"campaignd", []string{}, "-workers is required"},
+		{"campaignd", []string{"-workers", "wire://"}, "wire:// needs host:port"},
+		{"campaignd", []string{"-workers", "wire://h:1?http=%zz"}, "-workers"},
+		{"campaignd", []string{"-workers", "http://localhost:1", "-ns", "4..1"}, ""},
+		{"snoopbench", []string{"-conns", "-1"}, "-conns must be >= 0"},
+		{"snoopbench", []string{"-rate", "0"}, "-rate must be >= 1"},
+		{"snoopbench", []string{"-batch", "2000"}, "-batch must be in 1.."},
+		{"snoopbench", []string{"-addr", "nonsense"}, "-addr"},
+		{"snoopbench", []string{"-addr", "127.0.0.1:1"}, "-addr needs -http"},
+		{"snoopbench", []string{"-http", "http://localhost:1"}, "-http needs -addr"},
+		{"snoopd", []string{"-wire-addr", "nonsense"}, "-wire-addr"},
+		{"snoopd", []string{"-max-inflight", "-1"}, "-max-inflight"},
+		{"snoopd", []string{"-max-inflight", "2", "-admission-target-ms", "0"}, "-admission-target-ms"},
 	} {
 		cmd := exec.Command(filepath.Join(bin, c.name), c.args...)
-		if out, err := cmd.CombinedOutput(); err == nil {
+		out, err := cmd.CombinedOutput()
+		if err == nil {
 			t.Errorf("%s %v should fail:\n%s", c.name, c.args, out)
+			continue
+		}
+		if c.want != "" && !strings.Contains(string(out), c.want) {
+			t.Errorf("%s %v error output missing %q:\n%s", c.name, c.args, c.want, out)
 		}
 	}
+
+	// snoopd with -wire-addr: both listeners come up (wire first, so a bad
+	// address is a clean validation exit) and SIGTERM drains both cleanly.
+	t.Run("snoopd_wire_addr_graceful", func(t *testing.T) {
+		cmd := exec.Command(filepath.Join(bin, "snoopd"),
+			"-addr", "127.0.0.1:0", "-wire-addr", "127.0.0.1:0")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		ready := make(chan struct{})
+		scanned := make(chan struct{})
+		go func() {
+			defer close(scanned)
+			sc := bufio.NewScanner(stderr)
+			listening, signaled := 0, false
+			for sc.Scan() {
+				lines = append(lines, sc.Text())
+				if strings.Contains(sc.Text(), "listening on") {
+					listening++
+				}
+				if listening == 2 && !signaled {
+					signaled = true
+					close(ready)
+				}
+			}
+		}()
+		select {
+		case <-ready:
+		case <-time.After(10 * time.Second):
+			_ = cmd.Process.Kill()
+			<-scanned
+			t.Fatalf("snoopd did not come up:\n%s", strings.Join(lines, "\n"))
+		}
+		// The listeners print before the signal handler installs; give it
+		// a beat so SIGTERM is drained, not fatal.
+		time.Sleep(200 * time.Millisecond)
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		<-scanned // drain stderr fully before Wait closes the pipe
+		err = cmd.Wait()
+		out := strings.Join(lines, "\n")
+		if err != nil {
+			t.Fatalf("snoopd exit after SIGTERM: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "wire listening on") || !strings.Contains(out, "drained, bye") {
+			t.Errorf("snoopd output missing wire startup or drain lines:\n%s", out)
+		}
+	})
 	_ = os.Remove(tracePath)
 }

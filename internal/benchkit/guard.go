@@ -125,6 +125,53 @@ func compareAllocs(baseline, candidate *Report, b Budgets) []Violation {
 	return out
 }
 
+// CompareSnoopd checks the serving-layer candidate against its baseline.
+// The batch_speedup_vs_json floor (MinSnoopdBatchSpeedup) is absolute —
+// dimensionless and machine-independent, it is enforced on every
+// candidate regardless of mode or budgets. The throughput series are
+// compared under the Time budget only between like-shaped runs
+// (SnoopdModesMatch): a quick run's 64 connections saturate the machine
+// differently than the full thousand, so cross-shape ratios measure the
+// shape, not a regression.
+func CompareSnoopd(baseline, candidate *SnoopdReport, b Budgets) []Violation {
+	var out []Violation
+	if candidate.BatchSpeedup < MinSnoopdBatchSpeedup {
+		out = append(out, Violation{
+			Series:    "snoopd.batch_speedup_vs_json",
+			Baseline:  baseline.BatchSpeedup,
+			Candidate: candidate.BatchSpeedup,
+			Limit:     MinSnoopdBatchSpeedup,
+			Detail:    fmt.Sprintf("batched binary serving is %.1fx JSON (floor %.0fx)", candidate.BatchSpeedup, MinSnoopdBatchSpeedup),
+		})
+	}
+	if b.Time < 0 || !SnoopdModesMatch(baseline, candidate) {
+		return out
+	}
+	higherIsBetter := func(series string, base, cand float64) {
+		limit := base * (1 - b.Time)
+		if base > 0 && cand < limit {
+			out = append(out, Violation{
+				Series: series, Baseline: base, Candidate: cand, Limit: limit,
+				Detail: fmt.Sprintf("%.1f%% less throughput (budget %.0f%%)", 100*(1-cand/base), 100*b.Time),
+			})
+		}
+	}
+	higherIsBetter("snoopd.json_single.requests_per_sec", baseline.JSONSingle.RequestsPerSec, candidate.JSONSingle.RequestsPerSec)
+	higherIsBetter("snoopd.wire_single.requests_per_sec", baseline.WireSingle.RequestsPerSec, candidate.WireSingle.RequestsPerSec)
+	higherIsBetter("snoopd.batch_binary.requests_per_sec", baseline.BatchBinary.RequestsPerSec, candidate.BatchBinary.RequestsPerSec)
+	return out
+}
+
+// SnoopdModesMatch reports whether two serving-layer reports' wall-clock
+// series are comparable: same mode and same load shape (connections,
+// per-connection rate, batch window).
+func SnoopdModesMatch(baseline, candidate *SnoopdReport) bool {
+	return baseline.Quick == candidate.Quick &&
+		baseline.Connections == candidate.Connections &&
+		baseline.RequestsPerConn == candidate.RequestsPerConn &&
+		baseline.Batch == candidate.Batch
+}
+
 // FormatViolations renders the violations as an aligned table, one row
 // per series.
 func FormatViolations(vs []Violation) string {

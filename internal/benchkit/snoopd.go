@@ -1,0 +1,375 @@
+// snoopd.go measures the serving layer: the suite behind the checked-in
+// BENCH_snoopd.json reference run, gated by benchguard alongside the
+// solver report. cmd/snoopbench is the thin writer over RunSnoopd.
+//
+// Three phases drive the same request mix through the same server —
+// every phase opens Conns concurrent connections and issues Rate
+// requests per connection, so the numbers differ only by transport:
+//
+//   - json_single: one JSON POST /v1/solve per request over a kept-alive
+//     HTTP connection — the baseline request-response cost
+//   - wire_single: the binary protocol with a window of one — framing
+//     savings alone, no pipelining
+//   - batch_binary: the binary protocol with Batch requests in flight
+//     per connection — the batched mode DESIGN.md §16 motivates
+//
+// The server runs with a shared CachedSolver, so after warm-up every
+// solve is a memoized hit and the series measure serving overhead —
+// parsing, dispatch, encoding, syscalls — not solver arithmetic. That is
+// deliberate: the batch_speedup_vs_json ratio is a claim about the
+// transport, and it must hold even when the solve itself is free.
+package benchkit
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"snoopmva"
+	"snoopmva/internal/obs"
+	"snoopmva/internal/snoopd"
+	"snoopmva/internal/stats"
+	"snoopmva/internal/wire"
+)
+
+// MinSnoopdBatchSpeedup is the absolute floor on batch_speedup_vs_json
+// the gate enforces regardless of baseline or machine: batched binary
+// serving must beat single-request JSON by at least this factor. Unlike
+// the wall-clock budgets, this ratio is dimensionless and
+// machine-independent, so CompareSnoopd checks it even across modes.
+const MinSnoopdBatchSpeedup = 5.0
+
+// SnoopdConfig sizes the serving-layer suite. The zero value of each
+// field means the default noted on it.
+type SnoopdConfig struct {
+	// Quick shrinks the connection count and per-connection rate to CI
+	// size.
+	Quick bool
+	// Conns is the concurrent connection count per phase. Default 1000
+	// (64 quick).
+	Conns int
+	// Rate is the requests issued per connection per phase. Default 50
+	// (10 quick).
+	Rate int
+	// Batch is the in-flight window of the batch_binary phase, bounded
+	// by wire.MaxBatchPoints. Default 16.
+	Batch int
+	// WireAddr and HTTPBase point the suite at an already-running snoopd
+	// (its binary listener and JSON base URL). Both empty self-hosts a
+	// snoopd on loopback for the duration of the run; they must be set
+	// together.
+	WireAddr string
+	HTTPBase string
+}
+
+func (c SnoopdConfig) withDefaults() (SnoopdConfig, error) {
+	if c.Conns == 0 {
+		c.Conns = 1000
+		if c.Quick {
+			c.Conns = 64
+		}
+	}
+	if c.Rate == 0 {
+		c.Rate = 50
+		if c.Quick {
+			c.Rate = 10
+		}
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.Conns < 1 {
+		return c, fmt.Errorf("benchkit: conns must be >= 1, got %d", c.Conns)
+	}
+	if c.Rate < 1 {
+		return c, fmt.Errorf("benchkit: rate must be >= 1, got %d", c.Rate)
+	}
+	if c.Batch < 1 || c.Batch > wire.MaxBatchPoints {
+		return c, fmt.Errorf("benchkit: batch must be in 1..%d, got %d", wire.MaxBatchPoints, c.Batch)
+	}
+	if (c.WireAddr == "") != (c.HTTPBase == "") {
+		return c, fmt.Errorf("benchkit: WireAddr and HTTPBase must be set together (both empty self-hosts a snoopd)")
+	}
+	return c, nil
+}
+
+// SnoopdSeries is one phase's throughput and latency distribution.
+type SnoopdSeries struct {
+	Requests       int     `json:"requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ns          float64 `json:"p50_ns"`
+	P95Ns          float64 `json:"p95_ns"`
+	P99Ns          float64 `json:"p99_ns"`
+}
+
+// SnoopdReport is one full serving-layer run. BENCH_snoopd.json at the
+// repository root is the checked-in reference SnoopdReport.
+type SnoopdReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+
+	Connections     int `json:"connections"`
+	RequestsPerConn int `json:"requests_per_conn"`
+	Batch           int `json:"batch"`
+
+	JSONSingle  SnoopdSeries `json:"json_single"`
+	WireSingle  SnoopdSeries `json:"wire_single"`
+	BatchBinary SnoopdSeries `json:"batch_binary"`
+
+	// BatchSpeedup is BatchBinary throughput over JSONSingle throughput
+	// — the ratio MinSnoopdBatchSpeedup floors.
+	BatchSpeedup float64 `json:"batch_speedup_vs_json"`
+}
+
+// RunSnoopd executes the three serving phases and assembles the report.
+func RunSnoopd(cfg SnoopdConfig) (*SnoopdReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	base, wireAddr := cfg.HTTPBase, cfg.WireAddr
+	if base == "" {
+		host, herr := startSnoopdHost()
+		if herr != nil {
+			return nil, herr
+		}
+		defer host.close()
+		base, wireAddr = host.base, host.wireAddr
+	}
+
+	// The request mix cycles over a few system sizes; warming each once
+	// over HTTP populates the shared cache for both transports (the
+	// request cores build identical cache keys, which the equivalence
+	// suite pins).
+	ns := []int{4, 8, 12, 16}
+	bodies := make([][]byte, len(ns))
+	for i, n := range ns {
+		bodies[i] = []byte(fmt.Sprintf(
+			`{"protocol":{"name":"Illinois"},"workload":{"appendix_a":5},"n":%d}`, n))
+	}
+	warm := &http.Client{Timeout: 30 * time.Second}
+	for _, body := range bodies {
+		resp, werr := warm.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if werr != nil {
+			return nil, fmt.Errorf("benchkit: warm-up: %w", werr)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("benchkit: warm-up: %s", resp.Status)
+		}
+	}
+
+	rep := &SnoopdReport{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Quick:           cfg.Quick,
+		Connections:     cfg.Conns,
+		RequestsPerConn: cfg.Rate,
+		Batch:           cfg.Batch,
+	}
+	if rep.JSONSingle, err = benchJSONSingle(base, cfg, bodies); err != nil {
+		return nil, err
+	}
+	if rep.WireSingle, err = benchWire(wireAddr, cfg, ns, 1); err != nil {
+		return nil, err
+	}
+	if rep.BatchBinary, err = benchWire(wireAddr, cfg, ns, cfg.Batch); err != nil {
+		return nil, err
+	}
+	if rep.JSONSingle.RequestsPerSec > 0 {
+		rep.BatchSpeedup = rep.BatchBinary.RequestsPerSec / rep.JSONSingle.RequestsPerSec
+	}
+	return rep, nil
+}
+
+// benchJSONSingle is the baseline phase: sequential JSON POSTs, one
+// kept-alive HTTP connection per worker (its own Transport, so
+// connections are never shared across workers).
+func benchJSONSingle(base string, cfg SnoopdConfig, bodies [][]byte) (SnoopdSeries, error) {
+	return runSnoopdPhase(cfg.Conns, cfg.Rate, func(conn int, lat []float64) error {
+		tr := &http.Transport{MaxIdleConnsPerHost: 1}
+		defer tr.CloseIdleConnections()
+		client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+		for i := range lat {
+			body := bodies[(conn+i)%len(bodies)]
+			start := time.Now()
+			resp, err := client.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			lat[i] = float64(time.Since(start).Nanoseconds())
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("POST /v1/solve: %s", resp.Status)
+			}
+		}
+		return nil
+	})
+}
+
+// benchWire drives the binary protocol with the given in-flight window:
+// 1 is the wire_single phase (sequential round trips; latency is per
+// call), cfg.Batch the batch_binary phase (SolveBatch with window points
+// per call; every point in a batch is charged the batch's wall time, the
+// honest per-request latency of a batched transport).
+func benchWire(addr string, cfg SnoopdConfig, ns []int, window int) (SnoopdSeries, error) {
+	return runSnoopdPhase(cfg.Conns, cfg.Rate, func(conn int, lat []float64) error {
+		c := wire.NewClient(addr, wire.ClientOptions{ClientName: "snoopbench"})
+		defer func() { _ = c.Close() }()
+		req := func(i int) *wire.SolveRequest {
+			return &wire.SolveRequest{
+				Protocol: wire.ProtocolSpec{Name: "Illinois"},
+				Workload: wire.WorkloadSpec{Kind: wire.WorkloadAppendixA, AppendixA: 5},
+				N:        ns[(conn+i)%len(ns)],
+			}
+		}
+		if window <= 1 {
+			for i := range lat {
+				start := time.Now()
+				_, err := c.Solve(context.Background(), req(i))
+				lat[i] = float64(time.Since(start).Nanoseconds())
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for base := 0; base < len(lat); base += window {
+			end := base + window
+			if end > len(lat) {
+				end = len(lat)
+			}
+			reqs := make([]*wire.SolveRequest, 0, end-base)
+			for i := base; i < end; i++ {
+				reqs = append(reqs, req(i))
+			}
+			start := time.Now()
+			results, err := c.SolveBatch(context.Background(), reqs)
+			el := float64(time.Since(start).Nanoseconds())
+			if err != nil {
+				return err
+			}
+			for i := base; i < end; i++ {
+				lat[i] = el
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					return r.Err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// runSnoopdPhase fans conns workers out behind a start barrier (so
+// wall-clock excludes goroutine spawn), waits for all of them, and folds
+// the per-call latencies into one series. Connection setup happens
+// inside the worker for every phase, so each transport pays its own
+// setup cost symmetrically.
+func runSnoopdPhase(conns, perConn int, worker func(conn int, lat []float64) error) (SnoopdSeries, error) {
+	lats := make([][]float64, conns)
+	errs := make([]error, conns)
+	start := make(chan struct{})
+	var done sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		lats[c] = make([]float64, perConn)
+		done.Add(1)
+		go func(c int) {
+			defer done.Done()
+			<-start
+			errs[c] = worker(c, lats[c])
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	done.Wait()
+	wall := time.Since(t0)
+	for c, err := range errs {
+		if err != nil {
+			return SnoopdSeries{}, fmt.Errorf("conn %d: %w", c, err)
+		}
+	}
+	all := make([]float64, 0, conns*perConn)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	p50, err := stats.Quantile(all, 0.50)
+	if err != nil {
+		return SnoopdSeries{}, err
+	}
+	p95, err := stats.Quantile(all, 0.95)
+	if err != nil {
+		return SnoopdSeries{}, err
+	}
+	p99, err := stats.Quantile(all, 0.99)
+	if err != nil {
+		return SnoopdSeries{}, err
+	}
+	total := conns * perConn
+	return SnoopdSeries{
+		Requests:       total,
+		RequestsPerSec: float64(total) / wall.Seconds(),
+		P50Ns:          p50,
+		P95Ns:          p95,
+		P99Ns:          p99,
+	}, nil
+}
+
+// snoopdHost is the self-hosted server of a local run: one snoopd with
+// its own metrics registry and a shared cache, serving JSON and the
+// binary listener on loopback.
+type snoopdHost struct {
+	base     string
+	wireAddr string
+	cancel   context.CancelFunc
+	httpSrv  *http.Server
+	wireDone chan error
+	httpDone chan error
+}
+
+func startSnoopdHost() (*snoopdHost, error) {
+	handler := snoopd.New(snoopd.Config{
+		Registry: obs.NewRegistry(),
+		Cache:    snoopmva.NewCachedSolver(0),
+	})
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = httpLn.Close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &snoopdHost{
+		base:     "http://" + httpLn.Addr().String(),
+		wireAddr: wireLn.Addr().String(),
+		cancel:   cancel,
+		httpSrv:  &http.Server{Handler: handler},
+		wireDone: make(chan error, 1),
+		httpDone: make(chan error, 1),
+	}
+	go func() { h.wireDone <- handler.ServeWire(ctx, wireLn) }()
+	go func() { h.httpDone <- h.httpSrv.Serve(httpLn) }()
+	return h, nil
+}
+
+func (h *snoopdHost) close() {
+	h.cancel()
+	_ = h.httpSrv.Close()
+	<-h.wireDone
+	<-h.httpDone
+}

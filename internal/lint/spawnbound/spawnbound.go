@@ -59,9 +59,12 @@ var governedPaths = []string{
 	"snoopmva/internal/snoopd",
 	"snoopmva/internal/dispatch",
 	"snoopmva/internal/admission",
+	"snoopmva/internal/wire",
+	"snoopmva/internal/benchkit",
 	"snoopmva/cmd/snoopd",
 	"snoopmva/cmd/campaign",
 	"snoopmva/cmd/campaignd",
+	"snoopmva/cmd/snoopbench",
 	"spawnbound",
 }
 

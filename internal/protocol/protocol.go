@@ -164,17 +164,25 @@ var (
 	WriteThrough = Protocol{Name: "Write-Through", Mods: 1 << (Mod4 - 1), WriteThroughBase: true}
 )
 
-// Named returns all named protocols in a stable order.
-func Named() []Protocol {
+// named is the sorted preset list, computed once: ByName sits on the
+// serving layer's per-request path, where a fresh sort per lookup is
+// measurable.
+var named = func() []Protocol {
 	ps := []Protocol{WriteOnce, Synapse, Berkeley, Illinois, Dragon, RWB, WriteThrough}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
 	return ps
+}()
+
+// Named returns all named protocols in a stable order. The slice is the
+// caller's to mutate.
+func Named() []Protocol {
+	return append([]Protocol(nil), named...)
 }
 
 // ByName looks up a named protocol (case-insensitive); ok is false when the
 // name is unknown.
 func ByName(name string) (Protocol, bool) {
-	for _, p := range Named() {
+	for _, p := range named {
 		if strings.EqualFold(p.Name, name) {
 			return p, true
 		}

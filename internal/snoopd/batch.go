@@ -1,0 +1,219 @@
+package snoopd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"snoopmva/internal/admission"
+	"snoopmva/internal/wire"
+)
+
+// batchWorkers bounds the per-request solve concurrency of /v1/batch.
+const batchWorkers = 8
+
+// BatchItem is one point of a POST /v1/batch request: a client-chosen
+// sequence id plus exactly one request arm.
+type BatchItem struct {
+	Seq       uint64            `json:"seq"`
+	Solve     *SolveRequest     `json:"solve,omitempty"`
+	SolveBest *SolveBestRequest `json:"solvebest,omitempty"`
+	Sweep     *SweepRequest     `json:"sweep,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many points in one
+// request. The response is an NDJSON stream of BatchRecord lines in
+// completion order, matched to items by seq.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchRecord is one line of the /v1/batch response stream: the seq of
+// the item it answers plus exactly one outcome arm. Error carries the
+// same taxonomy as non-batch endpoints — including admission sheds,
+// which appear per point (code "overloaded"/"rate_limited"/"draining"
+// with retry_after_ms) so one congested point never poisons the batch.
+type BatchRecord struct {
+	Seq       uint64             `json:"seq"`
+	Result    *ResultJSON        `json:"result,omitempty"`
+	SolveBest *SolveBestResponse `json:"solvebest,omitempty"`
+	Sweep     []ResultJSON       `json:"sweep,omitempty"`
+	Error     *ErrorResponse     `json:"error,omitempty"`
+}
+
+// batchArms counts and names an item's request arms.
+func (it *BatchItem) arms() (n int, kind string) {
+	if it.Solve != nil {
+		n, kind = n+1, "solve"
+	}
+	if it.SolveBest != nil {
+		n, kind = n+1, "solvebest"
+	}
+	if it.Sweep != nil {
+		n, kind = n+1, "sweep"
+	}
+	return n, kind
+}
+
+// handleBatch streams many points through the request cores with
+// per-point admission. The route is registered without the admitted()
+// wrapper: gating the whole batch on one admission slot would make a
+// 1000-point batch indistinguishable from a single solve, so each point
+// pays for itself instead, and brownout/shed semantics compose per
+// point exactly as they do for the single-request endpoints.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decode(r, &req); err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		badRequest(w, "items: at least one point is required")
+		return
+	}
+	if len(req.Items) > wire.MaxBatchPoints {
+		badRequest(w, fmt.Sprintf("items: %d points exceed the %d bound", len(req.Items), wire.MaxBatchPoints))
+		return
+	}
+	for i := range req.Items {
+		if n, _ := req.Items[i].arms(); n != 1 {
+			badRequest(w, fmt.Sprintf("items[%d]: exactly one of solve, solvebest, sweep is required", i))
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var outMu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(rec *BatchRecord) {
+		outMu.Lock()
+		defer outMu.Unlock()
+		_ = enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ctx := r.Context()
+	clientID := r.Header.Get(ClientIDHeader)
+	items := make(chan *BatchItem)
+	workers := batchWorkers
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range items {
+				emit(s.batchPoint(ctx, clientID, it))
+			}
+		}()
+	}
+feed:
+	for i := range req.Items {
+		select {
+		case items <- &req.Items[i]:
+		case <-ctx.Done():
+			break feed // client gone: stop feeding
+		}
+	}
+	close(items)
+	wg.Wait()
+}
+
+// batchPoint executes one batch item: per-point admission, then the
+// matching request core.
+func (s *Server) batchPoint(ctx context.Context, clientID string, it *BatchItem) *BatchRecord {
+	rec := &BatchRecord{Seq: it.Seq}
+	_, kind := it.arms()
+	var timeoutMS int64
+	scale := 1
+	switch kind {
+	case "solvebest":
+		timeoutMS, scale = it.SolveBest.TimeoutMS, 4
+	case "sweep":
+		timeoutMS, scale = it.Sweep.TimeoutMS, 8
+	default:
+		timeoutMS = it.Solve.TimeoutMS
+	}
+	release, err := s.admitPoint(ctx, clientID, timeoutMS, scale)
+	if err != nil {
+		rec.Error = errorResponseFor(err)
+		return rec
+	}
+	defer release()
+	switch kind {
+	case "solvebest":
+		best, err := s.solveBestCore(ctx, it.SolveBest)
+		if err != nil {
+			rec.Error = errorResponseFor(err)
+			return rec
+		}
+		resp := toSolveBestResponse(best)
+		rec.SolveBest = &resp
+	case "sweep":
+		results, err := s.sweepCore(ctx, it.Sweep)
+		if err != nil {
+			rec.Error = errorResponseFor(err)
+			return rec
+		}
+		out := make([]ResultJSON, len(results))
+		for i, res := range results {
+			out[i] = toResultJSON(res)
+		}
+		rec.Sweep = out
+	default:
+		res, err := s.solveCore(ctx, it.Solve)
+		if err != nil {
+			rec.Error = errorResponseFor(err)
+			return rec
+		}
+		rj := toResultJSON(res)
+		rec.Result = &rj
+	}
+	return rec
+}
+
+// admitPoint runs one point through the admission controller (a no-op
+// release when admission is off). The deadline hint comes from the
+// point's own timeout so the queue can shed points that would outlive
+// it, mirroring the DeadlineHeader convention of the single-request
+// endpoints; scale mirrors admitTargetScale.
+func (s *Server) admitPoint(ctx context.Context, clientID string, timeoutMS int64, scale int) (release func(), err error) {
+	if s.adm == nil {
+		return func() {}, nil
+	}
+	var deadline time.Time
+	if timeoutMS >= 0 {
+		if d := timeoutDuration(timeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxTimeout); d > 0 {
+			deadline = time.Now().Add(d)
+		}
+	}
+	if err := s.adm.Admit(ctx, clientID, deadline); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	target := time.Duration(scale) * s.adm.Target()
+	return func() { s.adm.ReleaseWith(time.Since(start), target) }, nil
+}
+
+// errorResponseFor maps a point failure — admission shed or solver
+// error — onto the ErrorResponse taxonomy, identical to the status the
+// single-request endpoints would have attached.
+func errorResponseFor(err error) *ErrorResponse {
+	var se *admission.ShedError
+	if errors.As(err, &se) {
+		_, code := shedStatus(se)
+		return &ErrorResponse{Error: err.Error(), Code: code, RetryAfterMS: se.RetryAfter.Milliseconds()}
+	}
+	_, code := solveErrorCode(err)
+	return &ErrorResponse{Error: err.Error(), Code: code}
+}

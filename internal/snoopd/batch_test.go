@@ -1,0 +1,236 @@
+package snoopd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"snoopmva"
+	"snoopmva/internal/admission"
+	"snoopmva/internal/faultinject"
+	"snoopmva/internal/wire"
+)
+
+// postBatch posts a BatchRequest and parses the NDJSON record stream.
+func postBatch(t *testing.T, s *Server, body string) (*httptest.ResponseRecorder, map[uint64]BatchRecord) {
+	t.Helper()
+	w := post(t, s, "/v1/batch", body)
+	if w.Code != http.StatusOK {
+		return w, nil
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	records := map[uint64]BatchRecord{}
+	sc := bufio.NewScanner(w.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec BatchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if _, dup := records[rec.Seq]; dup {
+			t.Fatalf("seq %d answered twice", rec.Seq)
+		}
+		records[rec.Seq] = rec
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return w, records
+}
+
+func TestBatchMixedArms(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"items": [
+		{"seq": 1, "solve": {"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 10}},
+		{"seq": 2, "solvebest": {"protocol": {"name": "Berkeley"}, "workload": {"appendix_a": 5}, "n": 4,
+			"budget": {"max_states": -1, "sim_cycles": -1}}},
+		{"seq": 3, "sweep": {"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "ns": [1, 2, 4]}},
+		{"seq": 4, "solve": {"protocol": {"name": "MESIF"}, "workload": {"appendix_a": 5}, "n": 2}}
+	]}`
+	_, records := postBatch(t, s, body)
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want 4", len(records))
+	}
+
+	// seq 1: plain solve, bit-identical to the library.
+	want, err := snoopmva.Solve(snoopmva.Illinois(), snoopmva.AppendixA(snoopmva.Sharing5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := records[1]
+	if r1.Result == nil || r1.Error != nil {
+		t.Fatalf("seq 1: %+v", r1)
+	}
+	if r1.Result.Speedup != want.Speedup || r1.Result.R != want.R || r1.Result.Iterations != want.Iterations {
+		t.Fatalf("seq 1 diverges from library: %+v vs %+v", r1.Result, want)
+	}
+
+	// seq 2: solvebest arm answered.
+	if records[2].SolveBest == nil || records[2].SolveBest.N != 4 {
+		t.Fatalf("seq 2: %+v", records[2])
+	}
+
+	// seq 3: sweep arm, results in request order.
+	r3 := records[3]
+	if len(r3.Sweep) != 3 || r3.Sweep[0].N != 1 || r3.Sweep[2].N != 4 {
+		t.Fatalf("seq 3: %+v", r3)
+	}
+
+	// seq 4: the bad point fails alone — same taxonomy as /v1/solve —
+	// without poisoning the other three.
+	r4 := records[4]
+	if r4.Error == nil || r4.Error.Code != "invalid_input" || !strings.Contains(r4.Error.Error, "MESIF") {
+		t.Fatalf("seq 4: %+v", r4)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	solveArm := `{"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 2}`
+	cases := map[string]struct {
+		body    string
+		wantMsg string
+	}{
+		"empty items":  {`{"items": []}`, "at least one point"},
+		"no items key": {`{}`, "at least one point"},
+		"no arm":       {`{"items": [{"seq": 1}]}`, "items[0]: exactly one"},
+		"two arms": {`{"items": [{"seq": 1, "solve": ` + solveArm + `, "sweep": {"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "ns": [1]}}]}`,
+			"items[0]: exactly one"},
+		"second item bad": {`{"items": [{"seq": 1, "solve": ` + solveArm + `}, {"seq": 2}]}`, "items[1]: exactly one"},
+		"not json":        {`{`, "body:"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			w := post(t, s, "/v1/batch", c.body)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+			}
+			e := decodeError(t, w)
+			if e.Code != "invalid_input" || !strings.Contains(e.Error, c.wantMsg) {
+				t.Fatalf("error = %+v, want msg containing %q", e, c.wantMsg)
+			}
+		})
+	}
+}
+
+func TestBatchOverMaxPoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var sb strings.Builder
+	sb.WriteString(`{"items": [`)
+	for i := 0; i <= wire.MaxBatchPoints; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"seq": %d, "solve": {"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": 1}}`, i)
+	}
+	sb.WriteString(`]}`)
+	w := post(t, s, "/v1/batch", sb.String())
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if e := decodeError(t, w); !strings.Contains(e.Error, "exceed") {
+		t.Fatalf("error = %+v", e)
+	}
+}
+
+// TestBatchPerPointAdmission: with MaxInflight 1 and no queue, a batch
+// whose points are slowed still answers every seq — some solved, the
+// congested ones shed per point with the admission taxonomy — instead
+// of the whole batch being rejected or the whole batch being admitted
+// on one slot.
+func TestBatchPerPointAdmission(t *testing.T) {
+	restore := faultinject.Activate(&faultinject.Set{
+		SolveDelay: func(int) time.Duration { return 30 * time.Millisecond },
+	})
+	defer restore()
+	ctrl := newAdmission(t, admission.Config{
+		MaxInflight: 1,
+		QueueLimit:  -1, // no queue: beyond the one slot, shed immediately
+		Target:      time.Second,
+	})
+	s := newTestServer(t, Config{Admission: ctrl})
+
+	var sb strings.Builder
+	sb.WriteString(`{"items": [`)
+	const points = 8
+	for i := 0; i < points; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"seq": %d, "solve": {"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": %d}}`, i, i+2)
+	}
+	sb.WriteString(`]}`)
+	_, records := postBatch(t, s, sb.String())
+	if len(records) != points {
+		t.Fatalf("got %d records, want %d", len(records), points)
+	}
+	solved, shed := 0, 0
+	for seq, rec := range records {
+		switch {
+		case rec.Result != nil:
+			solved++
+		case rec.Error != nil && rec.Error.Code == "overloaded":
+			if rec.Error.RetryAfterMS <= 0 {
+				t.Fatalf("seq %d: shed without retry_after_ms: %+v", seq, rec.Error)
+			}
+			shed++
+		default:
+			t.Fatalf("seq %d: unexpected record %+v", seq, rec)
+		}
+	}
+	if solved == 0 || shed == 0 {
+		t.Fatalf("solved=%d shed=%d — want both outcomes in one batch", solved, shed)
+	}
+}
+
+// TestBatchClientGoneStopsWork: canceling the request context mid-batch
+// stops the feed; the handler returns instead of solving for a client
+// that hung up.
+func TestBatchClientGoneStopsWork(t *testing.T) {
+	entered := make(chan struct{}, 64)
+	restore := faultinject.Activate(&faultinject.Set{
+		SolveDelay: func(int) time.Duration {
+			entered <- struct{}{}
+			return 20 * time.Millisecond
+		},
+	})
+	defer restore()
+	s := newTestServer(t, Config{})
+
+	var sb strings.Builder
+	sb.WriteString(`{"items": [`)
+	const points = 32
+	for i := 0; i < points; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"seq": %d, "solve": {"protocol": {"name": "Illinois"}, "workload": {"appendix_a": 5}, "n": %d}}`, i, i%16+2)
+	}
+	sb.WriteString(`]}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(sb.String())).WithContext(ctx)
+	w := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() { defer close(done); s.ServeHTTP(w, req) }()
+	<-entered // at least one point in flight
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client cancellation")
+	}
+	// The feed must have stopped early: strictly fewer solve attempts
+	// than points (the in-flight batchWorkers may each finish one).
+	if n := len(entered); n >= points {
+		t.Fatalf("%d solve attempts after cancellation, want < %d", n, points)
+	}
+}

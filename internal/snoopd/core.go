@@ -1,0 +1,193 @@
+package snoopd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"snoopmva"
+)
+
+// This file holds the transport-agnostic request cores: resolve the
+// specs, derive the deadline, run the solver. The JSON handlers, the
+// /v1/batch streamer and the binary wire listener all execute requests
+// through these, so a request means exactly the same thing — including
+// its brownout and error-taxonomy behavior — on every path. That shared
+// spine is what the JSON↔binary equivalence suite leans on.
+
+// InputError marks a request-validation failure (an unresolvable spec, a
+// negative timeout): 400/"invalid_input" on HTTP, an "invalid_input"
+// Error frame on the wire. The message is the wrapped error's, verbatim,
+// so both transports report identical text.
+type InputError struct{ Err error }
+
+// Error implements error.
+func (e *InputError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped validation failure.
+func (e *InputError) Unwrap() error { return e.Err }
+
+func errTimeoutNegative(ms int64) error {
+	return fmt.Errorf("timeout_ms: must be non-negative, got %d", ms)
+}
+
+func errSweepEmpty() error {
+	return fmt.Errorf("ns: at least one system size is required")
+}
+
+// timeoutDuration resolves a request's timeout_ms against the server's
+// default and cap. Zero means no deadline.
+func timeoutDuration(timeoutMS int64, def, max time.Duration) time.Duration {
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d == 0 {
+		d = def
+	}
+	if max > 0 && (d == 0 || d > max) {
+		d = max
+	}
+	return d
+}
+
+// coreContext derives a request's solve context from parent: the
+// requested (or default) deadline, capped by cfg.MaxTimeout.
+func (s *Server) coreContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return nil, nil, &InputError{Err: errTimeoutNegative(timeoutMS)}
+	}
+	d := timeoutDuration(timeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if d == 0 {
+		ctx, cancel := context.WithCancel(parent)
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithTimeout(parent, d)
+	return ctx, cancel, nil
+}
+
+// solveCore executes a solve request. Validation failures return
+// *InputError; solver failures carry the root package's sentinel
+// taxonomy.
+func (s *Server) solveCore(parent context.Context, req *SolveRequest) (snoopmva.Result, error) {
+	p, err := req.Protocol.resolve()
+	if err != nil {
+		return snoopmva.Result{}, &InputError{Err: err}
+	}
+	wl, err := req.Workload.resolve()
+	if err != nil {
+		return snoopmva.Result{}, &InputError{Err: err}
+	}
+	ctx, cancel, err := s.coreContext(parent, req.TimeoutMS)
+	if err != nil {
+		return snoopmva.Result{}, err
+	}
+	defer cancel()
+	if s.cfg.Cache != nil {
+		return s.cfg.Cache.SolveWithContext(ctx, p, wl, req.Timing.timing(), req.N, req.Options.options())
+	}
+	return snoopmva.SolveWithContext(ctx, p, wl, req.Timing.timing(), req.N, req.Options.options())
+}
+
+// solveBestCore executes a solvebest request, including the brownout
+// ladder: under overload, a resident full-fidelity answer for exactly
+// this budget beats any degradation; otherwise the expensive GTPN/sim
+// stages are shed and the microsecond MVA solve answers, tagged
+// Degraded. A budget that was already MVA-only is served untouched.
+func (s *Server) solveBestCore(parent context.Context, req *SolveBestRequest) (snoopmva.BestResult, error) {
+	p, err := req.Protocol.resolve()
+	if err != nil {
+		return snoopmva.BestResult{}, &InputError{Err: err}
+	}
+	wl, err := req.Workload.resolve()
+	if err != nil {
+		return snoopmva.BestResult{}, &InputError{Err: err}
+	}
+	ctx, cancel, err := s.coreContext(parent, req.TimeoutMS)
+	if err != nil {
+		return snoopmva.BestResult{}, err
+	}
+	defer cancel()
+	solve := snoopmva.SolveBest
+	if s.cfg.Cache != nil {
+		solve = s.cfg.Cache.SolveBest
+	}
+	b := req.Budget.budget()
+	brownedOut := false
+	if s.adm != nil && s.adm.BrownoutActive() {
+		if s.cfg.Cache != nil {
+			if best, ok := s.cfg.Cache.PeekSolveBest(p, wl, req.N, b); ok {
+				return best, nil
+			}
+		}
+		if b.MaxStates >= 0 || b.SimCycles >= 0 {
+			b = snoopmva.Budget{MaxStates: -1, SimCycles: -1, Seed: b.Seed}
+			brownedOut = true
+		}
+	}
+	best, err := solve(ctx, p, wl, req.N, b)
+	if err != nil {
+		return snoopmva.BestResult{}, err
+	}
+	if brownedOut {
+		best.Degraded = true
+		reason := "brownout: gtpn/sim stages shed under overload"
+		if best.FallbackReason != "" {
+			reason += "; " + best.FallbackReason
+		}
+		best.FallbackReason = reason
+	}
+	return best, nil
+}
+
+// sweepCore executes a sweep request; results are in request order.
+func (s *Server) sweepCore(parent context.Context, req *SweepRequest) ([]snoopmva.Result, error) {
+	if len(req.Ns) == 0 {
+		return nil, &InputError{Err: errSweepEmpty()}
+	}
+	p, err := req.Protocol.resolve()
+	if err != nil {
+		return nil, &InputError{Err: err}
+	}
+	wl, err := req.Workload.resolve()
+	if err != nil {
+		return nil, &InputError{Err: err}
+	}
+	ctx, cancel, err := s.coreContext(parent, req.TimeoutMS)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	switch {
+	case s.cfg.Cache != nil && req.Parallel:
+		return s.cfg.Cache.SweepParallelContext(ctx, p, wl, req.Ns)
+	case s.cfg.Cache != nil:
+		return s.cfg.Cache.SweepContext(ctx, p, wl, req.Ns)
+	case req.Parallel:
+		return snoopmva.SweepParallelContext(ctx, p, wl, req.Ns)
+	default:
+		return snoopmva.SweepContext(ctx, p, wl, req.Ns)
+	}
+}
+
+// solveErrorCode maps a solver failure onto the shared status/code
+// taxonomy — the single mapping both the HTTP error writer and the
+// wire listener's Error frames go through.
+func solveErrorCode(err error) (status int, code string) {
+	var ie *InputError
+	switch {
+	case errors.As(err, &ie):
+		return http.StatusBadRequest, "invalid_input"
+	case errors.Is(err, snoopmva.ErrInvalidInput):
+		return http.StatusBadRequest, "invalid_input"
+	case errors.Is(err, snoopmva.ErrCanceled):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, snoopmva.ErrNoConvergence):
+		return http.StatusUnprocessableEntity, "no_convergence"
+	case errors.Is(err, snoopmva.ErrDiverged):
+		return http.StatusUnprocessableEntity, "diverged"
+	case errors.Is(err, snoopmva.ErrStateExplosion):
+		return http.StatusUnprocessableEntity, "state_explosion"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}

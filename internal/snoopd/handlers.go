@@ -319,22 +319,7 @@ func decode(r *http.Request, v any) error {
 // disconnect cancellation from r.Context(), plus the requested (or
 // default) deadline, capped by cfg.MaxTimeout.
 func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
-	if timeoutMS < 0 {
-		return nil, nil, fmt.Errorf("timeout_ms: must be non-negative, got %d", timeoutMS)
-	}
-	d := time.Duration(timeoutMS) * time.Millisecond
-	if d == 0 {
-		d = s.cfg.DefaultTimeout
-	}
-	if max := s.cfg.MaxTimeout; max > 0 && (d == 0 || d > max) {
-		d = max
-	}
-	if d == 0 {
-		ctx, cancel := context.WithCancel(r.Context())
-		return ctx, cancel, nil
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), d)
-	return ctx, cancel, nil
+	return s.coreContext(r.Context(), timeoutMS)
 }
 
 // writeJSON writes v with the given status.
@@ -349,22 +334,25 @@ func badRequest(w http.ResponseWriter, msg string) {
 	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: msg, Code: "invalid_input"})
 }
 
-// writeSolveError maps a solver failure onto the HTTP status taxonomy.
+// writeSolveError maps a solver (or validation) failure onto the HTTP
+// status taxonomy via the shared solveErrorCode mapping.
 func writeSolveError(w http.ResponseWriter, err error) {
-	status, code := http.StatusInternalServerError, "internal"
-	switch {
-	case errors.Is(err, snoopmva.ErrInvalidInput):
-		status, code = http.StatusBadRequest, "invalid_input"
-	case errors.Is(err, snoopmva.ErrCanceled):
-		status, code = http.StatusGatewayTimeout, "deadline_exceeded"
-	case errors.Is(err, snoopmva.ErrNoConvergence):
-		status, code = http.StatusUnprocessableEntity, "no_convergence"
-	case errors.Is(err, snoopmva.ErrDiverged):
-		status, code = http.StatusUnprocessableEntity, "diverged"
-	case errors.Is(err, snoopmva.ErrStateExplosion):
-		status, code = http.StatusUnprocessableEntity, "state_explosion"
-	}
+	status, code := solveErrorCode(err)
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}
+
+// shedStatus maps an admission refusal onto the shared status/code
+// taxonomy; the HTTP shed writer and the wire listener's Backpressure
+// frames both go through it.
+func shedStatus(se *admission.ShedError) (status int, code string) {
+	status, code = http.StatusTooManyRequests, "overloaded"
+	switch se.Reason {
+	case admission.ReasonDraining:
+		status, code = http.StatusServiceUnavailable, "draining"
+	case admission.ReasonRateLimit:
+		code = "rate_limited"
+	}
+	return status, code
 }
 
 // writeShed maps an admission refusal onto the wire: 429 Too Many
@@ -378,13 +366,7 @@ func writeShed(w http.ResponseWriter, err error) {
 		writeSolveError(w, err)
 		return
 	}
-	status, code := http.StatusTooManyRequests, "overloaded"
-	switch se.Reason {
-	case admission.ReasonDraining:
-		status, code = http.StatusServiceUnavailable, "draining"
-	case admission.ReasonRateLimit:
-		code = "rate_limited"
-	}
+	status, code := shedStatus(se)
 	secs := int64((se.RetryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -403,28 +385,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err.Error())
 		return
 	}
-	p, err := req.Protocol.resolve()
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	wl, err := req.Workload.resolve()
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	ctx, cancel, err := s.requestContext(r, req.TimeoutMS)
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	defer cancel()
-	var res snoopmva.Result
-	if s.cfg.Cache != nil {
-		res, err = s.cfg.Cache.SolveWithContext(ctx, p, wl, req.Timing.timing(), req.N, req.Options.options())
-	} else {
-		res, err = snoopmva.SolveWithContext(ctx, p, wl, req.Timing.timing(), req.N, req.Options.options())
-	}
+	res, err := s.solveCore(r.Context(), &req)
 	if err != nil {
 		writeSolveError(w, err)
 		return
@@ -438,58 +399,10 @@ func (s *Server) handleSolveBest(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err.Error())
 		return
 	}
-	p, err := req.Protocol.resolve()
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	wl, err := req.Workload.resolve()
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	ctx, cancel, err := s.requestContext(r, req.TimeoutMS)
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	defer cancel()
-	solve := snoopmva.SolveBest
-	if s.cfg.Cache != nil {
-		solve = s.cfg.Cache.SolveBest
-	}
-	b := req.Budget.budget()
-	brownedOut := false
-	if s.adm != nil && s.adm.BrownoutActive() {
-		// Brownout ladder, cheapest first: a resident full-fidelity
-		// answer for exactly this budget beats any degradation…
-		if s.cfg.Cache != nil {
-			if best, ok := s.cfg.Cache.PeekSolveBest(p, wl, req.N, b); ok {
-				writeJSON(w, http.StatusOK, toSolveBestResponse(best))
-				return
-			}
-		}
-		// …otherwise shed the expensive GTPN/sim stages and answer with
-		// the microsecond MVA solve. A budget that was already MVA-only
-		// is served untouched — nothing was degraded, so nothing is
-		// marked Degraded.
-		if b.MaxStates >= 0 || b.SimCycles >= 0 {
-			b = snoopmva.Budget{MaxStates: -1, SimCycles: -1, Seed: b.Seed}
-			brownedOut = true
-		}
-	}
-	best, err := solve(ctx, p, wl, req.N, b)
+	best, err := s.solveBestCore(r.Context(), &req)
 	if err != nil {
 		writeSolveError(w, err)
 		return
-	}
-	if brownedOut {
-		best.Degraded = true
-		reason := "brownout: gtpn/sim stages shed under overload"
-		if best.FallbackReason != "" {
-			reason += "; " + best.FallbackReason
-		}
-		best.FallbackReason = reason
 	}
 	writeJSON(w, http.StatusOK, toSolveBestResponse(best))
 }
@@ -561,37 +474,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err.Error())
 		return
 	}
-	if len(req.Ns) == 0 {
-		badRequest(w, "ns: at least one system size is required")
-		return
-	}
-	p, err := req.Protocol.resolve()
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	wl, err := req.Workload.resolve()
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	ctx, cancel, err := s.requestContext(r, req.TimeoutMS)
-	if err != nil {
-		badRequest(w, err.Error())
-		return
-	}
-	defer cancel()
-	var results []snoopmva.Result
-	switch {
-	case s.cfg.Cache != nil && req.Parallel:
-		results, err = s.cfg.Cache.SweepParallelContext(ctx, p, wl, req.Ns)
-	case s.cfg.Cache != nil:
-		results, err = s.cfg.Cache.SweepContext(ctx, p, wl, req.Ns)
-	case req.Parallel:
-		results, err = snoopmva.SweepParallelContext(ctx, p, wl, req.Ns)
-	default:
-		results, err = snoopmva.SweepContext(ctx, p, wl, req.Ns)
-	}
+	results, err := s.sweepCore(r.Context(), &req)
 	if err != nil {
 		writeSolveError(w, err)
 		return

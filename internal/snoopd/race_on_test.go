@@ -1,0 +1,9 @@
+//go:build race
+
+package snoopd
+
+// raceEnabled sizes the storm tests down under the race detector, whose
+// per-access instrumentation makes a 1000-connection storm take minutes
+// instead of seconds. The scaled-down storm still crosses every
+// interleaving the full one does — fewer times.
+const raceEnabled = true

@@ -29,6 +29,7 @@ import (
 	"snoopmva"
 	"snoopmva/internal/admission"
 	"snoopmva/internal/obs"
+	"snoopmva/internal/wire"
 )
 
 // Config configures a Server. The zero value serves the uncached solvers
@@ -64,6 +65,11 @@ type Server struct {
 	adm      *admission.Controller
 	inflight *obs.Gauge
 	latency  map[string]*obs.Histogram // route → latency histogram
+	// Wire-listener metrics, minted at construction (metricreg: families
+	// at registration time, handlers only touch resolved series).
+	wireConns    *obs.Counter
+	wireActive   *obs.Gauge
+	wireRequests map[wire.FrameType]*obs.Counter
 	// draining flips once shutdown begins; /healthz then answers 503 so
 	// load balancers and the campaign coordinator stop routing new work
 	// here while in-flight solves drain.
@@ -92,8 +98,18 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/solvebest", s.admitted("POST /v1/solvebest", s.handleSolveBest))
 	s.route("POST /v1/sweep", s.admitted("POST /v1/sweep", s.handleSweep))
 	s.route("POST /v1/compare", s.admitted("POST /v1/compare", s.handleCompare))
+	// Batch admits per point inside the handler, not per request.
+	s.route("POST /v1/batch", s.handleBatch)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
+
+	s.wireConns = reg.Counter("snoopmva_wire_connections_total", "Binary wire-protocol connections accepted.")
+	s.wireActive = reg.Gauge("snoopmva_wire_active_connections", "Binary wire-protocol connections currently open.")
+	s.wireRequests = map[wire.FrameType]*obs.Counter{}
+	for _, t := range []wire.FrameType{wire.TypeSolveReq, wire.TypeSolveBestReq, wire.TypeSweepReq} {
+		s.wireRequests[t] = reg.Counter("snoopmva_wire_requests_total",
+			"Binary wire-protocol requests received, by frame type.", obs.L("type", t.String())) //lint:allow metricreg the range is a fixed three-element frame-type list, a closed set
+	}
 
 	reg.PublishExpvar("snoopmva")
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// mustKind asserts err is inside the decoder's closed error taxonomy:
+// nil, the two EOF flavors, or a *ProtocolError. Anything else — and any
+// panic, which the fuzzer catches on its own — is a conformance bug.
+func mustKind(t *testing.T, err error) {
+	t.Helper()
+	if err == nil || err == io.EOF || err == io.ErrUnexpectedEOF {
+		return
+	}
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error outside the taxonomy: %T %v", err, err)
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder and, when
+// a frame survives, at the payload decoder for its type. Invariants:
+// no panic, errors stay inside the closed taxonomy, a decoded frame
+// re-encodes to the exact bytes it was decoded from (the decode/encode
+// fixpoint), and decode consumes exactly the frame it reports.
+func FuzzDecodeFrame(f *testing.F) {
+	samples := sampleMessages()
+	for typ, msg := range samples {
+		f.Add(AppendFrame(nil, typ, encodeMessage(typ, msg)))
+	}
+	// The documented corpus shapes: truncated length prefix, CRC
+	// mismatch, oversized length, version skew, partial/concatenated
+	// frames.
+	ping := AppendFrame(nil, TypePing, AppendPing(nil, &Ping{Seq: 1}))
+	f.Add(ping[:headerSize])  // truncated before the length prefix
+	f.Add(ping[:len(ping)-2]) // truncated inside the CRC trailer
+	crcFlip := append([]byte(nil), ping...)
+	crcFlip[len(crcFlip)-1] ^= 0xFF
+	f.Add(crcFlip)
+	oversized := []byte{Magic[0], Magic[1], Version, byte(TypePing)}
+	f.Add(binary.AppendUvarint(oversized, DefaultMaxPayload+1))
+	skew := append([]byte(nil), ping...)
+	skew[2] = 99 // version byte
+	f.Add(skew)
+	f.Add(append(append([]byte(nil), ping...), ping[:3]...)) // frame + partial frame
+	f.Add([]byte{})
+	f.Add([]byte{Magic[0]})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for {
+			frame, after, err := DecodeFrame(rest, 0)
+			mustKind(t, err)
+			if err != nil {
+				break
+			}
+			consumed := len(rest) - len(after)
+			// Decode/encode fixpoint: re-framing the decoded parts must
+			// reproduce the consumed bytes exactly.
+			if re := AppendFrame(nil, frame.Type, frame.Payload); !bytes.Equal(re, rest[:consumed]) {
+				t.Fatalf("re-encode diverged from input:\n in  %x\n out %x", rest[:consumed], re)
+			}
+			// The payload decoders must stay inside the taxonomy too.
+			_, derr := decodeMessage(frame.Type, frame.Payload)
+			mustKind(t, derr)
+			if len(after) == len(rest) {
+				t.Fatalf("decode made no progress")
+			}
+			rest = after
+		}
+	})
+}
+
+// FuzzBatchRequest drives the streaming Reader with a fuzzer-chosen
+// byte stream and chunk size, then re-runs the identical stream
+// byte-at-a-time. Invariants: the decoded frame sequence and the final
+// error are independent of how the bytes were chunked across Read
+// calls (the interleaved-partial-frames property), and both runs stay
+// inside the error taxonomy.
+func FuzzBatchRequest(f *testing.F) {
+	samples := sampleMessages()
+	// A realistic pipelined batch: hello, then several request frames
+	// back to back — plus the corruption corpus mid-stream.
+	var batch []byte
+	batch = AppendFrame(batch, TypeHello, AppendHello(nil, samples[TypeHello].(*Hello)))
+	batch = AppendFrame(batch, TypeSolveReq, AppendSolveRequest(nil, samples[TypeSolveReq].(*SolveRequest)))
+	batch = AppendFrame(batch, TypeSolveBestReq, AppendSolveBestRequest(nil, samples[TypeSolveBestReq].(*SolveBestRequest)))
+	batch = AppendFrame(batch, TypeSweepReq, AppendSweepRequest(nil, samples[TypeSweepReq].(*SweepRequest)))
+	f.Add(batch, uint8(1))
+	f.Add(batch, uint8(3))
+	f.Add(batch, uint8(255))
+	truncated := batch[:len(batch)-5] // ends mid-frame
+	f.Add(truncated, uint8(7))
+	corrupt := append([]byte(nil), batch...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt, uint8(2))
+	skew := append([]byte(nil), batch...)
+	skew[2] = 2 // version byte of the first frame
+	f.Add(skew, uint8(4))
+
+	type step struct {
+		typ     FrameType
+		payload []byte
+	}
+	run := func(t *testing.T, data []byte, chunk int) ([]step, error) {
+		r := NewReader(&chunkReader{src: append([]byte(nil), data...), sizes: []int{chunk}}, 0)
+		var steps []step
+		for {
+			frame, err := r.Next()
+			mustKind(t, err)
+			if err != nil {
+				return steps, err
+			}
+			steps = append(steps, step{frame.Type, append([]byte(nil), frame.Payload...)})
+			if len(steps) > len(data)/(headerSize+1)+1 {
+				t.Fatalf("more frames than the stream can hold")
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		if len(data) > 1<<16 {
+			return // bound fuzz memory; chunking logic is size-oblivious
+		}
+		c := int(chunk)
+		if c < 1 {
+			c = 1
+		}
+		got, gotErr := run(t, data, c)
+		want, wantErr := run(t, data, 1)
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d decoded %d frames, byte-at-a-time %d", c, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].typ != want[i].typ || !bytes.Equal(got[i].payload, want[i].payload) {
+				t.Fatalf("frame %d diverged across chunkings", i)
+			}
+		}
+		// The terminal error must match in taxonomy position: same EOF
+		// flavor, or the same ProtocolError kind.
+		var gk, wk ErrorKind = 255, 255
+		var gpe, wpe *ProtocolError
+		if errors.As(gotErr, &gpe) {
+			gk = gpe.Kind
+		}
+		if errors.As(wantErr, &wpe) {
+			wk = wpe.Kind
+		}
+		if (gotErr == io.EOF) != (wantErr == io.EOF) || gk != wk {
+			t.Fatalf("terminal error diverged across chunkings: chunk %d → %v, 1 → %v", c, gotErr, wantErr)
+		}
+	})
+}

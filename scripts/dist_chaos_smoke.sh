@@ -175,3 +175,67 @@ if [ "${sheds:-0}" -le 0 ]; then
 fi
 bcount=$(wc -l < "$workdir/brun.points")
 echo "dist_chaos: PASS — brownout phase: $bcount points set-identical to local run with $sheds admission sheds"
+
+# ------------------------------------------------------------------
+# Wire phase: the same grid dispatched over the binary wire protocol
+# (wire:// workers with HTTP fallback URLs), with one worker SIGKILLed
+# mid-grid. The coordinator's wire transport must ride
+# reconnect-with-resend where the connection can be salvaged and requeue
+# where it cannot, finish on the survivor, and produce the same point
+# set as the local reference — byte for byte, since the solvers are
+# deterministic. The survivor's /metrics must show real wire-protocol
+# traffic, proving the phase did not silently fall back to JSON.
+echo "dist_chaos: wire phase — binary-protocol workers, one killed mid-grid"
+start_worker 18096 -wire-addr 127.0.0.1:18196
+w6=$wpid
+start_worker 18097 -wire-addr 127.0.0.1:18197
+w7=$wpid
+
+wpool="wire://127.0.0.1:18196?http=http://127.0.0.1:18096,wire://127.0.0.1:18197?http=http://127.0.0.1:18097"
+"$workdir/campaignd" -workers "$wpool" $grid $budget -quiet \
+    -health-interval 200ms -quarantine-after 2 -breaker 2 \
+    -journal "$workdir/wrun.jsonl" >"$workdir/campaignd.wire.log" 2>&1 &
+wcpid=$!
+pids="$pids $wcpid"
+
+waited=0
+while :; do
+    lines=0
+    [ -f "$workdir/wrun.jsonl" ] && lines=$(wc -l < "$workdir/wrun.jsonl")
+    [ "$lines" -ge 3 ] && break
+    if ! kill -0 "$wcpid" 2>/dev/null; then
+        echo "dist_chaos: wire coordinator finished before the worker kill; grid too fast" >&2
+        exit 1
+    fi
+    waited=$((waited + 1))
+    if [ "$waited" -gt 600 ]; then
+        echo "dist_chaos: no wire-phase journal progress after 60s" >&2
+        cat "$workdir/campaignd.wire.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "dist_chaos: SIGKILL wire worker 1 (journal at $lines lines)"
+kill -KILL "$w6" 2>/dev/null || true
+
+if ! wait "$wcpid"; then
+    echo "dist_chaos: FAIL — wire-phase coordinator exited non-zero" >&2
+    cat "$workdir/campaignd.wire.log" >&2
+    exit 1
+fi
+
+grep '"kind":"point"' "$workdir/wrun.jsonl" | sort > "$workdir/wrun.points"
+if ! cmp -s "$workdir/ref.points" "$workdir/wrun.points"; then
+    echo "dist_chaos: FAIL — wire-phase result set differs from local reference" >&2
+    diff "$workdir/ref.points" "$workdir/wrun.points" >&2 || true
+    exit 1
+fi
+wirereqs=$(curl -sf "http://127.0.0.1:18097/metrics" |
+    awk '/^snoopmva_wire_requests_total/ { s += $NF } END { printf "%d", s }')
+if [ "${wirereqs:-0}" -le 0 ]; then
+    echo "dist_chaos: FAIL — surviving worker served no wire-protocol requests; phase fell back to JSON" >&2
+    curl -s "http://127.0.0.1:18097/metrics" >&2 || true
+    exit 1
+fi
+wcount=$(wc -l < "$workdir/wrun.points")
+echo "dist_chaos: PASS — wire phase: $wcount points survived a worker kill over the binary protocol ($wirereqs wire requests on the survivor), set-identical to local run"
