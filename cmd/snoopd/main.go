@@ -103,17 +103,16 @@ func main() {
 	// flag-validation exit, not a half-started server.
 	wireCtx, wireCancel := context.WithCancel(context.Background())
 	defer wireCancel()
-	wireDone := make(chan error, 1)
+	var wireDone chan error // nil when the wire listener is disabled
 	if *wireAddr != "" {
 		ln, err := net.Listen("tcp", *wireAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snoopd: -wire-addr: %v\n", err)
 			os.Exit(2)
 		}
+		wireDone = make(chan error, 1)
 		go func() { wireDone <- handler.ServeWire(wireCtx, ln) }()
 		fmt.Fprintf(os.Stderr, "snoopd: wire listening on %s\n", ln.Addr())
-	} else {
-		wireDone <- nil
 	}
 
 	errc := make(chan error, 1)
@@ -122,9 +121,16 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// A receive on wireDone here means the wire listener died while the
+	// process was supposed to be serving — surface it immediately instead
+	// of silently serving HTTP-only until shutdown. (A nil wireDone
+	// channel — wire disabled — never fires.)
 	select {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "snoopd: serve: %v\n", err)
+		os.Exit(1)
+	case err := <-wireDone:
+		fmt.Fprintf(os.Stderr, "snoopd: wire serve: %v\n", err)
 		os.Exit(1)
 	case sig := <-stop:
 		fmt.Fprintf(os.Stderr, "snoopd: %v, draining in-flight solves\n", sig)
@@ -140,14 +146,24 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	wireCancel() // close the wire listener; in-flight connections drain
+	wireCancel() // close the wire listener and its established connections
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "snoopd: shutdown: %v\n", err)
 		os.Exit(1)
 	}
-	if err := <-wireDone; err != nil {
-		fmt.Fprintf(os.Stderr, "snoopd: wire serve: %v\n", err)
-		os.Exit(1)
+	if wireDone != nil {
+		// ServeWire closes its connections on cancel, so this resolves
+		// promptly; the drain-timeout bound is a backstop so a wedged wire
+		// drain can never hang SIGTERM shutdown past -drain-timeout.
+		select {
+		case err := <-wireDone:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snoopd: wire serve: %v\n", err)
+				os.Exit(1)
+			}
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "snoopd: wire drain timed out")
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "snoopd: serve: %v\n", err)

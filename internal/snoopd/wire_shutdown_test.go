@@ -1,0 +1,47 @@
+package snoopd
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"snoopmva/internal/wire"
+)
+
+// TestServeWireCancelClosesIdleConns: canceling ServeWire's context must
+// unblock connections parked in their read loops, not just close the
+// listener. A persistent keepalive client (the dispatch WireTransport
+// shape) sits idle in r.Next() with no deadline; if cancellation only
+// closed the listener, ServeWire's drain wait — and snoopd's SIGTERM
+// shutdown behind it — would hang until the client went away. The
+// client is deliberately left connected until after the drain wait,
+// unlike startWire's cleanup ordering, which closes clients first and
+// would mask the hang.
+func TestServeWireCancelClosesIdleConns(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.ServeWire(ctx, ln) }()
+
+	c := wire.NewClient(ln.Addr().String(), wire.ClientOptions{ClientName: "idle-keepalive"})
+	defer c.Close()
+	if _, err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeWire: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeWire did not return after cancel with an idle connection still open")
+	}
+}

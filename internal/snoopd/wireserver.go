@@ -27,11 +27,26 @@ const (
 )
 
 // ServeWire serves the binary wire protocol on ln until ctx is canceled
-// (the listener is closed and in-flight connections drain) or Accept
-// fails. Requests run through the same cores, admission gate and solve
-// cache as the HTTP endpoints.
+// or Accept fails. Cancellation closes the listener and every
+// established connection: read loops block in r.Next() with no
+// deadline, so closing the socket is what unblocks them — without it a
+// single idle keepalive client would pin the ctx.Done → return path
+// (and the daemon's SIGTERM shutdown behind it) forever. In-flight
+// solves observe the same ctx and wind down with their connections.
+// Requests run through the same cores, admission gate and solve cache
+// as the HTTP endpoints.
 func (s *Server) ServeWire(ctx context.Context, ln net.Listener) error {
-	go func() { <-ctx.Done(); _ = ln.Close() }()
+	var mu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	stop := context.AfterFunc(ctx, func() {
+		_ = ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for conn := range conns {
+			_ = conn.Close()
+		}
+	})
+	defer stop()
 	var wg sync.WaitGroup
 	var err error
 	for ctx.Err() == nil {
@@ -42,8 +57,24 @@ func (s *Server) ServeWire(ctx context.Context, ln net.Listener) error {
 			}
 			break
 		}
+		mu.Lock()
+		if ctx.Err() != nil {
+			// Cancellation raced the accept: the AfterFunc may have already
+			// swept conns, so this connection must not be served.
+			mu.Unlock()
+			_ = conn.Close()
+			break
+		}
+		conns[conn] = struct{}{}
+		mu.Unlock()
 		wg.Add(1)
-		go func() { defer wg.Done(); s.serveWireConn(ctx, conn) }()
+		go func() {
+			defer wg.Done()
+			s.serveWireConn(ctx, conn)
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+		}()
 	}
 	wg.Wait()
 	return err

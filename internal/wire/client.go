@@ -112,6 +112,14 @@ type Client struct {
 	pending map[uint64]*pendingCall
 	verErr  error // latched version-negotiation failure; permanent
 	closed  bool
+	// recovering is set while a reconnect-with-resend goroutine runs. The
+	// redial loop sleeps and dials off the mutex (a held-through recovery
+	// would pin every concurrent call — even ctx-expired ones — for up to
+	// RedialAttempts × (backoff + DialTimeout)); this flag is what keeps
+	// new calls from racing the half-rebuilt connection instead: they
+	// register in pending without dialing and the recovery's resend pass
+	// picks them up.
+	recovering bool
 
 	// Write coalescing: request frames append to wbuf under mu and the
 	// connection's flush loop writes the accumulated buffer in one
@@ -377,23 +385,42 @@ func (c *Client) roundTrip(ctx context.Context, encode func(seq uint64) []byte) 
 	}
 }
 
-// ensureConnLocked dials and handshakes if no connection is live.
+// ensureConnLocked dials and handshakes if no connection is live. While
+// a recovery goroutine runs it reports success without dialing: the
+// caller's pending entry rides the recovery's resend pass, and dialing
+// here would race the half-rebuilt connection.
 func (c *Client) ensureConnLocked() error {
-	if c.conn != nil {
+	if c.conn != nil || c.recovering {
 		return nil
 	}
 	return c.dialLocked()
 }
 
-// dialLocked establishes a connection: TCP with keepalive, then the
-// Hello/HelloAck negotiation, then the background read loop. A server
-// acking a version outside this client's range latches verErr — the
-// permanent failure WireTransport's HTTP fallback keys on.
+// dialLocked establishes a connection while holding the mutex (the
+// first-call fast path, where nothing else is in flight to block). A
+// server acking a version outside this client's range latches verErr —
+// the permanent failure WireTransport's HTTP fallback keys on.
 func (c *Client) dialLocked() error {
+	conn, r, err := c.dial()
+	if err != nil {
+		if IsVersionMismatch(err) {
+			c.verErr = err
+		}
+		return err
+	}
+	c.installLocked(conn, r)
+	return nil
+}
+
+// dial establishes a connection: TCP with keepalive, then the
+// Hello/HelloAck negotiation. It touches no client state beyond
+// immutable fields, so the recovery goroutine may call it without
+// holding the mutex.
+func (c *Client) dial() (net.Conn, *Reader, error) {
 	d := net.Dialer{Timeout: c.opts.DialTimeout, KeepAlive: 30 * time.Second}
 	conn, err := d.DialContext(c.ctx, "tcp", c.addr)
 	if err != nil {
-		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		return nil, nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
 	deadline := time.Now().Add(c.opts.DialTimeout)
 	_ = conn.SetDeadline(deadline)
@@ -402,35 +429,38 @@ func (c *Client) dialLocked() error {
 	}))
 	if _, err := conn.Write(hello); err != nil {
 		_ = conn.Close()
-		return fmt.Errorf("wire: handshake write: %w", err)
+		return nil, nil, fmt.Errorf("wire: handshake write: %w", err)
 	}
 	r := NewReader(conn, c.opts.MaxPayload)
 	f, err := r.Next()
 	if err != nil {
 		_ = conn.Close()
 		if IsVersionMismatch(err) {
-			c.verErr = err
-			return err
+			return nil, nil, err
 		}
-		return fmt.Errorf("wire: handshake read: %w", err)
+		return nil, nil, fmt.Errorf("wire: handshake read: %w", err)
 	}
 	if f.Type != TypeHelloAck {
 		_ = conn.Close()
-		return errMalformed("handshake: expected hello_ack, got %v", f.Type)
+		return nil, nil, errMalformed("handshake: expected hello_ack, got %v", f.Type)
 	}
 	ack, err := DecodeHelloAck(f.Payload)
 	if err != nil {
 		_ = conn.Close()
-		return err
+		return nil, nil, err
 	}
 	if ack.Version < MinVersion || ack.Version > MaxVersion {
 		_ = conn.Close()
-		verr := &ProtocolError{Kind: KindVersion, Detail: fmt.Sprintf(
+		return nil, nil, &ProtocolError{Kind: KindVersion, Detail: fmt.Sprintf(
 			"server negotiated version %d, this client speaks %d..%d", ack.Version, MinVersion, MaxVersion)}
-		c.verErr = verr
-		return verr
 	}
 	_ = conn.SetDeadline(time.Time{})
+	return conn, r, nil
+}
+
+// installLocked makes a freshly handshaken connection the live one and
+// starts its read and flush loops.
+func (c *Client) installLocked(conn net.Conn, r *Reader) {
 	c.conn = conn
 	c.reader = r
 	// Frames buffered for the previous connection are covered by
@@ -441,7 +471,6 @@ func (c *Client) dialLocked() error {
 	go c.readLoop(c.ctx, conn, r)
 	//lint:allow spawnbound flushLoop exits when conn is superseded or the client closes: every path that replaces c.conn broadcasts flushWake, waking the Wait it blocks on
 	go c.flushLoop(conn)
-	return nil
 }
 
 // sendLocked queues frame for the connection's flush loop — group
@@ -537,12 +566,13 @@ func (c *Client) connFailed(conn net.Conn, cause error) {
 	c.recoverLocked(cause)
 }
 
-// recoverLocked is reconnect-with-resend: with calls in flight, redial
-// (bounded attempts with backoff) and replay every unanswered request
-// frame; if recovery fails, fail them all with the last error. Holding
-// the lock throughout keeps new calls from racing a half-rebuilt
-// connection; the worst-case hold is RedialAttempts × (backoff +
-// DialTimeout).
+// recoverLocked triages a connection failure: permanent failures (client
+// closed, protocol violation) fail the in-flight calls on the spot;
+// transient ones charge each call's resend budget and hand off to a
+// recover goroutine, which redials and resends off the mutex. The lock
+// is held only for this triage, so concurrent calls — in particular
+// ctx-expired callers that need the lock just to abandon their pending
+// entry — are never pinned behind the redial loop's sleeps and dials.
 func (c *Client) recoverLocked(cause error) {
 	if c.closed {
 		c.failAllLocked(ErrClientClosed)
@@ -554,6 +584,12 @@ func (c *Client) recoverLocked(cause error) {
 	var pe *ProtocolError
 	if errors.As(cause, &pe) {
 		c.failAllLocked(cause)
+		return
+	}
+	if c.recovering {
+		// The running recovery's resend pass replays everything still in
+		// pending — including calls registered after it started. Charging
+		// resend budget again here would double-bill one failure.
 		return
 	}
 	// Charge the failure to every in-flight call and fail the ones that
@@ -570,30 +606,77 @@ func (c *Client) recoverLocked(cause error) {
 	if len(c.pending) == 0 {
 		return // nothing in flight; the next call dials fresh
 	}
+	c.recovering = true
+	//lint:allow spawnbound recover's redial loop runs at most RedialAttempts iterations, each bounded by backoff + DialTimeout, and every exit path clears recovering
+	go c.recover(cause)
+}
+
+// recover is reconnect-with-resend: redial (bounded attempts with
+// backoff) and replay every unanswered request frame; if recovery fails,
+// fail them all with the last error. It runs in its own goroutine and
+// takes the mutex only to inspect state and to install/resend — the
+// sleeps and dials that dominate its runtime happen unlocked.
+func (c *Client) recover(cause error) {
 	lastErr := cause
 	for attempt := 0; attempt < c.opts.RedialAttempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(c.opts.RedialBackoff)
 		}
-		if c.ctx.Err() != nil {
-			c.failAllLocked(ErrClientClosed)
+		c.mu.Lock()
+		if c.closed || c.ctx.Err() != nil {
+			c.finishRecoverLocked(ErrClientClosed)
 			return
 		}
-		if err := c.dialLocked(); err != nil {
+		if len(c.pending) == 0 {
+			// Every in-flight caller gave up (ctx cancellation) while we
+			// were redialing; the next call dials fresh.
+			c.recovering = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		conn, r, err := c.dial()
+
+		c.mu.Lock()
+		if c.closed {
+			if err == nil {
+				_ = conn.Close()
+			}
+			c.finishRecoverLocked(ErrClientClosed)
+			return
+		}
+		if err != nil {
 			lastErr = err
-			if c.verErr != nil {
-				c.failAllLocked(c.verErr)
+			if IsVersionMismatch(err) {
+				c.verErr = err
+				c.finishRecoverLocked(err)
 				return
 			}
+			c.mu.Unlock()
 			continue
 		}
+		c.installLocked(conn, r)
 		if err := c.resendLocked(); err != nil {
 			lastErr = err
+			c.mu.Unlock()
 			continue
 		}
+		c.recovering = false
+		c.mu.Unlock()
 		return
 	}
-	c.failAllLocked(lastErr)
+	c.mu.Lock()
+	c.finishRecoverLocked(lastErr)
+}
+
+// finishRecoverLocked ends a failed recovery: fail everything still
+// pending with err and clear the recovering flag. Called with the mutex
+// held; releases it.
+func (c *Client) finishRecoverLocked(err error) {
+	c.failAllLocked(err)
+	c.recovering = false
+	c.mu.Unlock()
 }
 
 // resendLocked replays every pending request frame, in sequence order
@@ -613,6 +696,7 @@ func (c *Client) resendLocked() error {
 		if _, err := conn.Write(c.pending[seq].frame); err != nil {
 			c.conn = nil
 			_ = conn.Close()
+			c.flushWake.Broadcast() // the dead conn's flush loop exits on this
 			return fmt.Errorf("wire: resend: %w", err)
 		}
 	}

@@ -290,6 +290,61 @@ func TestClientContextCancel(t *testing.T) {
 	}
 }
 
+// TestClientRecoveryDoesNotBlockCancel: while reconnect-with-resend is
+// redialing (backoff sleeps and connect attempts), a caller whose
+// context expires must return at its deadline. Recovery runs off the
+// client mutex; if it held the lock across the redial loop, the
+// ctx-expired path — which takes the lock to abandon its pending entry
+// — would be pinned for RedialAttempts × (backoff + dial time).
+func TestClientRecoveryDoesNotBlockCancel(t *testing.T) {
+	killed := make(chan struct{})
+	var once sync.Once
+	var srv *testServer
+	srv = newTestServer(t, 1, func(int, Frame) [][]byte {
+		_ = srv.ln.Close() // every redial now lands on a dead address
+		once.Do(func() { close(killed) })
+		return nil // kill the connection without answering
+	})
+	// A redial budget generous enough that a recovery holding the mutex
+	// would pin callers for several seconds.
+	c := NewClient(srv.addr(), ClientOptions{RedialAttempts: 20, RedialBackoff: 250 * time.Millisecond})
+	defer c.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Solve(context.Background(), solveReq(1))
+		first <- err
+	}()
+	select {
+	case <-killed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the first request")
+	}
+	time.Sleep(50 * time.Millisecond) // let the client notice and start recovering
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Ping(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("ctx-expired call pinned %v behind recovery", elapsed)
+	}
+
+	// Close aborts the recovery and releases the first caller.
+	_ = c.Close()
+	select {
+	case err := <-first:
+		if err == nil {
+			t.Fatal("first call succeeded against a dead server")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first caller stuck after Close")
+	}
+}
+
 // TestClientClose fails in-flight calls with ErrClientClosed and makes
 // later calls fail the same way.
 func TestClientClose(t *testing.T) {

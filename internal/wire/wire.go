@@ -244,6 +244,15 @@ func DecodeFrame(b []byte, maxPayload int) (Frame, []byte, error) {
 	if n < 0 {
 		return Frame{}, b, errMalformed("length varint overflows uint64")
 	}
+	// The length prefix must be the minimal encoding: a multi-byte varint
+	// whose final byte is zero contributes no bits, so a shorter encoding
+	// of the same value exists. Accepting it would break the
+	// decode/encode fixpoint — the same frame would have two byte
+	// representations, and re-framing a decoded frame would not
+	// reproduce its input.
+	if n > 1 && b[headerSize+n-1] == 0 {
+		return Frame{}, b, errMalformed("non-minimal length varint")
+	}
 	if length > uint64(maxPayload) {
 		return Frame{}, b, &ProtocolError{Kind: KindOversized,
 			Detail: fmt.Sprintf("payload length %d exceeds the %d-byte bound", length, maxPayload)}
@@ -316,10 +325,18 @@ func (r *Reader) Next() (Frame, error) {
 // that a pipelining peer's burst of frames lands in one read syscall.
 const fillWindow = 16384
 
-// fill reads more bytes from the source into the buffer.
+// fill reads more bytes from the source into the buffer, growing it
+// geometrically when full. Doubling matters for frames much larger than
+// fillWindow: fixed-increment growth would realloc-and-copy the
+// accumulated prefix once per window — quadratic bytes moved across a
+// max-payload frame — where doubling amortizes to O(len) total.
 func (r *Reader) fill() (int, error) {
 	if len(r.buf)+fillWindow > cap(r.buf) {
-		grown := make([]byte, len(r.buf), len(r.buf)+2*fillWindow)
+		newCap := 2 * cap(r.buf)
+		if newCap < len(r.buf)+fillWindow {
+			newCap = len(r.buf) + fillWindow
+		}
+		grown := make([]byte, len(r.buf), newCap)
 		copy(grown, r.buf)
 		r.buf = grown
 	}
