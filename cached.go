@@ -110,10 +110,21 @@ func (c *CachedSolver) SolveWith(p Protocol, w Workload, t Timing, n int, opts O
 	return c.SolveWithContext(context.Background(), p, w, t, n, opts)
 }
 
-// SolveWithContext is the cached SolveWithContext.
+// SolveWithContext is the cached SolveWithContext. The hit path is
+// allocation-free: the input is encoded into a pooled builder and probed
+// with Cache.Lookup; only a miss finalizes a canonical key and enters
+// the singleflight Do.
 func (c *CachedSolver) SolveWithContext(ctx context.Context, p Protocol, w Workload, t Timing, n int, opts Options) (res Result, err error) {
 	defer guard(&err)
-	v, err := c.cache.Do(solveKey(p, w, t, n, opts), func() (any, error) {
+	b := solvecache.AcquireKey()
+	appendSolveKey(b, p, w, t, n, opts)
+	if v, ok := c.cache.Lookup(b); ok {
+		b.Release()
+		return v.(Result), nil
+	}
+	k := b.Key()
+	b.Release()
+	v, err := c.cache.Do(k, func() (any, error) {
 		r, serr := SolveWithContext(ctx, p, w, t, n, opts)
 		if serr != nil {
 			return nil, serr
@@ -124,6 +135,56 @@ func (c *CachedSolver) SolveWithContext(ctx context.Context, p Protocol, w Workl
 		return Result{}, err
 	}
 	return v.(Result), nil
+}
+
+// SolveMany is the cached SolveMany: each point is served from the cache
+// when resident, and the misses are batch-solved on shared scratch (see
+// the package-level SolveMany) before being published to the cache.
+func (c *CachedSolver) SolveMany(inputs []SolveInput) ([]Result, error) {
+	return c.SolveManyContext(context.Background(), inputs)
+}
+
+// SolveManyContext is SolveMany with cancellation. Hits are probed with
+// the pooled allocation-free encoder; misses are grouped by
+// configuration and solved through the amortized batch path, then
+// published under singleflight. If a concurrent flight for the same key
+// is in progress, the flight's value (bitwise identical for a
+// successful flight) is preferred; a failed flight never masks this
+// batch's own successfully computed point.
+func (c *CachedSolver) SolveManyContext(ctx context.Context, inputs []SolveInput) (out []Result, err error) {
+	defer guard(&err)
+	out = make([]Result, len(inputs))
+	var missIdx []int
+	var keys []solvecache.Key
+	for i, in := range inputs {
+		b := solvecache.AcquireKey()
+		appendSolveKey(b, in.Protocol, in.Workload, in.Timing, in.N, in.Options)
+		if v, ok := c.cache.Lookup(b); ok {
+			b.Release()
+			out[i] = v.(Result)
+			continue
+		}
+		if keys == nil {
+			keys = make([]solvecache.Key, len(inputs))
+		}
+		keys[i] = b.Key()
+		b.Release()
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	if serr := solveBatch(ctx, inputs, missIdx, out); serr != nil {
+		return nil, serr
+	}
+	for _, i := range missIdx {
+		r := out[i]
+		v, derr := c.cache.Do(keys[i], func() (any, error) { return r, nil })
+		if derr == nil {
+			out[i] = v.(Result)
+		}
+	}
+	return out, nil
 }
 
 // SolveBest is the cached SolveBest: the full budget participates in the
@@ -276,27 +337,35 @@ func keyOptions(b *solvecache.KeyBuilder, o Options) {
 	b.Bool(o.NoArrivalCorrection).Bool(o.SplitTransactionBus)
 }
 
-// solveKey canonicalizes one Solve input for the memo cache.
+// appendSolveKey canonicalizes one Solve input into a pooled builder.
+// The hit path probes the encoding with Cache.Lookup and never
+// finalizes, so a cached solve encodes, hashes and looks up without a
+// single allocation.
 //
-//snoop:hotpath runs on every cached solve; only the builder's own allocations allowed
-func solveKey(p Protocol, w Workload, t Timing, n int, opts Options) solvecache.Key {
-	//lint:allow hotalloc inlined NewKey buffer, the encoder's one allocation until the pooled-scratch PR (ROADMAP item 2)
-	b := solvecache.NewKey()
+//snoop:hotpath runs on every cached solve; appends into the pooled builder's reused buffer
+func appendSolveKey(b *solvecache.KeyBuilder, p Protocol, w Workload, t Timing, n int, opts Options) {
 	b.String("mva")
 	keyProtocol(b, p)
 	keyWorkload(b, w)
 	keyTiming(b, t)
 	keyOptions(b, opts)
 	b.Int(int64(n))
-	return b.Key()
 }
 
-// bestKey canonicalizes one SolveBest input for the memo cache.
+// solveKey finalizes a canonical Key for the miss path (Do needs the
+// canonical string to outlive the builder; hits never come here).
+func solveKey(p Protocol, w Workload, t Timing, n int, opts Options) solvecache.Key {
+	b := solvecache.AcquireKey()
+	appendSolveKey(b, p, w, t, n, opts)
+	k := b.Key()
+	b.Release()
+	return k
+}
+
+// appendBestKey canonicalizes one SolveBest input into a pooled builder.
 //
-//snoop:hotpath runs on every cached SolveBest; only the builder's own allocations allowed
-func bestKey(p Protocol, w Workload, n int, bg Budget) solvecache.Key {
-	//lint:allow hotalloc inlined NewKey buffer, the encoder's one allocation until the pooled-scratch PR (ROADMAP item 2)
-	b := solvecache.NewKey()
+//snoop:hotpath runs on every cached SolveBest; appends into the pooled builder's reused buffer
+func appendBestKey(b *solvecache.KeyBuilder, p Protocol, w Workload, n int, bg Budget) {
 	b.String("best")
 	keyProtocol(b, p)
 	keyWorkload(b, w)
@@ -306,7 +375,15 @@ func bestKey(p Protocol, w Workload, n int, bg Budget) solvecache.Key {
 	b.Int(bg.SimCycles)
 	b.Int(int64(bg.SimTimeout))
 	b.Uint(bg.Seed)
-	return b.Key()
+}
+
+// bestKey finalizes a canonical Key for the SolveBest miss path.
+func bestKey(p Protocol, w Workload, n int, bg Budget) solvecache.Key {
+	b := solvecache.AcquireKey()
+	appendBestKey(b, p, w, n, bg)
+	k := b.Key()
+	b.Release()
+	return k
 }
 
 // compareSerial drives one solve per protocol in input order, attempting

@@ -5,8 +5,9 @@
 // Modes:
 //
 //	snooplint [-only a,b] [packages...]   standalone multichecker (default ./...)
-//	snooplint -stale [packages...]        report //lint:allow comments that
-//	                                      suppress nothing
+//	snooplint [-only a,b] -stale [pkgs]   report //lint:allow comments that
+//	                                      suppress nothing (-only scopes the
+//	                                      sweep to those analyzers' directives)
 //	go vet -vettool=$(which snooplint) ./...
 //
 // In the vettool form the go command drives snooplint through the vet tool
@@ -58,7 +59,8 @@ func usage(w io.Writer) {
 	fmt.Fprintf(w, "usage: snooplint [-only analyzers] [-stale] [packages]   (default ./...)\n")
 	fmt.Fprintf(w, "   or: go vet -vettool=$(which snooplint) [packages]\n\nflags:\n")
 	fmt.Fprintf(w, "  -only a,b   run only the named analyzers\n")
-	fmt.Fprintf(w, "  -stale      report //lint:allow comments that suppress nothing\n\nanalyzers:\n")
+	fmt.Fprintf(w, "  -stale      report //lint:allow comments that suppress nothing\n")
+	fmt.Fprintf(w, "              (with -only, scoped to the selected analyzers' directives)\n\nanalyzers:\n")
 	for _, a := range lint.Analyzers() {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
 		fmt.Fprintf(w, "  %-12s %s\n", a.Name, doc)
@@ -116,16 +118,21 @@ func runStandalone(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
-	if *stale && *only != "" {
-		// A partial suite cannot tell a stale allow from one whose
-		// analyzer simply did not run.
-		fmt.Fprintf(os.Stderr, "snooplint: -stale requires the full suite; drop -only\n")
-		return 1
-	}
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snooplint: %v\n", err)
 		return 1
+	}
+	// Under -only, the stale sweep is scoped to the analyzers that ran: a
+	// directive for an unselected analyzer looks unused only because its
+	// analyzer did not run, so it is skipped rather than reported. The
+	// full suite (no -only) additionally catches directives naming
+	// analyzers that do not exist at all.
+	staleScope := make(map[string]bool)
+	if *stale && *only != "" {
+		for _, a := range analyzers {
+			staleScope[a.Name] = true
+		}
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -167,6 +174,9 @@ func runStandalone(args []string) int {
 		}
 		if *stale {
 			for _, d := range out.Unused {
+				if len(staleScope) > 0 && !staleScope[d.Analyzer] {
+					continue
+				}
 				why := "finding no longer reported"
 				if d.Reason == "" {
 					why = "missing reason, suppresses nothing"

@@ -109,9 +109,17 @@ type AllocReport struct {
 	// lookup.
 	CacheHit AllocSeries `json:"cache_hit"`
 	// KeyEncode is the canonical key encoding alone — a representative
-	// 30-field build through the solvecache.KeyBuilder API.
+	// 30-field build through the pooled solvecache.KeyBuilder API.
 	KeyEncode AllocSeries `json:"key_encode"`
+	// SolveBatch is one warm batchPoints-point batch through the cached
+	// SolveMany (per batch call, not per point). A pointer so baselines
+	// generated before the batched API decode as nil and benchguard skips
+	// the series instead of gating against a phantom zero.
+	SolveBatch *AllocSeries `json:"solve_batch,omitempty"`
 }
+
+// batchPoints is the batch size of the solve_batch allocation series.
+const batchPoints = 16
 
 // Run executes every suite and assembles the Report. quick shrinks
 // repetitions and grids to CI size.
@@ -423,17 +431,38 @@ func benchAllocs(quick bool) (*AllocReport, error) {
 	}
 
 	var sink uint64
-	key := measureAllocs(runs, func() { sink += encodeKey().Fingerprint() })
+	key := measureAllocs(runs, func() { sink += encodeKeyFingerprint() })
 	_ = sink
 
-	return &AllocReport{Runs: runs, Solve: solve, CacheHit: hit, KeyEncode: key}, nil
+	// Batched path: a warm batch through the cached SolveMany — pooled key
+	// probes plus result-slice assembly, the steady state of a repeated
+	// design-space sweep.
+	inputs := make([]snoopmva.SolveInput, batchPoints)
+	for i := range inputs {
+		inputs[i] = snoopmva.SolveInput{Protocol: p, Workload: w, N: i + 1}
+	}
+	if _, err := cs.SolveMany(inputs); err != nil {
+		return nil, err
+	}
+	var batchErr error
+	batch := measureAllocs(runs/batchPoints+1, func() {
+		if _, err := cs.SolveMany(inputs); err != nil && batchErr == nil {
+			batchErr = err
+		}
+	})
+	if batchErr != nil {
+		return nil, batchErr
+	}
+
+	return &AllocReport{Runs: runs, Solve: solve, CacheHit: hit, KeyEncode: key, SolveBatch: &batch}, nil
 }
 
-// encodeKey builds a representative solver key: the field count and type
-// mix of a real solveKey encoding, through the same public KeyBuilder
-// path the cache uses.
-func encodeKey() solvecache.Key {
-	b := solvecache.NewKey()
+// encodeKeyFingerprint builds a representative solver key — the field
+// count and type mix of a real solve-key encoding — through the pooled
+// acquire/append/fingerprint/release path the cache's hit probe uses,
+// and returns its fingerprint.
+func encodeKeyFingerprint() uint64 {
+	b := solvecache.AcquireKey()
 	b.String("bench")
 	for i := 0; i < 8; i++ {
 		b.Float(1.5 + float64(i))
@@ -445,27 +474,49 @@ func encodeKey() solvecache.Key {
 		b.Bool(i%2 == 0)
 	}
 	b.Uint(42)
-	return b.Key()
+	sum := b.Fingerprint()
+	b.Release()
+	return sum
 }
 
-// measureAllocs pins to one proc, warms f up once, then averages the
-// MemStats deltas over runs calls. The alloc count is truncated to an
-// integer exactly as testing.AllocsPerRun does: a handful of stray
-// runtime allocations over the whole loop must not read as a fractional
-// per-op regression under the zero-budget gate.
+// allocWindows is how many independent measurement windows measureAllocs
+// takes the minimum over.
+const allocWindows = 5
+
+// measureAllocs pins to one proc and measures MemStats deltas over
+// several independent windows of runs calls each, taking the cheapest
+// window: background goroutines (obs metric scrapes, GC bookkeeping) can
+// allocate mid-window, and such pollution only ever reads high, so the
+// minimum is the true cost of the measured path. Each window starts from
+// a forced-GC settle — retiring floating garbage so collector activity
+// triggered by a previous window cannot land in this one — followed by a
+// warm-up call that repopulates the sync.Pools the collector just
+// drained. The alloc count is truncated to an integer exactly as
+// testing.AllocsPerRun does: a stray runtime allocation over a whole
+// window must not read as a fractional per-op regression under the
+// zero-budget gate.
 func measureAllocs(runs int, f func()) AllocSeries {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
-	f()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	for i := 0; i < runs; i++ {
-		f()
+	var best AllocSeries
+	for w := 0; w < allocWindows; w++ {
+		runtime.GC()
+		f() // refill the pools the collector just emptied
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < runs; i++ {
+			f()
+		}
+		runtime.ReadMemStats(&after)
+		win := AllocSeries{
+			AllocsPerOp: math.Floor(float64(after.Mallocs-before.Mallocs) / float64(runs)),
+			BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(runs),
+		}
+		if w == 0 || win.AllocsPerOp < best.AllocsPerOp ||
+			(win.AllocsPerOp <= best.AllocsPerOp && win.BytesPerOp < best.BytesPerOp) {
+			best = win
+		}
 	}
-	runtime.ReadMemStats(&after)
-	return AllocSeries{
-		AllocsPerOp: math.Floor(float64(after.Mallocs-before.Mallocs) / float64(runs)),
-		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(runs),
-	}
+	return best
 }
 
 // sample runs f reps times and returns the per-call wall time in

@@ -1,0 +1,60 @@
+package benchkit
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMeasureAllocsNoopIsExactlyZero pins the measurement floor: a no-op
+// closure must read as exactly zero allocs and zero bytes, even while a
+// background goroutine is allocating — the min-over-windows + GC-settle
+// discipline exists precisely so ambient allocation cannot flap the
+// benchguard gate at a 0-alloc budget.
+func TestMeasureAllocsNoopIsExactlyZero(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	var sink atomic.Value
+	go func() { // ambient allocator, the pollution the min must reject
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sink.Store(make([]byte, 512))
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	s := measureAllocs(2000, func() {})
+	if s.AllocsPerOp != 0 || s.BytesPerOp != 0 {
+		t.Fatalf("no-op closure measured %v allocs/op, %v bytes/op; want exactly 0, 0", s.AllocsPerOp, s.BytesPerOp)
+	}
+}
+
+// TestMeasureAllocsCountsRealWork is the counter-check: the floor must
+// not hide real per-op allocations.
+func TestMeasureAllocsCountsRealWork(t *testing.T) {
+	var keep [][]byte
+	s := measureAllocs(200, func() { keep = append(keep, make([]byte, 1024)) })
+	_ = keep
+	if s.AllocsPerOp < 1 {
+		t.Fatalf("allocating closure measured %v allocs/op, want >= 1", s.AllocsPerOp)
+	}
+	if s.BytesPerOp < 1024 {
+		t.Fatalf("allocating closure measured %v bytes/op, want >= 1024", s.BytesPerOp)
+	}
+}
+
+// TestEncodeKeyFingerprintIsAllocationFree pins the pooled key-encode
+// path the key_encode series measures at zero.
+func TestEncodeKeyFingerprintIsAllocationFree(t *testing.T) {
+	if encodeKeyFingerprint() == 0 {
+		t.Fatal("degenerate fingerprint")
+	}
+	s := measureAllocs(500, func() { _ = encodeKeyFingerprint() })
+	if s.AllocsPerOp != 0 {
+		t.Fatalf("pooled key encode measured %v allocs/op, want 0", s.AllocsPerOp)
+	}
+}

@@ -122,6 +122,19 @@ func compareAllocs(baseline, candidate *Report, b Budgets) []Violation {
 	check("allocs.solve", baseline.Allocs.Solve, candidate.Allocs.Solve)
 	check("allocs.cache_hit", baseline.Allocs.CacheHit, candidate.Allocs.CacheHit)
 	check("allocs.key_encode", baseline.Allocs.KeyEncode, candidate.Allocs.KeyEncode)
+	// The batched series exists only in baselines generated since the
+	// SolveMany API; skip it for older ones rather than gating against a
+	// phantom zero. Losing the series from the candidate is a violation,
+	// same as losing the whole section.
+	if baseline.Allocs.SolveBatch != nil {
+		if candidate.Allocs.SolveBatch == nil {
+			out = append(out, Violation{
+				Series: "allocs.solve_batch", Detail: "baseline has a solve_batch series but the candidate does not",
+			})
+		} else {
+			check("allocs.solve_batch", *baseline.Allocs.SolveBatch, *candidate.Allocs.SolveBatch)
+		}
+	}
 	return out
 }
 

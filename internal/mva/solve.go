@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"snoopmva/internal/faultinject"
-	"snoopmva/internal/queueing"
 	"snoopmva/internal/workload"
 )
 
@@ -57,7 +56,43 @@ func (m Model) Solve(n int, opts Options) (Result, error) {
 
 // SolveContext is Solve with cancellation: the fixed-point loop checks ctx
 // every few iterations and returns ctx.Err() (wrapped) when it fires.
-func (m Model) SolveContext(ctx context.Context, n int, opts Options) (res Result, err error) {
+func (m Model) SolveContext(ctx context.Context, n int, opts Options) (Result, error) {
+	sc := acquireScratch()
+	defer sc.release()
+	return m.solveWithScratch(ctx, n, opts, sc)
+}
+
+// SolveMany solves the model at each size in ns, in order, on one pooled
+// scratch. See SolveManyContext.
+func (m Model) SolveMany(ns []int, opts Options) ([]Result, error) {
+	return m.SolveManyContext(context.Background(), ns, opts)
+}
+
+// SolveManyContext solves the model at each size in ns, in order,
+// amortizing the per-solve setup: the model inputs are derived once and
+// every size's fixed point (including its damping-ladder attempts) runs
+// off the same pooled scratch. Each point is a cold start — results are
+// bitwise identical to independent SolveContext calls — and the batch
+// stops at the first failing size, identifying it in the error.
+func (m Model) SolveManyContext(ctx context.Context, ns []int, opts Options) ([]Result, error) {
+	sc := acquireScratch()
+	defer sc.release()
+	out := make([]Result, 0, len(ns))
+	for _, n := range ns {
+		r, err := m.solveWithScratch(ctx, n, opts, sc)
+		if err != nil {
+			return nil, fmt.Errorf("mva: batch solve at N=%d: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// solveWithScratch is one public solve attempt over a caller-provided
+// scratch: the damping ladder, fault hooks and metrics of SolveContext
+// with the derivation state shared across attempts (and, for batched
+// callers, across solves).
+func (m Model) solveWithScratch(ctx context.Context, n int, opts Options, sc *solveScratch) (res Result, err error) {
 	defer func() { recordSolve(res, opts.Warm != nil, err) }()
 	if h := faultinject.Hooks(); h != nil && h.SolveDelay != nil {
 		if d := h.SolveDelay(n); d > 0 {
@@ -75,7 +110,7 @@ func (m Model) SolveContext(ctx context.Context, n int, opts Options) (res Resul
 		for _, d := range []float64{1, 0.5, 0.2} {
 			o := opts
 			o.Damping = d
-			res, err := m.solveOnce(ctx, n, o)
+			res, err := m.solveOnce(ctx, n, o, sc)
 			if err == nil {
 				return res, nil
 			}
@@ -86,14 +121,19 @@ func (m Model) SolveContext(ctx context.Context, n int, opts Options) (res Resul
 		}
 		return Result{}, lastErr
 	}
-	return m.solveOnce(ctx, n, opts)
+	return m.solveOnce(ctx, n, opts, sc)
 }
 
 // solveOnce runs the damped fixed-point iteration at one damping factor:
-// the inner loop every sweep point and campaign point reduces to.
+// the inner loop every sweep point and campaign point reduces to. The
+// caller's scratch carries the derived inputs and per-size interference
+// quantities across ladder attempts and batched solves; every remaining
+// loop quantity is hoisted to a precomputed scalar here, so the iterate
+// itself is straight-line float arithmetic (one Exp, two divisions-free
+// busy-probability evaluations) with no allocation and no struct copies.
 //
-//snoop:hotpath steady-state iterate must not allocate (ROADMAP item 2)
-func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, error) {
+//snoop:hotpath steady-state iterate must not allocate (gated by benchguard's zero-growth allocation budget)
+func (m Model) solveOnce(ctx context.Context, n int, opts Options, sc *solveScratch) (Result, error) {
 	o := opts.withDefaults()
 	if h := faultinject.Hooks(); h != nil && h.MVAEnter != nil {
 		h.MVAEnter(n)
@@ -106,25 +146,65 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		//lint:allow hotalloc invalid-input error exit, off the steady-state iterate
 		return Result{}, fmt.Errorf("mva: damping %v outside (0,1]: %w", o.Damping, workload.ErrInvalid)
 	}
-	d, err := m.Derive()
-	if err != nil {
+	if err := sc.prepare(m); err != nil {
 		return Result{}, err
 	}
+	sc.prepareN(n)
+	d := &sc.d
 	t := d.Timing
 	tau := d.Params.Tau
-	iv := d.Interference(n)
-
-	res := Result{N: n, Mods: m.Mods, Derived: d, Interference: iv}
+	iv := sc.iv
 	nf := float64(n)
+
+	// Loop invariants of the iterate, hoisted so the steady-state loop
+	// touches only scalars. The arithmetic below preserves the original
+	// per-iteration expressions' operation order wherever a quantity is
+	// merely precomputed, so hoisting does not move the fixed point.
+	pBc, pRr, pLocal := d.PBc, d.PRr, d.PLocal
+	tRead := d.TRead
+	tSupply, tWrite, tInval, dMem := t.TSupply, t.TWrite, t.TInval, t.DMem
+	bcTouchesMem := d.BroadcastTouchesMemory
 
 	// Bus occupancy of a remote read: under a split-transaction bus the
 	// memory latency of memory-supplied reads comes off the bus.
-	tReadBus := d.TRead
+	tReadBus := tRead
 	if o.SplitTransactionBus {
-		tReadBus -= t.DMem * (1 - d.PCsupplyRR)
+		tReadBus -= dMem * (1 - d.PCsupplyRR)
 		if tReadBus < 1 {
 			tReadBus = 1
 		}
+	}
+
+	// Equation (6)'s arrival-theorem population and equation (12)'s
+	// constant factor (everything except the 1/R).
+	others := nf - 1
+	if o.NoArrivalCorrection {
+		others = nf
+	}
+	memFactor := nf * (1 / float64(t.BlockSize)) * d.MemOpsPerRequest() * dMem
+
+	// Equations (9)–(10): the class weights of the bus access time are
+	// request-mix constants; only tBc varies with w_mem.
+	var fBc, fRr float64
+	if busTotal := pBc + pRr; busTotal > 0 {
+		fBc = pBc / busTotal
+		fRr = pRr / busTotal
+	}
+	half := 2.0
+	if o.ExponentialBus {
+		// Memoryless access times: residual = full duration.
+		half = 1.0
+	}
+
+	// Equation (13): the geometric interference term P'^Q̄ is evaluated
+	// as Exp(Q̄·log P') with log P' precomputed per (model, n) — one Exp
+	// per iteration instead of math.Pow's internal Log+Exp.
+	ppGE1 := iv.PPrime >= 1
+	ppZero := iv.PPrime <= 0
+	lnPPrime := sc.lnPPrime
+	invIntDenom := 0.0
+	if !ppGE1 && !ppZero {
+		invIntDenom = 1 - iv.PPrime
 	}
 
 	// Fixed-point state: waiting times start at zero (Section 3.2), or at
@@ -132,7 +212,7 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 	// shorter trajectory; see Options.Warm).
 	var wBus, wMem float64
 	// Initial R with zero waits.
-	r := tau + t.TSupply + d.PBc*d.TBc(0) + d.PRr*d.TRead
+	r := tau + tSupply + pBc*d.TBc(0) + pRr*tRead
 	if o.Warm != nil {
 		ws := *o.Warm
 		if !isFinite(ws.R) || ws.R <= 0 || !isFinite(ws.WBus) || ws.WBus < 0 ||
@@ -144,63 +224,55 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		r, wBus, wMem = ws.R, ws.WBus, ws.WMem
 	}
 
+	iterations := 0
 	hooks := faultinject.Hooks()
 	for iter := 1; iter <= o.MaxIter; iter++ {
 		if iter%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				//lint:allow hotalloc cancellation exit, taken at most once per solve
-				return res, fmt.Errorf("mva: solve interrupted at iteration %d (N=%d): %w", iter, n, err)
+				return partialResult(n, m, sc, iterations), fmt.Errorf("mva: solve interrupted at iteration %d (N=%d): %w", iter, n, err)
 			}
 		}
-		tBc := d.TBc(wMem) // broadcast bus occupancy (T_write + w_mem, or T_inval)
+		// Broadcast bus occupancy (T_write + w_mem, or T_inval) — the
+		// inlined body of Derived.TBc.
+		tBc := tInval
+		if bcTouchesMem {
+			tBc = tWrite + wMem
+		}
 
 		// Equations (3) and (4): weighted response-time components.
-		rBroadcast := d.PBc * (wBus + tBc)
-		rRemoteRead := d.PRr * (wBus + d.TRead)
+		rBroadcast := pBc * (wBus + tBc)
+		rRemoteRead := pRr * (wBus + tRead)
 
 		// Equation (6): mean bus-queue population seen by an arrival —
 		// the arrival-theorem heuristic (other N−1 caches at their
 		// steady-state behavior).
-		others := nf - 1
-		if o.NoArrivalCorrection {
-			others = nf
-		}
 		qBus := others * (rBroadcast + rRemoteRead) / r
 		if qBus < 0 {
 			qBus = 0
 		}
 
 		// Equation (7): bus utilization from per-cache bus demand.
-		busDemand := d.PBc*tBc + d.PRr*tReadBus
+		busDemand := pBc*tBc + pRr*tReadBus
 		uBus := nf * busDemand / r
 		// Equation (8): probability an arrival finds the bus busy.
 		var pBusyBus float64
 		if o.NoArrivalCorrection {
 			pBusyBus = math.Min(uBus, 1)
 		} else {
-			pBusyBus, err = queueing.BusyProbabilityFinite(uBus, n)
-			if err != nil {
-				return Result{}, err
-			}
+			pBusyBus = busyProbability(uBus, nf)
 		}
 
 		// Equations (9) and (10): mean access time and residual life.
 		var tBus, tRes float64
 		if busDemand > 0 {
-			fBc := d.PBc / (d.PBc + d.PRr)
-			fRr := d.PRr / (d.PBc + d.PRr)
 			tBus = fBc*tBc + fRr*tReadBus
 			// Residual life weights each class by its share of bus *time*
 			// (length-biased sampling), then takes duration/2 for the
 			// deterministic access times.
-			wBcTime := d.PBc * tBc
-			wRrTime := d.PRr * tReadBus
+			wBcTime := pBc * tBc
+			wRrTime := pRr * tReadBus
 			tot := wBcTime + wRrTime
-			half := 2.0
-			if o.ExponentialBus {
-				// Memoryless access times: residual = full duration.
-				half = 1.0
-			}
 			tRes = (wBcTime/tot)*(tBc/half) + (wRrTime/tot)*(tReadBus/half)
 			if o.NoResidualLife {
 				tRes = tBus
@@ -220,32 +292,34 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		var newWMem float64
 		var uMem float64
 		if !o.NoMemoryInterference {
-			uMem = nf * (1 / float64(t.BlockSize)) * d.MemOpsPerRequest() * t.DMem / r
+			uMem = memFactor / r
 			var pBusyMem float64
 			if o.NoArrivalCorrection {
 				pBusyMem = math.Min(uMem, 1)
 			} else {
-				pBusyMem, err = queueing.BusyProbabilityFinite(uMem, n)
-				if err != nil {
-					return Result{}, err
-				}
+				pBusyMem = busyProbability(uMem, nf)
 			}
-			newWMem = pBusyMem * t.DMem / 2
+			newWMem = pBusyMem * dMem / 2
 		}
 
 		// Equation (13) and (2): cache interference on local requests.
 		var nInt, rLocal float64
 		if !o.NoCacheInterference && qBus > 0 {
-			if iv.PPrime >= 1 {
+			switch {
+			case ppGE1:
 				nInt = iv.P * qBus
-			} else {
-				nInt = iv.P * (1 - math.Pow(iv.PPrime, qBus)) / (1 - iv.PPrime)
+			case ppZero:
+				// P' = 0 and Q̄ > 0: the geometric term vanishes exactly
+				// (0^Q̄ = 0), matching math.Pow's convention.
+				nInt = iv.P
+			default:
+				nInt = iv.P * (1 - math.Exp(qBus*lnPPrime)) / invIntDenom
 			}
-			rLocal = d.PLocal * nInt * iv.TInterference
+			rLocal = pLocal * nInt * iv.TInterference
 		}
 
 		// Equation (1).
-		newR := tau + rLocal + rBroadcast + rRemoteRead + t.TSupply
+		newR := tau + rLocal + rBroadcast + rRemoteRead + tSupply
 
 		stalled := false
 		if hooks != nil {
@@ -264,7 +338,7 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		// "converge" to garbage or spin out the iteration budget.
 		if !isFinite(newR) || !isFinite(newWBus) || !isFinite(newWMem) {
 			//lint:allow hotalloc divergence error exit, taken at most once per solve
-			return res, &DivergenceError{N: n, Iteration: iter, R: newR, WBus: newWBus, WMem: newWMem}
+			return partialResult(n, m, sc, iterations), &DivergenceError{N: n, Iteration: iter, R: newR, WBus: newWBus, WMem: newWMem}
 		}
 
 		// Damped update and joint convergence check on the fixed-point
@@ -276,11 +350,12 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 		wMem = o.Damping*newWMem + (1-o.Damping)*wMem
 		r = o.Damping*newR + (1-o.Damping)*r
 
-		res.Iterations = iter
+		iterations = iter
 		delta := math.Max(math.Abs(r-prevR),
 			math.Max(math.Abs(wBus-prevWBus), math.Abs(wMem-prevWMem)))
 
 		if delta < o.Tol*(1+math.Abs(r)) && !stalled {
+			res := partialResult(n, m, sc, iterations)
 			res.Residual = delta
 			res.R = r
 			res.RLocal = rLocal
@@ -294,13 +369,21 @@ func (m Model) solveOnce(ctx context.Context, n int, opts Options) (Result, erro
 			res.WMem = wMem
 			res.UMem = math.Min(uMem, 1)
 			res.NInterference = nInt
-			res.Speedup = nf * (tau + t.TSupply) / r
+			res.Speedup = nf * (tau + tSupply) / r
 			res.ProcessingPower = nf * tau / r
 			return res, nil
 		}
 	}
 	//lint:allow hotalloc no-convergence error exit, off the steady-state iterate
-	return res, fmt.Errorf("%w within %d iterations (N=%d, %v)", ErrNoConvergence, o.MaxIter, n, m.Mods)
+	return partialResult(n, m, sc, iterations), fmt.Errorf("%w within %d iterations (N=%d, %v)", ErrNoConvergence, o.MaxIter, n, m.Mods)
+}
+
+// partialResult assembles the identity/provenance fields of a Result —
+// the portion that is meaningful both on success (where the caller fills
+// in the converged measures) and on the error exits (where diagnostics
+// want to know how far the iteration got).
+func partialResult(n int, m Model, sc *solveScratch, iterations int) Result {
+	return Result{N: n, Mods: m.Mods, Derived: sc.d, Interference: sc.iv, Iterations: iterations}
 }
 
 // isFinite reports whether v is neither NaN nor ±Inf.
@@ -319,11 +402,16 @@ func (m Model) Sweep(ns []int, opts Options) ([]Result, error) {
 	return m.SweepContext(context.Background(), ns, opts)
 }
 
-// SweepContext is Sweep with cancellation.
+// SweepContext is Sweep with cancellation. Like SolveManyContext it runs
+// every size off one pooled scratch (the model is derived once); unlike
+// it, the caller's Options — including a warm start — apply unchanged to
+// every size.
 func (m Model) SweepContext(ctx context.Context, ns []int, opts Options) ([]Result, error) {
+	sc := acquireScratch()
+	defer sc.release()
 	out := make([]Result, 0, len(ns))
 	for _, n := range ns {
-		r, err := m.SolveContext(ctx, n, opts)
+		r, err := m.solveWithScratch(ctx, n, opts, sc)
 		if err != nil {
 			return nil, fmt.Errorf("mva: sweep at N=%d: %w", n, err)
 		}

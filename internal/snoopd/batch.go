@@ -102,12 +102,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx := r.Context()
 	clientID := r.Header.Get(ClientIDHeader)
+
+	// Plain solve points ride the amortized batch path — per-point
+	// admission, then grouped compute on shared solver scratch — while
+	// the heavier arms (solvebest, sweep) keep the worker pool.
+	var solveItems, poolItems []*BatchItem
+	for i := range req.Items {
+		if req.Items[i].Solve != nil {
+			solveItems = append(solveItems, &req.Items[i])
+		} else {
+			poolItems = append(poolItems, &req.Items[i])
+		}
+	}
+
+	var wg sync.WaitGroup
+	if len(solveItems) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.batchSolves(ctx, clientID, solveItems, emit)
+		}()
+	}
+
 	items := make(chan *BatchItem)
 	workers := batchWorkers
-	if workers > len(req.Items) {
-		workers = len(req.Items)
+	if workers > len(poolItems) {
+		workers = len(poolItems)
 	}
-	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -118,15 +139,56 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 feed:
-	for i := range req.Items {
+	for _, it := range poolItems {
 		select {
-		case items <- &req.Items[i]:
+		case items <- it:
 		case <-ctx.Done():
 			break feed // client gone: stop feeding
 		}
 	}
 	close(items)
 	wg.Wait()
+}
+
+// batchSolves executes a batch's plain-solve points: per-point admission
+// exactly as batchPoint would apply it, then the admitted points run
+// through solveManyCore so points sharing a configuration share one
+// derivation and one pooled solver scratch. Shed points answer with the
+// admission taxonomy without ever reaching the solver; admission slots
+// for admitted points are held until their run completes, which is the
+// honest accounting for compute that is genuinely in flight together.
+func (s *Server) batchSolves(ctx context.Context, clientID string, items []*BatchItem, emit func(*BatchRecord)) {
+	admitted := make([]*BatchItem, 0, len(items))
+	releases := make([]func(), 0, len(items))
+	for _, it := range items {
+		if ctx.Err() != nil {
+			break // client gone: stop admitting new points
+		}
+		release, err := s.admitPoint(ctx, clientID, it.Solve.TimeoutMS, 1)
+		if err != nil {
+			emit(&BatchRecord{Seq: it.Seq, Error: errorResponseFor(err)})
+			continue
+		}
+		admitted = append(admitted, it)
+		releases = append(releases, release)
+	}
+	if len(admitted) == 0 {
+		return
+	}
+	reqs := make([]*SolveRequest, len(admitted))
+	for i, it := range admitted {
+		reqs[i] = it.Solve
+	}
+	outcomes := s.solveManyCore(ctx, reqs)
+	for i, it := range admitted {
+		if outcomes[i].err != nil {
+			emit(&BatchRecord{Seq: it.Seq, Error: errorResponseFor(outcomes[i].err)})
+		} else {
+			rj := toResultJSON(outcomes[i].res)
+			emit(&BatchRecord{Seq: it.Seq, Result: &rj})
+		}
+		releases[i]()
+	}
 }
 
 // batchPoint executes one batch item: per-point admission, then the

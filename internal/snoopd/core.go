@@ -88,6 +88,95 @@ func (s *Server) solveCore(parent context.Context, req *SolveRequest) (snoopmva.
 	return snoopmva.SolveWithContext(ctx, p, wl, req.Timing.timing(), req.N, req.Options.options())
 }
 
+// solveOutcome is one point's result from the batched solve core:
+// exactly one of res/err is meaningful, mirroring what a standalone
+// solveCore call for that point would have returned.
+type solveOutcome struct {
+	res snoopmva.Result
+	err error
+}
+
+// solveManyCore executes a run of plain solve requests through the
+// amortized batch path: points are validated individually, grouped by
+// timeout (each group shares one derived deadline), and solved with the
+// root SolveMany so points sharing a configuration share one derivation
+// and one pooled solver scratch. The batch solve is fail-fast, so a
+// group whose run fails — other than by the caller's own cancellation —
+// falls back to per-point solveCore calls (each with a fresh deadline):
+// every point then reports exactly the outcome it would have reported
+// had it been submitted alone, at the cost of re-solving the innocents.
+func (s *Server) solveManyCore(parent context.Context, reqs []*SolveRequest) []solveOutcome {
+	out := make([]solveOutcome, len(reqs))
+	type point struct {
+		i  int
+		in snoopmva.SolveInput
+	}
+	var order []int64
+	groups := make(map[int64][]point)
+	for i, req := range reqs {
+		p, err := req.Protocol.resolve()
+		if err != nil {
+			out[i].err = &InputError{Err: err}
+			continue
+		}
+		wl, err := req.Workload.resolve()
+		if err != nil {
+			out[i].err = &InputError{Err: err}
+			continue
+		}
+		if req.TimeoutMS < 0 {
+			out[i].err = &InputError{Err: errTimeoutNegative(req.TimeoutMS)}
+			continue
+		}
+		if _, ok := groups[req.TimeoutMS]; !ok {
+			order = append(order, req.TimeoutMS)
+		}
+		groups[req.TimeoutMS] = append(groups[req.TimeoutMS], point{i, snoopmva.SolveInput{
+			Protocol: p,
+			Workload: wl,
+			Timing:   req.Timing.timing(),
+			N:        req.N,
+			Options:  req.Options.options(),
+		}})
+	}
+	for _, tm := range order {
+		pts := groups[tm]
+		ctx, cancel, err := s.coreContext(parent, tm)
+		if err != nil {
+			for _, pt := range pts {
+				out[pt.i].err = err
+			}
+			continue
+		}
+		inputs := make([]snoopmva.SolveInput, len(pts))
+		for j, pt := range pts {
+			inputs[j] = pt.in
+		}
+		var results []snoopmva.Result
+		var serr error
+		if s.cfg.Cache != nil {
+			results, serr = s.cfg.Cache.SolveManyContext(ctx, inputs)
+		} else {
+			results, serr = snoopmva.SolveManyContext(ctx, inputs)
+		}
+		cancel()
+		if serr == nil {
+			for j, pt := range pts {
+				out[pt.i].res = results[j]
+			}
+			continue
+		}
+		for _, pt := range pts {
+			if parent.Err() != nil {
+				out[pt.i].err = serr
+				continue
+			}
+			out[pt.i].res, out[pt.i].err = s.solveCore(parent, reqs[pt.i])
+		}
+	}
+	return out
+}
+
 // solveBestCore executes a solvebest request, including the brownout
 // ladder: under overload, a resident full-fidelity answer for exactly
 // this budget beats any degradation; otherwise the expensive GTPN/sim

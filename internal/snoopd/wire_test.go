@@ -3,6 +3,7 @@ package snoopd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"net"
 	"net/http"
@@ -595,6 +596,64 @@ func TestWireMetrics(t *testing.T) {
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestWireSolveBatchMatchesSingles drives a pipelined SolveBatch through
+// the server's greedy drain (no admission, so the inline path batches
+// buffered frames through solveManyCore) and checks every point against
+// an individually-submitted solve: bitwise-identical results, per-point
+// errors with the shared taxonomy, neighbors undisturbed.
+func TestWireSolveBatchMatchesSingles(t *testing.T) {
+	s := newTestServer(t, Config{})
+	c := wireClient(t, startWire(t, s))
+	ctx := context.Background()
+
+	const points = 24
+	reqs := make([]*wire.SolveRequest, points)
+	for i := range reqs {
+		protos := []string{"Illinois", "Berkeley", "Write-Once"}
+		reqs[i] = &wire.SolveRequest{
+			Protocol: wire.ProtocolSpec{Name: protos[i%len(protos)]},
+			Workload: wire.WorkloadSpec{Kind: wire.WorkloadAppendixA, AppendixA: 5},
+			N:        i%16 + 1,
+		}
+	}
+	reqs[7] = &wire.SolveRequest{ // one poisoned point mid-batch
+		Protocol: wire.ProtocolSpec{Name: "NoSuchProtocol"},
+		Workload: wire.WorkloadSpec{Kind: wire.WorkloadAppendixA, AppendixA: 5},
+		N:        4,
+	}
+
+	out, err := c.SolveBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(out) != points {
+		t.Fatalf("got %d results, want %d", len(out), points)
+	}
+	for i, res := range out {
+		if i == 7 {
+			var re *wire.RequestError
+			if res.Err == nil || !errors.As(res.Err, &re) || re.Code != "invalid_input" {
+				t.Fatalf("poisoned point: err = %v, want invalid_input RequestError", res.Err)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("point %d: %v", i, res.Err)
+		}
+		single := *reqs[i]
+		want, err := c.Solve(ctx, &single)
+		if err != nil {
+			t.Fatalf("single solve %d: %v", i, err)
+		}
+		w, g := want.Result, res.Resp.Result
+		if g.N != w.N || g.Iterations != w.Iterations || !f64eq(g.Speedup, w.Speedup) ||
+			!f64eq(g.R, w.R) || !f64eq(g.BusUtilization, w.BusUtilization) ||
+			!f64eq(g.MemUtilization, w.MemUtilization) {
+			t.Fatalf("point %d: batch %+v != single %+v", i, g, w)
 		}
 	}
 }

@@ -157,6 +157,8 @@ func (s *Server) serveWireConn(ctx context.Context, conn net.Conn) {
 	defer wg.Wait()
 	defer close(jobs)
 	var scratch []byte // response-payload buffer of the inline fast path
+	var batchReqs []*SolveRequest
+	var batchSeqs []uint64
 	for ctx.Err() == nil {
 		f, err := r.Next()
 		if err != nil {
@@ -184,13 +186,50 @@ func (s *Server) serveWireConn(ctx context.Context, conn net.Conn) {
 					return
 				}
 				s.wireRequests[f.Type].Inc()
-				res, serr := s.solveCore(ctx, solveFromWire(&m))
-				if serr != nil {
-					wc.writeError(m.Seq, serr)
+				batchReqs = append(batchReqs[:0], solveFromWire(&m))
+				batchSeqs = append(batchSeqs[:0], m.Seq)
+				// Greedy drain: pipelined solve frames already sitting in
+				// the reader's buffer (a SolveBatch burst typically lands
+				// in one read syscall) join this one in a single batched
+				// solve, sharing derivation and pooled solver scratch.
+				// Buffered never blocks, so a lone request still answers
+				// immediately.
+				for len(batchReqs) < wire.MaxBatchPoints {
+					t, ok := r.Buffered()
+					if !ok || t != wire.TypeSolveReq {
+						break
+					}
+					bf, berr := r.Next() // complete frame is buffered: cannot block
+					if berr != nil {
+						return
+					}
+					bm, bmerr := wire.DecodeSolveRequest(bf.Payload)
+					if bmerr != nil {
+						wc.fail()
+						return
+					}
+					s.wireRequests[bf.Type].Inc()
+					batchReqs = append(batchReqs, solveFromWire(&bm))
+					batchSeqs = append(batchSeqs, bm.Seq)
+				}
+				if len(batchReqs) == 1 {
+					res, serr := s.solveCore(ctx, batchReqs[0])
+					if serr != nil {
+						wc.writeError(batchSeqs[0], serr)
+						continue
+					}
+					scratch = wire.AppendSolveResponse(scratch[:0], &wire.SolveResponse{Seq: batchSeqs[0], Result: wireResult(res)})
+					wc.write(wire.TypeSolveResp, scratch)
 					continue
 				}
-				scratch = wire.AppendSolveResponse(scratch[:0], &wire.SolveResponse{Seq: m.Seq, Result: wireResult(res)})
-				wc.write(wire.TypeSolveResp, scratch)
+				for i, oc := range s.solveManyCore(ctx, batchReqs) {
+					if oc.err != nil {
+						wc.writeError(batchSeqs[i], oc.err)
+						continue
+					}
+					scratch = wire.AppendSolveResponse(scratch[:0], &wire.SolveResponse{Seq: batchSeqs[i], Result: wireResult(oc.res)})
+					wc.write(wire.TypeSolveResp, scratch)
+				}
 				continue
 			}
 			// The payload aliases the reader's buffer; the handler

@@ -23,7 +23,6 @@ import (
 	"container/list"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -64,17 +63,64 @@ func (k Key) String() string { return fmt.Sprintf("solvecache:%016x", k.sum) }
 // produce the same byte stream by concatenation ambiguity. Floats are
 // encoded by their IEEE-754 bit pattern: the cache key distinguishes
 // inputs bitwise, exactly matching what the deterministic solvers do.
+//
+// Builders on a hot path come from the pool: AcquireKey hands out a
+// reset builder whose buffer is reused across encodings, and Release
+// returns it. A pooled builder may be used for exactly one encoding per
+// acquisition; Key finalizes the encoding, after which any further use
+// panics (see Key).
 type KeyBuilder struct {
-	buf []byte
+	buf       []byte
+	finalized bool
 }
 
-// NewKey starts a canonical key encoding.
-//
-//snoop:hotpath runs on every cache lookup; one builder allocation allowed below
-//lint:allow hotalloc the builder and its 256-byte buffer are the encoder's one allocation until the pooled-scratch PR (ROADMAP item 2)
+// builderPool recycles KeyBuilders (and their append buffers) so the
+// cache's key encoding allocates nothing in steady state.
+var builderPool = sync.Pool{New: func() any {
+	return &KeyBuilder{buf: make([]byte, 0, builderBufSize)}
+}}
+
+// builderBufSize is the pooled builders' buffer capacity: comfortably
+// above the largest canonical solver encoding (a SolveBest key is ~250
+// bytes), so steady-state encodings never grow the buffer.
+const builderBufSize = 512
+
+// NewKey starts a canonical key encoding on a fresh, unpooled builder.
+// Hot paths should prefer AcquireKey/Release, which reuse builders and
+// their buffers.
 func NewKey() *KeyBuilder { return &KeyBuilder{buf: make([]byte, 0, 256)} }
 
-func (b *KeyBuilder) tag(t byte) { b.buf = append(b.buf, t) }
+// AcquireKey returns a pooled builder, reset and ready for one canonical
+// encoding. The caller must Release it — after Key, after a Lookup hit,
+// or on any early exit — and must not retain any reference past Release.
+//
+//snoop:hotpath runs on every cached solve; the pool makes it allocation-free
+func AcquireKey() *KeyBuilder {
+	b := builderPool.Get().(*KeyBuilder)
+	b.buf = b.buf[:0]
+	b.finalized = false
+	return b
+}
+
+// Release returns the builder to the pool. The builder must not be used
+// afterwards; the next AcquireKey resets it for its next encoding.
+//
+//snoop:hotpath runs on every cached solve
+func (b *KeyBuilder) Release() { builderPool.Put(b) }
+
+// checkOpen panics when the builder is appended to (or finalized) after
+// Key already finalized it: a reused builder would silently encode this
+// input's fields onto the previous encoding, producing a corrupted key
+// that aliases another input's cache entry. With pooled builders that
+// corruption would be both silent and cross-request, so it is promoted
+// to an invariant panic.
+func (b *KeyBuilder) checkOpen() {
+	if b.finalized {
+		panic("solvecache: internal invariant violated: KeyBuilder reused after Key")
+	}
+}
+
+func (b *KeyBuilder) tag(t byte) { b.checkOpen(); b.buf = append(b.buf, t) }
 
 func (b *KeyBuilder) u64(v uint64) {
 	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
@@ -133,14 +179,43 @@ func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
 }
 
 // Key finalizes the encoding into a Key. The builder may not be reused
-// afterwards; one canonical-string allocation is allowed below.
+// afterwards — further appends or a second Key panic with the package's
+// invariant convention, because a silently reused builder would produce
+// a corrupted key aliasing another input's cache entry. (A pooled
+// builder is reset by the next AcquireKey, not by Release.) One
+// canonical-string allocation is allowed below.
 //
-//snoop:hotpath finalizes the encoding on every cache lookup
+//snoop:hotpath finalizes the encoding on every cache miss
 func (b *KeyBuilder) Key() Key {
-	h := fnv.New64a()
-	h.Write(b.buf)
-	//lint:allow hotalloc the canonical string must outlive the builder; interning is part of the pooled-scratch PR (ROADMAP item 2)
-	return Key{sum: h.Sum64(), canon: string(b.buf)}
+	b.checkOpen()
+	b.finalized = true
+	//lint:allow hotalloc miss-path finalization: the canonical string must outlive the builder; the hit path uses Cache.Lookup and never materializes it
+	return Key{sum: fnvSum(b.buf), canon: string(b.buf)}
+}
+
+// Fingerprint returns the 64-bit FNV-1a fingerprint of the encoding so
+// far, without finalizing the builder — the allocation-free probe the
+// hit path and the benchmarks use.
+//
+//snoop:hotpath hashes the builder's buffer in place
+func (b *KeyBuilder) Fingerprint() uint64 { return fnvSum(b.buf) }
+
+// fnvSum is FNV-1a over p — hash/fnv's algorithm without the hash.Hash
+// indirection, so the hot path cannot depend on the escape behavior of
+// an interface-shaped accumulator.
+//
+//snoop:hotpath runs on every cache lookup
+func fnvSum(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range p {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -254,6 +329,30 @@ func (c *Cache) Do(key Key, compute func() (any, error)) (any, error) {
 
 	c.lead(sh, key, fl, compute)
 	return fl.value, fl.err
+}
+
+// Lookup probes the cache for the builder's current (unfinalized)
+// encoding: the allocation-free hit path. A hit refreshes the entry's
+// LRU position and counts as a hit, exactly as a Do hit would; a miss
+// counts nothing and joins nothing — the caller finalizes the builder
+// with Key and falls through to Do, which handles counting, coalescing
+// and computing. The map probe converts the builder's buffer in place
+// (the compiler's string(bytes)-indexing optimization), so no canonical
+// string is materialized.
+//
+//snoop:hotpath the cache-hit path: one hash, one shard map probe, one LRU move
+func (c *Cache) Lookup(b *KeyBuilder) (any, bool) {
+	sh := &c.shards[fnvSum(b.buf)%numShards]
+	sh.mu.Lock()
+	el, ok := sh.entries[string(b.buf)]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return el.Value.(*entry).value, true
 }
 
 // Peek returns the cached value for key without computing on a miss and

@@ -1,0 +1,186 @@
+package snoopmva
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randBatch builds a mixed SolveMany batch over seeded random workloads:
+// several configurations interleaved out of order, so the grouped batch
+// path has to reassemble runs and map results back to input order.
+func randBatch(t *testing.T, rng *rand.Rand, points int) []SolveInput {
+	t.Helper()
+	protos := []Protocol{Illinois(), Berkeley(), WriteOnce(), Dragon()}
+	configs := make([]SolveInput, 3)
+	for i := range configs {
+		configs[i] = SolveInput{
+			Protocol: protos[rng.Intn(len(protos))],
+			Workload: randWorkload(t, rng),
+		}
+	}
+	batch := make([]SolveInput, points)
+	for i := range batch {
+		in := configs[rng.Intn(len(configs))]
+		in.N = 1 + rng.Intn(24)
+		batch[i] = in
+	}
+	return batch
+}
+
+// TestSolveManyMatchesSequentialSolve is the batched-API contract: the
+// grouped, scratch-sharing batch solve returns bitwise-identical results
+// to a sequential loop of independent SolveWith calls.
+func TestSolveManyMatchesSequentialSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1009))
+	for round := 0; round < 5; round++ {
+		batch := randBatch(t, rng, 32)
+		got, err := SolveMany(batch)
+		if err != nil {
+			t.Fatalf("round %d: SolveMany: %v", round, err)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("round %d: got %d results for %d inputs", round, len(got), len(batch))
+		}
+		for i, in := range batch {
+			want, err := SolveWith(in.Protocol, in.Workload, in.Timing, in.N, in.Options)
+			if err != nil {
+				t.Fatalf("round %d: sequential solve %d: %v", round, i, err)
+			}
+			if got[i] != want {
+				t.Fatalf("round %d point %d (N=%d): batch %+v != sequential %+v", round, i, in.N, got[i], want)
+			}
+		}
+	}
+}
+
+func TestSolveManyFailFast(t *testing.T) {
+	batch := []SolveInput{
+		{Protocol: Illinois(), Workload: AppendixA(Sharing5), N: 4},
+		{Protocol: Illinois(), Workload: AppendixA(Sharing5), N: 0}, // invalid size
+	}
+	if _, err := SolveMany(batch); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("SolveMany with invalid size = %v, want ErrInvalidInput", err)
+	}
+
+	bad := Workload{} // fails validation inside the solver
+	batch[1] = SolveInput{Protocol: Illinois(), Workload: bad, N: 4}
+	if _, err := SolveMany(batch); err == nil {
+		t.Fatal("SolveMany with invalid workload succeeded")
+	}
+}
+
+func TestSolveManyEmptyBatch(t *testing.T) {
+	out, err := SolveMany(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("SolveMany(nil) = %v, %v", out, err)
+	}
+}
+
+// TestSolveManyRaceStorm hammers the pooled solver scratch from many
+// goroutines (run under -race): concurrent batches must not bleed state
+// across solves through the pool.
+func TestSolveManyRaceStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	batch := randBatch(t, rng, 16)
+	want, err := SolveMany(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				got, err := SolveMany(batch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs <- errors.New("cross-solve state bleed: batch result diverged under concurrency")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedSolveManyMatchesAndCaches checks the cached batch: a cold
+// batch equals the uncached batch bitwise, a repeat is served entirely
+// from the cache, and single-point lookups hit the entries the batch
+// published.
+func TestCachedSolveManyMatchesAndCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3011))
+	batch := randBatch(t, rng, 24)
+	want, err := SolveMany(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCachedSolver(0)
+	got, err := c.SolveMany(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d: cached batch %+v != uncached %+v", i, got[i], want[i])
+		}
+	}
+
+	h0 := c.Stats().Hits
+	again, err := c.SolveMany(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("point %d: warm cached batch diverged", i)
+		}
+	}
+	if hits := c.Stats().Hits - h0; hits != uint64(len(batch)) {
+		t.Fatalf("warm batch scored %d hits, want %d", hits, len(batch))
+	}
+
+	in := batch[0]
+	r, err := c.SolveWith(in.Protocol, in.Workload, in.Timing, in.N, in.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != want[0] {
+		t.Fatal("single-point solve missed the entry the batch published")
+	}
+}
+
+// TestCachedSolveHitPathIsAllocationFree pins the tentpole: a resident
+// cached solve — key encode, cache probe, result return — performs zero
+// heap allocations.
+func TestCachedSolveHitPathIsAllocationFree(t *testing.T) {
+	c := NewCachedSolver(0)
+	p, w := Illinois(), AppendixA(Sharing5)
+	if _, err := c.Solve(p, w, 8); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.SolveWithContext(ctx, p, w, Timing{}, 8, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocates %v/op, want 0", allocs)
+	}
+}
